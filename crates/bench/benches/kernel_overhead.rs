@@ -1,0 +1,83 @@
+//! Kernel overhead microbenchmarks: the cost per control step of the OSM
+//! director (Fig. 3), of the DE kernel embedding (Fig. 4), and of the
+//! port/signal delta-convergence loop the hardware-centric model pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osm_core::{DeKernel, ExclusivePool, IdentExpr, InertBehavior, Machine, SpecBuilder};
+use portsim::{Module, PortKernel, Signal, SignalStore};
+use std::hint::black_box;
+
+fn ring_machine() -> Machine<()> {
+    let mut m: Machine<()> = Machine::new(());
+    let a = m.add_manager(ExclusivePool::new("a", 1));
+    let b = m.add_manager(ExclusivePool::new("b", 1));
+    let mut sb = SpecBuilder::new("ring");
+    let i = sb.state("I");
+    let s1 = sb.state("A");
+    let s2 = sb.state("B");
+    sb.initial(i);
+    sb.edge(i, s1).allocate(a, IdentExpr::Const(0));
+    sb.edge(s1, s2)
+        .release(a, IdentExpr::AnyHeld)
+        .allocate(b, IdentExpr::Const(0));
+    sb.edge(s2, i).release(b, IdentExpr::AnyHeld);
+    let spec = sb.build().expect("valid");
+    for _ in 0..4 {
+        m.add_osm(&spec, InertBehavior);
+    }
+    m
+}
+
+struct Stage {
+    input: Signal<u64>,
+    output: Signal<u64>,
+    latch: u64,
+}
+impl Module for Stage {
+    fn name(&self) -> &str {
+        "stage"
+    }
+    fn eval(&mut self, s: &mut SignalStore) {
+        s.write(self.output, self.latch);
+    }
+    fn tick(&mut self, s: &mut SignalStore) {
+        self.latch = s.read(self.input).wrapping_add(1);
+    }
+}
+
+fn kernel_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_overhead");
+
+    group.bench_function("osm_cycle_driven_1k_steps", |b| {
+        b.iter(|| {
+            let mut m = ring_machine();
+            m.run(1000).expect("runs");
+            black_box(m.stats.transitions)
+        })
+    });
+    group.bench_function("osm_de_kernel_1k_steps", |b| {
+        b.iter(|| {
+            let m = ring_machine();
+            let mut k = DeKernel::new(m, 1);
+            k.run_cycles(1000).expect("runs");
+            black_box(k.machine().stats.transitions)
+        })
+    });
+    group.bench_function("portsim_ring_1k_steps", |b| {
+        b.iter(|| {
+            let mut k = PortKernel::new();
+            let w0 = k.signals.signal("w0", 0u64);
+            let w1 = k.signals.signal("w1", 0u64);
+            let w2 = k.signals.signal("w2", 0u64);
+            k.add_module(Stage { input: w2, output: w0, latch: 0 });
+            k.add_module(Stage { input: w0, output: w1, latch: 0 });
+            k.add_module(Stage { input: w1, output: w2, latch: 0 });
+            k.run(1000);
+            black_box(k.stats.delta_cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, kernel_overhead);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark behind the §5 speed claims: time to simulate a fixed
+//! workload on each of the four simulators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc750::{PpcConfig, PpcOsmSim, PpcPortSim};
+use sa1100::{RefSim, SaConfig, SaOsmSim};
+use std::hint::black_box;
+use workloads::mediabench_scaled;
+
+fn sim_speed(c: &mut Criterion) {
+    // gsm/dec at scale 2: a few hundred thousand cycles per run.
+    let w = mediabench_scaled(2).remove(0);
+    let program = w.program();
+
+    let mut group = c.benchmark_group("sim_speed");
+    group.sample_size(10);
+
+    group.bench_function("sa1100_osm", |b| {
+        b.iter(|| {
+            let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+            let r = sim.run_to_halt(u64::MAX).expect("runs");
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("sa1100_reference", |b| {
+        b.iter(|| {
+            let mut sim = RefSim::new(SaConfig::paper(), &program);
+            let r = sim.run_to_halt(u64::MAX);
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("ppc750_osm", |b| {
+        b.iter(|| {
+            let mut sim = PpcOsmSim::new(PpcConfig::paper(), &program);
+            let r = sim.run_to_halt(u64::MAX).expect("runs");
+            black_box(r.cycles)
+        })
+    });
+    group.bench_function("ppc750_port", |b| {
+        b.iter(|| {
+            let mut sim = PpcPortSim::new(PpcConfig::paper(), &program);
+            let r = sim.run_to_halt(u64::MAX);
+            black_box(r.cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_speed);
+criterion_main!(benches);

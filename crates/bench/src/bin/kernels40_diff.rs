@@ -1,0 +1,47 @@
+//! **§5.1 diagnostic-kernel reproduction** — the 40 small kernel loops.
+//!
+//! The paper used 40 small kernels "to diagnose timing mismatches between
+//! the model and the real processor". Here they compare the OSM StrongARM
+//! model against the independently written reference simulator, kernel by
+//! kernel: any nonzero difference names the mis-modeled mechanism directly
+//! (each kernel isolates one: a forwarding distance, the multiplier
+//! latency, a branch pattern, a cache stride, ...).
+
+use bench::{pct_diff, print_table, run_sa_osm, run_sa_ref};
+use sa1100::SaConfig;
+use workloads::kernels40;
+
+fn main() {
+    println!("40 diagnostic kernels: OSM StrongARM model vs reference simulator\n");
+
+    let mut rows = Vec::new();
+    let mut mismatches = 0;
+    for w in kernels40() {
+        let (osm, _) = run_sa_osm(SaConfig::paper(), &w);
+        let (reference, _) = run_sa_ref(SaConfig::paper(), &w);
+        assert_eq!(
+            osm.exit_code, reference.exit_code,
+            "functional divergence on {}",
+            w.name
+        );
+        let diff = pct_diff(reference.cycles, osm.cycles);
+        if osm.cycles != reference.cycles {
+            mismatches += 1;
+        }
+        rows.push(vec![
+            w.name.clone(),
+            reference.cycles.to_string(),
+            osm.cycles.to_string(),
+            format!("{:+.2}%", diff),
+            format!("{:.3}", osm.cpi()),
+        ]);
+    }
+    print_table(
+        &["kernel", "ref cycles", "OSM cycles", "difference", "CPI"],
+        &rows,
+    );
+    println!(
+        "\n{mismatches}/40 kernels disagree (0 expected: both implement the same timing spec)"
+    );
+    println!("shape check: {}", if mismatches == 0 { "PASS" } else { "FAIL" });
+}

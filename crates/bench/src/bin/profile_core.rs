@@ -1,0 +1,35 @@
+//! Internal: isolates the osm-core director cost (no ISA, no memory system).
+use osm_core::{ExclusivePool, IdentExpr, InertBehavior, Machine, SpecBuilder};
+
+fn main() {
+    let mut m: Machine<()> = Machine::new(());
+    let stages: Vec<_> = (0..5)
+        .map(|k| m.add_manager(ExclusivePool::new(format!("s{k}"), 1)))
+        .collect();
+    let mut b = SpecBuilder::new("op");
+    let states: Vec<_> = (0..6).map(|k| b.state(format!("S{k}"))).collect();
+    b.initial(states[0]);
+    b.edge(states[0], states[1]).allocate(stages[0], IdentExpr::Const(0));
+    for k in 1..5 {
+        b.edge(states[k], states[k + 1])
+            .release(stages[k - 1], IdentExpr::AnyHeld)
+            .allocate(stages[k], IdentExpr::Const(0));
+    }
+    b.edge(states[5], states[0]).release(stages[4], IdentExpr::AnyHeld);
+    let spec = b.build().unwrap();
+    for _ in 0..8 {
+        m.add_osm(&spec, InertBehavior);
+    }
+    let n = 2_000_000u64;
+    let t0 = std::time::Instant::now();
+    m.run(n).unwrap();
+    let dt = t0.elapsed();
+    println!(
+        "{} steps in {:.2}s = {:.0} ns/step ({:.0} kcyc/s), {} transitions",
+        n,
+        dt.as_secs_f64(),
+        dt.as_secs_f64() * 1e9 / n as f64,
+        n as f64 / dt.as_secs_f64() / 1e3,
+        m.stats.transitions
+    );
+}

@@ -1,0 +1,18 @@
+//! Internal: tight loop for profiling the PPC-750 models.
+use ppc750::{PpcConfig, PpcOsmSim, PpcPortSim};
+use workloads::mediabench_scaled;
+
+fn main() {
+    let w = mediabench_scaled(20).remove(0);
+    let program = w.program();
+    let t0 = std::time::Instant::now();
+    let mut sim = PpcOsmSim::new(PpcConfig::paper(), &program);
+    let r = sim.run_to_halt(u64::MAX).expect("runs");
+    let dt = t0.elapsed();
+    println!("osm : {} cycles, {:.0} kcyc/s", r.cycles, r.cycles as f64 / dt.as_secs_f64() / 1e3);
+    let t0 = std::time::Instant::now();
+    let mut sim = PpcPortSim::new(PpcConfig::paper(), &program);
+    let r = sim.run_to_halt(u64::MAX);
+    let dt = t0.elapsed();
+    println!("port: {} cycles, {:.0} kcyc/s", r.cycles, r.cycles as f64 / dt.as_secs_f64() / 1e3);
+}

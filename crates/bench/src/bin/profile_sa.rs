@@ -1,0 +1,18 @@
+//! Internal: tight loop for profiling the SA OSM model hot path.
+use sa1100::{SaConfig, SaOsmSim};
+use workloads::mediabench_scaled;
+
+fn main() {
+    let w = mediabench_scaled(40).remove(0);
+    let program = w.program();
+    let t0 = std::time::Instant::now();
+    let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+    let r = sim.run_to_halt(u64::MAX).expect("runs");
+    let dt = t0.elapsed();
+    println!(
+        "{} cycles in {:.2}s = {:.0} kcyc/s",
+        r.cycles,
+        dt.as_secs_f64(),
+        r.cycles as f64 / dt.as_secs_f64() / 1e3
+    );
+}

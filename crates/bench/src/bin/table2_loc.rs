@@ -1,0 +1,140 @@
+//! **Table 2 reproduction** — source code line counts as a productivity
+//! measure.
+//!
+//! The paper breaks each OSM-based simulator into four categories (modules
+//! with TMI, modules without TMI, decoding + OSM initialization,
+//! miscellaneous; SA-1100 total 3,032 / PPC-750 total 5,004) and compares
+//! against the hand-written baselines (SimpleScalar-ARM 4,633 lines,
+//! SystemC PPC 16,000 lines), noting that ~60% of the OSM models is
+//! decoding/initialization that an ADL can synthesize, and that most
+//! TMI-carrying hardware modules are reused across targets.
+//!
+//! This harness counts our own sources with the same exclusions (no
+//! comments, no blank lines, no tests) and the same category mapping.
+
+use bench::{count_loc, print_table};
+use std::fs;
+use std::path::Path;
+
+fn loc(path: &str) -> usize {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let full = root.join(path);
+    let src = fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", full.display()));
+    count_loc(&src)
+}
+
+fn sum(paths: &[&str]) -> usize {
+    paths.iter().map(|p| loc(p)).sum()
+}
+
+fn main() {
+    println!("Table 2: source code line numbers (comments/blanks/tests excluded)\n");
+
+    // Category mapping (see EXPERIMENTS.md):
+    //  - "modules with TMI": target-specific token-manager code. The generic
+    //    pools live in osm-core and are reused by both targets, mirroring the
+    //    paper's cross-target module reuse; they are reported separately.
+    //  - "modules without TMI": the memory subsystem (caches/TLBs/bus) plus
+    //    PPC predictor/oracle — hardware the operations never transact with.
+    //  - "decoding and OSM init.": the model files (spec construction, slot
+    //    initialization, behaviors) — what an ADL can synthesize.
+    //  - "misc": configs, result plumbing, crate docs.
+    let memsys = &[
+        "crates/memsys/src/cache.rs",
+        "crates/memsys/src/tlb.rs",
+        "crates/memsys/src/system.rs",
+        "crates/memsys/src/lib.rs",
+    ];
+
+    let sa_tmi = sum(&["crates/sa1100/src/forward.rs"]);
+    let sa_no_tmi = sum(memsys);
+    let sa_decode = sum(&["crates/sa1100/src/osm_model.rs"]);
+    let sa_misc = sum(&["crates/sa1100/src/config.rs", "crates/sa1100/src/lib.rs"]);
+    let sa_total = sa_tmi + sa_no_tmi + sa_decode + sa_misc;
+
+    let ppc_tmi = sum(&["crates/ppc750/src/rename.rs"]);
+    let ppc_no_tmi = sum(memsys)
+        + sum(&[
+            "crates/ppc750/src/predictor.rs",
+            "crates/ppc750/src/oracle.rs",
+        ]);
+    let ppc_decode = sum(&["crates/ppc750/src/osm_model.rs"]);
+    let ppc_misc = sum(&["crates/ppc750/src/config.rs", "crates/ppc750/src/lib.rs"]);
+    let ppc_total = ppc_tmi + ppc_no_tmi + ppc_decode + ppc_misc;
+
+    print_table(
+        &["parts", "SA-1100", "PPC-750", "(paper SA)", "(paper PPC)"],
+        &[
+            vec![
+                "Modules with TMI".into(),
+                sa_tmi.to_string(),
+                ppc_tmi.to_string(),
+                "316".into(),
+                "1021".into(),
+            ],
+            vec![
+                "Modules without TMI".into(),
+                sa_no_tmi.to_string(),
+                ppc_no_tmi.to_string(),
+                "126".into(),
+                "744".into(),
+            ],
+            vec![
+                "Decoding and OSM init.".into(),
+                sa_decode.to_string(),
+                ppc_decode.to_string(),
+                "2130".into(),
+                "2963".into(),
+            ],
+            vec![
+                "Miscellaneous".into(),
+                sa_misc.to_string(),
+                ppc_misc.to_string(),
+                "460".into(),
+                "276".into(),
+            ],
+            vec![
+                "Total".into(),
+                sa_total.to_string(),
+                ppc_total.to_string(),
+                "3032".into(),
+                "5004".into(),
+            ],
+        ],
+    );
+
+    // Shared OSM library + reusable TMIs (the paper's reuse observation).
+    let shared = sum(&[
+        "crates/osm-core/src/pools.rs",
+        "crates/osm-core/src/manager.rs",
+    ]);
+    println!("\nreusable TMI library shared by both targets (osm-core pools): {shared} lines");
+
+    // Baseline comparison (paper: SimpleScalar-ARM 4,633 C lines; SystemC
+    // PPC ~16,000 C++ lines, both excluding instruction semantics).
+    let sa_baseline = sum(&["crates/sa1100/src/reference.rs"]);
+    let ppc_baseline = sum(&["crates/ppc750/src/port_model.rs"]);
+    println!("\nbaseline simulators (hand-written, same timing spec):");
+    print_table(
+        &["baseline", "lines", "vs OSM decode+TMI"],
+        &[
+            vec![
+                "SA-1100 reference (SimpleScalar-style)".into(),
+                sa_baseline.to_string(),
+                format!("{:.2}x", sa_baseline as f64 / (sa_tmi + sa_decode) as f64),
+            ],
+            vec![
+                "PPC-750 port/signal (SystemC-style)".into(),
+                ppc_baseline.to_string(),
+                format!("{:.2}x", ppc_baseline as f64 / (ppc_tmi + ppc_decode) as f64),
+            ],
+        ],
+    );
+
+    let decode_share =
+        100.0 * (sa_decode + ppc_decode) as f64 / (sa_total + ppc_total) as f64;
+    println!(
+        "\ndecoding + OSM initialization share: {decode_share:.0}% (paper: ~60%, synthesizable via the ADL — see crates/osm-adl)"
+    );
+}

@@ -1,0 +1,181 @@
+//! Shared helpers for the experiment harnesses (one binary per table or
+//! figure of the paper — see `EXPERIMENTS.md` at the repository root).
+
+#![warn(missing_docs)]
+
+use ppc750::{PpcConfig, PpcOsmSim, PpcPortSim, PpcResult};
+use sa1100::{RefSim, SaConfig, SaOsmSim, SimResult};
+use std::time::{Duration, Instant};
+use workloads::Workload;
+
+/// Cycle budget used by all harnesses (workloads finish well under it).
+pub const MAX_CYCLES: u64 = 200_000_000;
+
+/// Runs a workload on the OSM StrongARM model, returning result + wall time.
+///
+/// # Panics
+/// Panics if the model deadlocks or fails to halt (harness-level invariant).
+pub fn run_sa_osm(cfg: SaConfig, w: &Workload) -> (SimResult, Duration) {
+    let program = w.program();
+    let mut sim = SaOsmSim::new(cfg, &program);
+    let t0 = Instant::now();
+    let r = sim.run_to_halt(MAX_CYCLES).expect("no deadlock");
+    let dt = t0.elapsed();
+    assert!(
+        sim.machine().shared.halted,
+        "workload `{}` did not halt on the OSM model",
+        w.name
+    );
+    (r, dt)
+}
+
+/// Runs a workload on the hand-sequenced reference simulator.
+///
+/// # Panics
+/// Panics if the reference fails to halt.
+pub fn run_sa_ref(cfg: SaConfig, w: &Workload) -> (SimResult, Duration) {
+    let program = w.program();
+    let mut sim = RefSim::new(cfg, &program);
+    let t0 = Instant::now();
+    let r = sim.run_to_halt(MAX_CYCLES);
+    let dt = t0.elapsed();
+    assert!(
+        sim.halted(),
+        "workload `{}` did not halt on the reference",
+        w.name
+    );
+    (r, dt)
+}
+
+/// Runs a workload on the OSM PowerPC-750 model.
+///
+/// # Panics
+/// Panics if the model deadlocks or fails to halt.
+pub fn run_ppc_osm(cfg: PpcConfig, w: &Workload) -> (PpcResult, Duration) {
+    let program = w.program();
+    let mut sim = PpcOsmSim::new(cfg, &program);
+    let t0 = Instant::now();
+    let r = sim.run_to_halt(MAX_CYCLES).expect("no deadlock");
+    let dt = t0.elapsed();
+    assert!(
+        sim.machine().shared.halted,
+        "workload `{}` did not halt on the PPC OSM model",
+        w.name
+    );
+    (r, dt)
+}
+
+/// Runs a workload on the port/signal PowerPC-750 baseline.
+///
+/// # Panics
+/// Panics if the model fails to halt.
+pub fn run_ppc_port(cfg: PpcConfig, w: &Workload) -> (PpcResult, Duration) {
+    let program = w.program();
+    let mut sim = PpcPortSim::new(cfg, &program);
+    let t0 = Instant::now();
+    let r = sim.run_to_halt(MAX_CYCLES);
+    let dt = t0.elapsed();
+    assert!(
+        sim.halted(),
+        "workload `{}` did not halt on the PPC port model",
+        w.name
+    );
+    (r, dt)
+}
+
+/// Simulation throughput in cycles per second of wall time.
+pub fn cycles_per_sec(cycles: u64, wall: Duration) -> f64 {
+    if wall.as_secs_f64() == 0.0 {
+        0.0
+    } else {
+        cycles as f64 / wall.as_secs_f64()
+    }
+}
+
+/// Signed percentage difference of `b` relative to `a`.
+pub fn pct_diff(a: u64, b: u64) -> f64 {
+    if a == 0 {
+        0.0
+    } else {
+        100.0 * (b as f64 - a as f64) / a as f64
+    }
+}
+
+/// Prints an aligned text table: a header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate() {
+            if k < widths.len() {
+                widths[k] = widths[k].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (k, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[k]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Counts lines of code in a source string: non-blank, non-comment-only
+/// lines, excluding everything from the `#[cfg(test)]` marker on (matching
+/// the paper's "does not include comments and blank lines").
+pub fn count_loc(source: &str) -> usize {
+    let mut in_block_comment = false;
+    let mut count = 0;
+    for line in source.lines() {
+        let t = line.trim();
+        if t.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if in_block_comment {
+            if t.contains("*/") {
+                in_block_comment = false;
+            }
+            continue;
+        }
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        if t.starts_with("/*") {
+            if !t.contains("*/") {
+                in_block_comment = true;
+            }
+            continue;
+        }
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_counts_code_only() {
+        let src = "\n// comment\nfn f() {\n    let x = 1; // trailing\n\n}\n/* block\n   comment */\nstruct S;\n#[cfg(test)]\nmod tests { fn never_counted() {} }\n";
+        assert_eq!(count_loc(src), 4); // fn f() {, let, }, struct S;
+    }
+
+    #[test]
+    fn pct_diff_signs() {
+        assert_eq!(pct_diff(100, 103), 3.0);
+        assert_eq!(pct_diff(100, 97), -3.0);
+        assert_eq!(pct_diff(0, 5), 0.0);
+    }
+
+    #[test]
+    fn cycles_per_sec_zero_wall() {
+        assert_eq!(cycles_per_sec(100, Duration::from_secs(0)), 0.0);
+        assert!(cycles_per_sec(100, Duration::from_secs(1)) == 100.0);
+    }
+}

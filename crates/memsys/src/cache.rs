@@ -1,0 +1,307 @@
+//! Set-associative cache timing model with LRU replacement.
+//!
+//! The cache tracks tags only — functional data lives in the backing
+//! [`minirisc`-style sparse memory] of whichever simulator embeds it — so
+//! the same model serves instruction and data caches of every simulator in
+//! the workspace, OSM-based or not.
+//!
+//! [`minirisc`-style sparse memory]: https://docs.rs/minirisc
+
+use std::fmt;
+
+/// Geometry and timing of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Ways per set.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Extra cycles added on a miss while the line is fetched from the next
+    /// level (the paper's variable-latency idiom feeds on this).
+    pub miss_penalty: u32,
+}
+
+impl CacheConfig {
+    /// A small default: 16 KiB, 32-way... no — 32-byte lines, 2-way, 16 KiB.
+    pub fn kb16_2way() -> Self {
+        CacheConfig {
+            sets: 256,
+            ways: 2,
+            line_bytes: 32,
+            miss_penalty: 20,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line_bytes
+    }
+
+    fn assert_valid(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two() && self.line_bytes >= 4,
+            "line size must be a power of two >= 4"
+        );
+        assert!(self.ways >= 1, "at least one way");
+    }
+}
+
+/// Access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Lines evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in [0, 1]; 0 when no accesses were made.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    stamp: u64,
+}
+
+/// A set-associative, write-allocate cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>, // sets × ways
+    stamp: u64,
+    /// Statistics (public for harness reporting).
+    pub stats: CacheStats,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was fetched; carries the extra latency in cycles.
+    Miss {
+        /// Additional cycles beyond a hit.
+        penalty: u32,
+    },
+}
+
+impl CacheOutcome {
+    /// Extra cycles this access costs beyond a hit.
+    pub fn penalty(self) -> u32 {
+        match self {
+            CacheOutcome::Hit => 0,
+            CacheOutcome::Miss { penalty } => penalty,
+        }
+    }
+
+    /// True on hit.
+    pub fn is_hit(self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    /// Panics if the configuration is not power-of-two shaped.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.assert_valid();
+        Cache {
+            cfg,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0,
+                };
+                cfg.sets * cfg.ways
+            ],
+            stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    fn set_and_tag(&self, addr: u32) -> (usize, u32) {
+        let line = addr as usize / self.cfg.line_bytes;
+        (line & (self.cfg.sets - 1), (line / self.cfg.sets) as u32)
+    }
+
+    /// Performs an access (read or write — write-allocate makes them alike
+    /// for tag state), updating LRU and statistics.
+    pub fn access(&mut self, addr: u32) -> CacheOutcome {
+        let (set, tag) = self.set_and_tag(addr);
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        let base = set * self.cfg.ways;
+        let ways = &mut self.lines[base..base + self.cfg.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.stamp;
+            self.stats.hits += 1;
+            return CacheOutcome::Hit;
+        }
+
+        self.stats.misses += 1;
+        // Victim: an invalid way, else the LRU way.
+        let victim = ways
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                ways.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .map(|(i, _)| i)
+                    .expect("at least one way")
+            });
+        if ways[victim].valid {
+            self.stats.evictions += 1;
+        }
+        ways[victim] = Line {
+            tag,
+            valid: true,
+            stamp: self.stamp,
+        };
+        CacheOutcome::Miss {
+            penalty: self.cfg.miss_penalty,
+        }
+    }
+
+    /// Checks presence without changing any state.
+    pub fn probe(&self, addr: u32) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        let base = set * self.cfg.ways;
+        self.lines[base..base + self.cfg.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (keeps statistics).
+    pub fn flush(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB {}-way, {}B lines: {} accesses, {:.1}% hits",
+            self.cfg.capacity() / 1024,
+            self.cfg.ways,
+            self.cfg.line_bytes,
+            self.stats.accesses,
+            100.0 * self.stats.hit_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(ways: usize) -> Cache {
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways,
+            line_bytes: 16,
+            miss_penalty: 10,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny(1);
+        assert_eq!(c.access(0x100), CacheOutcome::Miss { penalty: 10 });
+        assert_eq!(c.access(0x100), CacheOutcome::Hit);
+        assert_eq!(c.access(0x104), CacheOutcome::Hit); // same line
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 1);
+        assert!((c.stats.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = tiny(1);
+        // 4 sets × 16B lines: addresses 0x0 and 0x40 map to set 0.
+        c.access(0x00);
+        c.access(0x40);
+        assert!(!c.probe(0x00)); // evicted
+        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.access(0x00).penalty(), 10);
+    }
+
+    #[test]
+    fn two_way_lru_keeps_recent() {
+        let mut c = tiny(2);
+        c.access(0x00); // set 0, way A
+        c.access(0x40); // set 0, way B
+        c.access(0x00); // touch A (now most recent)
+        c.access(0x80); // evicts LRU = 0x40
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x40));
+        assert!(c.probe(0x80));
+    }
+
+    #[test]
+    fn probe_is_pure() {
+        let mut c = tiny(1);
+        c.access(0x0);
+        let stats = c.stats;
+        assert!(c.probe(0x0));
+        assert!(!c.probe(0x40));
+        assert_eq!(c.stats, stats);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny(2);
+        c.access(0x0);
+        c.flush();
+        assert!(!c.probe(0x0));
+        assert!(!c.access(0x0).is_hit());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 16,
+            miss_penalty: 1,
+        });
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let c = tiny(2);
+        let s = c.to_string();
+        assert!(s.contains("2-way"));
+        assert!(s.contains("16B lines"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # memsys — memory-subsystem timing substrate
+//!
+//! Set-associative [`Cache`]s, fully-associative [`Tlb`]s and the combined
+//! [`MemSystem`] used as the hardware layer of both processor case studies.
+//! These models are *timing only*: functional data lives in the simulators'
+//! sparse memories; this crate answers "how many extra cycles does this
+//! access cost" and keeps hit/miss statistics.
+//!
+//! ```
+//! use memsys::{MemSystem, MemSystemConfig};
+//!
+//! let mut mem = MemSystem::new(MemSystemConfig::strongarm_like());
+//! let cold = mem.fetch_penalty(0x1000);
+//! let warm = mem.fetch_penalty(0x1004);
+//! assert!(cold > 0);
+//! assert_eq!(warm, 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod system;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
+pub use system::{MemSystem, MemSystemConfig};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

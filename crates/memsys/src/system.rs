@@ -1,0 +1,186 @@
+//! The combined memory subsystem: split L1 caches, split TLBs, and a shared
+//! bus/DRAM path — the hardware-layer block of Fig. 5 in the paper ("I-Cache,
+//! ITLB, D-Cache, DTLB, memory bus, Memory"). It does not interact with
+//! operations directly and therefore needs no TMI (paper §5.1): processor
+//! models query it from their hardware layers and translate the returned
+//! latencies into blocked token releases.
+
+use crate::cache::{Cache, CacheConfig, CacheOutcome};
+use crate::tlb::{Tlb, TlbConfig};
+
+/// Configuration of a [`MemSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSystemConfig {
+    /// Instruction cache.
+    pub icache: CacheConfig,
+    /// Data cache.
+    pub dcache: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Extra cycles of bus transfer added to every cache miss.
+    pub bus_latency: u32,
+}
+
+impl MemSystemConfig {
+    /// A StrongARM-like configuration: 16 KiB I/D caches, 32-entry TLBs.
+    pub fn strongarm_like() -> Self {
+        MemSystemConfig {
+            icache: CacheConfig {
+                sets: 512,
+                ways: 1,
+                line_bytes: 32,
+                miss_penalty: 20,
+            },
+            dcache: CacheConfig {
+                sets: 256,
+                ways: 2,
+                line_bytes: 32,
+                miss_penalty: 20,
+            },
+            itlb: TlbConfig::entries32(),
+            dtlb: TlbConfig::entries32(),
+            bus_latency: 4,
+        }
+    }
+
+    /// A PowerPC-750-like configuration: 32 KiB 8-way I/D caches.
+    pub fn ppc750_like() -> Self {
+        MemSystemConfig {
+            icache: CacheConfig {
+                sets: 128,
+                ways: 8,
+                line_bytes: 32,
+                miss_penalty: 24,
+            },
+            dcache: CacheConfig {
+                sets: 128,
+                ways: 8,
+                line_bytes: 32,
+                miss_penalty: 24,
+            },
+            itlb: TlbConfig {
+                entries: 128,
+                page_bytes: 4096,
+                miss_penalty: 30,
+            },
+            dtlb: TlbConfig {
+                entries: 128,
+                page_bytes: 4096,
+                miss_penalty: 30,
+            },
+            bus_latency: 6,
+        }
+    }
+
+    /// A tiny configuration for unit tests (fast to exercise misses).
+    pub fn tiny() -> Self {
+        MemSystemConfig {
+            icache: CacheConfig {
+                sets: 4,
+                ways: 1,
+                line_bytes: 16,
+                miss_penalty: 10,
+            },
+            dcache: CacheConfig {
+                sets: 4,
+                ways: 1,
+                line_bytes: 16,
+                miss_penalty: 10,
+            },
+            itlb: TlbConfig {
+                entries: 2,
+                page_bytes: 4096,
+                miss_penalty: 30,
+            },
+            dtlb: TlbConfig {
+                entries: 2,
+                page_bytes: 4096,
+                miss_penalty: 30,
+            },
+            bus_latency: 2,
+        }
+    }
+}
+
+/// The memory subsystem timing model.
+#[derive(Debug, Clone)]
+pub struct MemSystem {
+    /// Instruction cache.
+    pub icache: Cache,
+    /// Data cache.
+    pub dcache: Cache,
+    /// Instruction TLB.
+    pub itlb: Tlb,
+    /// Data TLB.
+    pub dtlb: Tlb,
+    bus_latency: u32,
+}
+
+impl MemSystem {
+    /// Builds the subsystem from a configuration.
+    pub fn new(cfg: MemSystemConfig) -> Self {
+        MemSystem {
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            itlb: Tlb::new(cfg.itlb),
+            dtlb: Tlb::new(cfg.dtlb),
+            bus_latency: cfg.bus_latency,
+        }
+    }
+
+    /// Extra cycles (beyond the pipelined hit path) to fetch the instruction
+    /// at `addr`: ITLB walk + I-cache miss + bus.
+    pub fn fetch_penalty(&mut self, addr: u32) -> u32 {
+        let tlb = self.itlb.access(addr);
+        let cache = match self.icache.access(addr) {
+            CacheOutcome::Hit => 0,
+            CacheOutcome::Miss { penalty } => penalty + self.bus_latency,
+        };
+        tlb + cache
+    }
+
+    /// Extra cycles for a data access at `addr`.
+    pub fn data_penalty(&mut self, addr: u32) -> u32 {
+        let tlb = self.dtlb.access(addr);
+        let cache = match self.dcache.access(addr) {
+            CacheOutcome::Hit => 0,
+            CacheOutcome::Miss { penalty } => penalty + self.bus_latency,
+        };
+        tlb + cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_fetch_pays_tlb_cache_and_bus() {
+        let mut m = MemSystem::new(MemSystemConfig::tiny());
+        // TLB walk 30 + miss 10 + bus 2.
+        assert_eq!(m.fetch_penalty(0x1000), 42);
+        // Warm: all hits.
+        assert_eq!(m.fetch_penalty(0x1004), 0);
+    }
+
+    #[test]
+    fn data_and_fetch_paths_are_split() {
+        let mut m = MemSystem::new(MemSystemConfig::tiny());
+        m.fetch_penalty(0x1000);
+        // Data path is still cold.
+        assert_eq!(m.data_penalty(0x1000), 42);
+        assert_eq!(m.data_penalty(0x1000), 0);
+        assert_eq!(m.icache.stats.accesses, 1);
+        assert_eq!(m.dcache.stats.accesses, 2);
+    }
+
+    #[test]
+    fn preset_configs_are_valid() {
+        let _ = MemSystem::new(MemSystemConfig::strongarm_like());
+        let _ = MemSystem::new(MemSystemConfig::ppc750_like());
+        assert_eq!(MemSystemConfig::strongarm_like().icache.capacity(), 16384);
+        assert_eq!(MemSystemConfig::ppc750_like().dcache.capacity(), 32768);
+    }
+}

@@ -1,0 +1,154 @@
+//! A fully-associative TLB timing model with LRU replacement.
+//!
+//! Like the caches, the TLB models timing only: the workspace's programs run
+//! identity-mapped, so a "translation" is just the page number — what matters
+//! to the micro-architecture models is the hit/miss latency.
+
+/// Configuration of a TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes (power of two).
+    pub page_bytes: usize,
+    /// Extra cycles on a miss (table walk).
+    pub miss_penalty: u32,
+}
+
+impl TlbConfig {
+    /// A 32-entry, 4 KiB-page TLB with a 30-cycle walk.
+    pub fn entries32() -> Self {
+        TlbConfig {
+            entries: 32,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        }
+    }
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Total translations.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (walks).
+    pub misses: u64,
+}
+
+/// A fully-associative TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    entries: Vec<(u32, u64)>, // (vpn, stamp), length <= cfg.entries
+    stamp: u64,
+    /// Statistics.
+    pub stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    /// Panics if the page size is not a power of two or entries is zero.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.page_bytes.is_power_of_two(), "page size power of two");
+        assert!(cfg.entries > 0, "at least one entry");
+        Tlb {
+            cfg,
+            entries: Vec::with_capacity(cfg.entries),
+            stamp: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    /// Translates `addr`: returns the extra latency (0 on hit).
+    pub fn access(&mut self, addr: u32) -> u32 {
+        let vpn = addr / self.cfg.page_bytes as u32;
+        self.stamp += 1;
+        self.stats.accesses += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
+            e.1 = self.stamp;
+            self.stats.hits += 1;
+            return 0;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() == self.cfg.entries {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((vpn, self.stamp));
+        self.cfg.miss_penalty
+    }
+
+    /// Presence check without state change.
+    pub fn probe(&self, addr: u32) -> bool {
+        let vpn = addr / self.cfg.page_bytes as u32;
+        self.entries.iter().any(|(v, _)| *v == vpn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        })
+    }
+
+    #[test]
+    fn miss_then_hit_within_page() {
+        let mut t = tiny();
+        assert_eq!(t.access(0x1000), 30);
+        assert_eq!(t.access(0x1FFC), 0);
+        assert_eq!(t.stats.hits, 1);
+        assert_eq!(t.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // refresh page 1
+        t.access(0x3000); // evicts page 2
+        assert!(t.probe(0x1000));
+        assert!(!t.probe(0x2000));
+        assert!(t.probe(0x3000));
+    }
+
+    #[test]
+    fn probe_is_pure() {
+        let mut t = tiny();
+        t.access(0x1000);
+        let stats = t.stats;
+        assert!(t.probe(0x1000));
+        assert_eq!(t.stats, stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 0,
+            page_bytes: 4096,
+            miss_penalty: 1,
+        });
+    }
+}

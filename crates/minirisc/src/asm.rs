@@ -1,0 +1,983 @@
+//! A two-pass assembler for MiniRISC-32.
+//!
+//! Syntax overview (one statement per line, `;` or `#` start a comment):
+//!
+//! ```text
+//! .org   0x1000        ; load/entry base (before any code)
+//! .entry main          ; entry point (label or address)
+//! main:
+//!     li   r1, 100000  ; pseudo: addi or lui+ori
+//!     la   r2, table   ; pseudo: address of a label
+//! loop:
+//!     lw   r3, 0(r2)
+//!     add  r4, r4, r3
+//!     addi r1, r1, -1
+//!     bne  r1, r0, loop
+//!     halt
+//! table:
+//!     .word 1
+//!     .word 2
+//!     .space 8         ; 8 zero bytes
+//! ```
+//!
+//! Pseudo-instructions: `nop`, `mv`, `li`, `la`, `j`, `call`, `ret`, `subi`,
+//! `neg`, `not`. Register aliases: `zero` (r0), `sp` (r30), `ra` (r31).
+
+use crate::encode::encode;
+use crate::instr::{AluOp, BranchCond, FpCmpCond, FpuOp, Instr, MemWidth, MulOp};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// An assembly error with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// How an emitted word gets fixed up once labels are known.
+#[derive(Debug, Clone)]
+enum Patch {
+    /// Branch/`jal` offset = label − own address.
+    Rel(String),
+    /// `lui` upper bits of a label address.
+    AbsHi(String),
+    /// `ori` lower bits of a label address.
+    AbsLo(String),
+}
+
+#[derive(Debug, Clone)]
+struct Emitted {
+    instr: Option<Instr>, // None = raw data word
+    raw: u32,
+    patch: Option<Patch>,
+    line: usize,
+}
+
+/// Assembles `src` into a [`Program`] loaded at `default_base` (overridden
+/// by a `.org` directive).
+///
+/// # Errors
+/// Returns the first [`AsmError`] encountered.
+pub fn assemble(src: &str, default_base: u32) -> Result<Program, AsmError> {
+    let mut base = default_base;
+    let mut entry_spec: Option<(String, usize)> = None;
+    let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut items: Vec<Emitted> = Vec::new();
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw_line;
+        if let Some(p) = text.find([';', '#']) {
+            text = &text[..p];
+        }
+        let mut text = text.trim();
+
+        // Labels (possibly several, possibly followed by a statement).
+        while let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !is_ident(name) {
+                return err(line, format!("invalid label `{name}`"));
+            }
+            let addr = base.wrapping_add(4 * items.len() as u32);
+            if symbols.insert(name.to_owned(), addr).is_some() {
+                return err(line, format!("duplicate label `{name}`"));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = text.strip_prefix('.') {
+            // Directive.
+            let (dir, args) = split_first_word(rest);
+            match dir {
+                "org" => {
+                    if !items.is_empty() {
+                        return err(line, ".org must precede all code");
+                    }
+                    base = parse_u32(args.trim(), line)?;
+                    // Re-point labels already defined at the old base (only
+                    // possible when labels precede .org with no code, so
+                    // they all sit at offset zero).
+                    for v in symbols.values_mut() {
+                        *v = base;
+                    }
+                }
+                "entry" => entry_spec = Some((args.trim().to_owned(), line)),
+                "word" => {
+                    let v = parse_u32(args.trim(), line)?;
+                    items.push(Emitted {
+                        instr: None,
+                        raw: v,
+                        patch: None,
+                        line,
+                    });
+                }
+                "space" => {
+                    let n = parse_u32(args.trim(), line)?;
+                    if n % 4 != 0 {
+                        return err(line, ".space size must be a multiple of 4");
+                    }
+                    for _ in 0..n / 4 {
+                        items.push(Emitted {
+                            instr: None,
+                            raw: 0,
+                            patch: None,
+                            line,
+                        });
+                    }
+                }
+                other => return err(line, format!("unknown directive `.{other}`")),
+            }
+            continue;
+        }
+
+        parse_statement(text, line, &mut items)?;
+    }
+
+    // Pass 2: resolve patches and encode.
+    let mut words = Vec::with_capacity(items.len());
+    for (k, item) in items.iter().enumerate() {
+        let addr = base.wrapping_add(4 * k as u32);
+        let word = match &item.instr {
+            None => item.raw,
+            Some(instr) => {
+                let mut instr = *instr;
+                if let Some(patch) = &item.patch {
+                    let resolve = |name: &str| -> Result<u32, AsmError> {
+                        symbols.get(name).copied().ok_or_else(|| AsmError {
+                            line: item.line,
+                            message: format!("undefined label `{name}`"),
+                        })
+                    };
+                    match patch {
+                        Patch::Rel(name) => {
+                            let target = resolve(name)?;
+                            let delta = target.wrapping_sub(addr) as i32;
+                            match &mut instr {
+                                Instr::Branch { offset, .. } | Instr::Jal { offset, .. } => {
+                                    *offset = delta;
+                                }
+                                _ => unreachable!("Rel patch on non-control instr"),
+                            }
+                        }
+                        Patch::AbsHi(name) => {
+                            let target = resolve(name)?;
+                            if let Instr::Lui { imm, .. } = &mut instr {
+                                *imm = target >> 13;
+                            }
+                        }
+                        Patch::AbsLo(name) => {
+                            let target = resolve(name)?;
+                            if let Instr::AluImm { imm, .. } = &mut instr {
+                                *imm = (target & 0x1FFF) as i32;
+                            }
+                        }
+                    }
+                }
+                encode(instr).map_err(|e| AsmError {
+                    line: item.line,
+                    message: e.to_string(),
+                })?
+            }
+        };
+        words.push(word);
+    }
+
+    let entry = match entry_spec {
+        None => base,
+        Some((spec, line)) => {
+            if let Some(&addr) = symbols.get(&spec) {
+                addr
+            } else {
+                parse_u32(&spec, line)?
+            }
+        }
+    };
+
+    Ok(Program {
+        base,
+        words,
+        entry,
+        symbols,
+    })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    let s = s.trim();
+    match s.find(char::is_whitespace) {
+        Some(p) => (&s[..p], &s[p..]),
+        None => (s, ""),
+    }
+}
+
+fn parse_u32(s: &str, line: usize) -> Result<u32, AsmError> {
+    parse_i64(s, line).and_then(|v| {
+        if (0..=u32::MAX as i64).contains(&v) || (i32::MIN as i64..0).contains(&v) {
+            Ok(v as u32)
+        } else {
+            err(line, format!("value {v} out of 32-bit range"))
+        }
+    })
+}
+
+fn parse_i64(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("invalid number `{s}`")),
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    let s = s.trim();
+    match s {
+        "zero" => return Ok(Reg(0)),
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::LINK),
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix('r') {
+        if let Ok(n) = n.parse::<u8>() {
+            if n < 32 {
+                return Ok(Reg(n));
+            }
+        }
+    }
+    err(line, format!("invalid register `{s}`"))
+}
+
+fn parse_freg(s: &str, line: usize) -> Result<FReg, AsmError> {
+    let s = s.trim();
+    if let Some(n) = s.strip_prefix('f') {
+        if let Ok(n) = n.parse::<u8>() {
+            if n < 32 {
+                return Ok(FReg(n));
+            }
+        }
+    }
+    err(line, format!("invalid fp register `{s}`"))
+}
+
+/// Parses `offset(base)`.
+fn parse_mem_operand(s: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let s = s.trim();
+    let open = s
+        .find('(')
+        .ok_or_else(|| AsmError {
+            line,
+            message: format!("expected `offset(reg)`, got `{s}`"),
+        })?;
+    if !s.ends_with(')') {
+        return err(line, format!("expected `offset(reg)`, got `{s}`"));
+    }
+    let off_str = s[..open].trim();
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_i64(off_str, line)? as i32
+    };
+    let reg = parse_reg(&s[open + 1..s.len() - 1], line)?;
+    Ok((offset, reg))
+}
+
+/// A branch/jump target: a label or a numeric relative byte offset.
+fn parse_target(s: &str, line: usize) -> Result<(i32, Option<Patch>), AsmError> {
+    let s = s.trim();
+    if is_ident(s) {
+        Ok((0, Some(Patch::Rel(s.to_owned()))))
+    } else {
+        Ok((parse_i64(s, line)? as i32, None))
+    }
+}
+
+fn push(items: &mut Vec<Emitted>, instr: Instr, patch: Option<Patch>, line: usize) {
+    items.push(Emitted {
+        instr: Some(instr),
+        raw: 0,
+        patch,
+        line,
+    });
+}
+
+fn parse_statement(text: &str, line: usize, items: &mut Vec<Emitted>) -> Result<(), AsmError> {
+    let (mn, rest) = split_first_word(text);
+    let args: Vec<&str> = if rest.trim().is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let argc = args.len();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if argc == n {
+            Ok(())
+        } else {
+            err(line, format!("`{mn}` expects {n} operand(s), got {argc}"))
+        }
+    };
+
+    let alu_ops: &[(&str, AluOp)] = &[
+        ("add", AluOp::Add),
+        ("sub", AluOp::Sub),
+        ("and", AluOp::And),
+        ("or", AluOp::Or),
+        ("xor", AluOp::Xor),
+        ("sll", AluOp::Sll),
+        ("srl", AluOp::Srl),
+        ("sra", AluOp::Sra),
+        ("slt", AluOp::Slt),
+        ("sltu", AluOp::Sltu),
+    ];
+
+    // Register-register ALU.
+    if let Some(&(_, op)) = alu_ops.iter().find(|&&(m, _)| m == mn) {
+        need(3)?;
+        push(
+            items,
+            Instr::Alu {
+                op,
+                rd: parse_reg(args[0], line)?,
+                rs1: parse_reg(args[1], line)?,
+                rs2: parse_reg(args[2], line)?,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+    // Immediate ALU (`addi`, ..., but also `sltui`). `subi` is a pseudo
+    // handled below (there is no Sub-immediate encoding).
+    if let Some(stem) = mn.strip_suffix('i').filter(|_| mn != "subi") {
+        if let Some(&(_, op)) = alu_ops.iter().find(|&&(m, _)| m == stem) {
+            need(3)?;
+            push(
+                items,
+                Instr::AluImm {
+                    op,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    imm: parse_i64(args[2], line)? as i32,
+                },
+                None,
+                line,
+            );
+            return Ok(());
+        }
+    }
+
+    let mul_ops: &[(&str, MulOp)] = &[
+        ("mul", MulOp::Mul),
+        ("mulh", MulOp::Mulh),
+        ("div", MulOp::Div),
+        ("rem", MulOp::Rem),
+    ];
+    if let Some(&(_, op)) = mul_ops.iter().find(|&&(m, _)| m == mn) {
+        need(3)?;
+        push(
+            items,
+            Instr::Mul {
+                op,
+                rd: parse_reg(args[0], line)?,
+                rs1: parse_reg(args[1], line)?,
+                rs2: parse_reg(args[2], line)?,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+
+    let loads: &[(&str, MemWidth, bool)] = &[
+        ("lw", MemWidth::Word, false),
+        ("lh", MemWidth::Half, false),
+        ("lhu", MemWidth::Half, true),
+        ("lb", MemWidth::Byte, false),
+        ("lbu", MemWidth::Byte, true),
+    ];
+    if let Some(&(_, width, unsigned)) = loads.iter().find(|&&(m, _, _)| m == mn) {
+        need(2)?;
+        let (offset, rs1) = parse_mem_operand(args[1], line)?;
+        push(
+            items,
+            Instr::Load {
+                width,
+                unsigned,
+                rd: parse_reg(args[0], line)?,
+                rs1,
+                offset,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+    let stores: &[(&str, MemWidth)] = &[
+        ("sw", MemWidth::Word),
+        ("sh", MemWidth::Half),
+        ("sb", MemWidth::Byte),
+    ];
+    if let Some(&(_, width)) = stores.iter().find(|&&(m, _)| m == mn) {
+        need(2)?;
+        let (offset, rs1) = parse_mem_operand(args[1], line)?;
+        push(
+            items,
+            Instr::Store {
+                width,
+                rs2: parse_reg(args[0], line)?,
+                rs1,
+                offset,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+
+    let branches: &[(&str, BranchCond)] = &[
+        ("beq", BranchCond::Eq),
+        ("bne", BranchCond::Ne),
+        ("blt", BranchCond::Lt),
+        ("bge", BranchCond::Ge),
+        ("bltu", BranchCond::Ltu),
+        ("bgeu", BranchCond::Geu),
+    ];
+    if let Some(&(_, cond)) = branches.iter().find(|&&(m, _)| m == mn) {
+        need(3)?;
+        let (offset, patch) = parse_target(args[2], line)?;
+        push(
+            items,
+            Instr::Branch {
+                cond,
+                rs1: parse_reg(args[0], line)?,
+                rs2: parse_reg(args[1], line)?,
+                offset,
+            },
+            patch,
+            line,
+        );
+        return Ok(());
+    }
+
+    let fpu_ops: &[(&str, FpuOp)] = &[
+        ("fadd", FpuOp::FAdd),
+        ("fsub", FpuOp::FSub),
+        ("fmul", FpuOp::FMul),
+        ("fdiv", FpuOp::FDiv),
+    ];
+    if let Some(&(_, op)) = fpu_ops.iter().find(|&&(m, _)| m == mn) {
+        need(3)?;
+        push(
+            items,
+            Instr::Fpu {
+                op,
+                fd: parse_freg(args[0], line)?,
+                fs1: parse_freg(args[1], line)?,
+                fs2: parse_freg(args[2], line)?,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+    let fcmps: &[(&str, FpCmpCond)] = &[
+        ("feq", FpCmpCond::Eq),
+        ("flt", FpCmpCond::Lt),
+        ("fle", FpCmpCond::Le),
+    ];
+    if let Some(&(_, cond)) = fcmps.iter().find(|&&(m, _)| m == mn) {
+        need(3)?;
+        push(
+            items,
+            Instr::FpCmp {
+                cond,
+                rd: parse_reg(args[0], line)?,
+                fs1: parse_freg(args[1], line)?,
+                fs2: parse_freg(args[2], line)?,
+            },
+            None,
+            line,
+        );
+        return Ok(());
+    }
+
+    match mn {
+        "lui" => {
+            need(2)?;
+            push(
+                items,
+                Instr::Lui {
+                    rd: parse_reg(args[0], line)?,
+                    imm: parse_u32(args[1], line)?,
+                },
+                None,
+                line,
+            );
+        }
+        "jal" => {
+            let (rd, target) = match argc {
+                1 => (Reg::LINK, args[0]),
+                2 => (parse_reg(args[0], line)?, args[1]),
+                _ => return err(line, "`jal` expects 1 or 2 operands"),
+            };
+            let (offset, patch) = parse_target(target, line)?;
+            push(items, Instr::Jal { rd, offset }, patch, line);
+        }
+        "jalr" => {
+            let (rd, mem) = match argc {
+                1 => (Reg::LINK, args[0]),
+                2 => (parse_reg(args[0], line)?, args[1]),
+                _ => return err(line, "`jalr` expects 1 or 2 operands"),
+            };
+            let (offset, rs1) = if mem.contains('(') {
+                parse_mem_operand(mem, line)?
+            } else {
+                (0, parse_reg(mem, line)?)
+            };
+            push(items, Instr::Jalr { rd, rs1, offset }, None, line);
+        }
+        "j" => {
+            need(1)?;
+            let (offset, patch) = parse_target(args[0], line)?;
+            push(items, Instr::Jal { rd: Reg(0), offset }, patch, line);
+        }
+        "call" => {
+            need(1)?;
+            let (offset, patch) = parse_target(args[0], line)?;
+            push(items, Instr::Jal { rd: Reg::LINK, offset }, patch, line);
+        }
+        "ret" => {
+            need(0)?;
+            push(
+                items,
+                Instr::Jalr {
+                    rd: Reg(0),
+                    rs1: Reg::LINK,
+                    offset: 0,
+                },
+                None,
+                line,
+            );
+        }
+        "cvtsw" => {
+            need(2)?;
+            push(
+                items,
+                Instr::CvtSW {
+                    fd: parse_freg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                },
+                None,
+                line,
+            );
+        }
+        "cvtws" => {
+            need(2)?;
+            push(
+                items,
+                Instr::CvtWS {
+                    rd: parse_reg(args[0], line)?,
+                    fs1: parse_freg(args[1], line)?,
+                },
+                None,
+                line,
+            );
+        }
+        "flw" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem_operand(args[1], line)?;
+            push(
+                items,
+                Instr::FpLoad {
+                    fd: parse_freg(args[0], line)?,
+                    rs1,
+                    offset,
+                },
+                None,
+                line,
+            );
+        }
+        "fsw" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem_operand(args[1], line)?;
+            push(
+                items,
+                Instr::FpStore {
+                    fs2: parse_freg(args[0], line)?,
+                    rs1,
+                    offset,
+                },
+                None,
+                line,
+            );
+        }
+        "halt" => {
+            need(0)?;
+            push(items, Instr::Halt, None, line);
+        }
+        "syscall" => {
+            need(0)?;
+            push(items, Instr::Syscall, None, line);
+        }
+        // ---- pseudo-instructions ----
+        "nop" => {
+            need(0)?;
+            push(items, Instr::NOP, None, line);
+        }
+        "mv" => {
+            need(2)?;
+            push(
+                items,
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    imm: 0,
+                },
+                None,
+                line,
+            );
+        }
+        "subi" => {
+            need(3)?;
+            push(
+                items,
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    imm: -(parse_i64(args[2], line)? as i32),
+                },
+                None,
+                line,
+            );
+        }
+        "neg" => {
+            need(2)?;
+            push(
+                items,
+                Instr::Alu {
+                    op: AluOp::Sub,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: Reg(0),
+                    rs2: parse_reg(args[1], line)?,
+                },
+                None,
+                line,
+            );
+        }
+        "not" => {
+            need(2)?;
+            push(
+                items,
+                Instr::AluImm {
+                    op: AluOp::Xor,
+                    rd: parse_reg(args[0], line)?,
+                    rs1: parse_reg(args[1], line)?,
+                    imm: -1,
+                },
+                None,
+                line,
+            );
+        }
+        "li" => {
+            need(2)?;
+            let rd = parse_reg(args[0], line)?;
+            let v = parse_i64(args[1], line)?;
+            if !(i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+                return err(line, format!("`li` value {v} out of 32-bit range"));
+            }
+            let v = v as u32;
+            let signed = v as i32;
+            if (-8192..8192).contains(&signed) {
+                push(
+                    items,
+                    Instr::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: Reg(0),
+                        imm: signed,
+                    },
+                    None,
+                    line,
+                );
+            } else {
+                push(
+                    items,
+                    Instr::Lui { rd, imm: v >> 13 },
+                    None,
+                    line,
+                );
+                push(
+                    items,
+                    Instr::AluImm {
+                        op: AluOp::Or,
+                        rd,
+                        rs1: rd,
+                        imm: (v & 0x1FFF) as i32,
+                    },
+                    None,
+                    line,
+                );
+            }
+        }
+        "la" => {
+            need(2)?;
+            let rd = parse_reg(args[0], line)?;
+            let label = args[1].trim();
+            if !is_ident(label) {
+                return err(line, format!("`la` expects a label, got `{label}`"));
+            }
+            push(
+                items,
+                Instr::Lui { rd, imm: 0 },
+                Some(Patch::AbsHi(label.to_owned())),
+                line,
+            );
+            push(
+                items,
+                Instr::AluImm {
+                    op: AluOp::Or,
+                    rd,
+                    rs1: rd,
+                    imm: 0,
+                },
+                Some(Patch::AbsLo(label.to_owned())),
+                line,
+            );
+        }
+        other => return err(line, format!("unknown mnemonic `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::decode;
+
+    #[test]
+    fn assembles_loop_with_labels() {
+        let src = r"
+            .org 0x1000
+            .entry main
+        main:
+            li   r1, 3
+        loop:
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+        ";
+        let p = assemble(src, 0).unwrap();
+        assert_eq!(p.base, 0x1000);
+        assert_eq!(p.entry, 0x1000);
+        assert_eq!(p.symbol("loop"), Some(0x1004));
+        assert_eq!(p.words.len(), 4);
+        let bne = decode(p.words[2]).unwrap();
+        assert_eq!(
+            bne,
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg(1),
+                rs2: Reg(0),
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn li_expands_by_size() {
+        let p = assemble("li r1, 100\nli r2, 100000\n", 0).unwrap();
+        assert_eq!(p.words.len(), 3);
+        assert_eq!(
+            decode(p.words[0]).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 100
+            }
+        );
+        assert_eq!(
+            decode(p.words[1]).unwrap(),
+            Instr::Lui {
+                rd: Reg(2),
+                imm: 100000 >> 13
+            }
+        );
+        assert_eq!(
+            decode(p.words[2]).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: Reg(2),
+                rs1: Reg(2),
+                imm: (100000 & 0x1FFF) as i32
+            }
+        );
+    }
+
+    #[test]
+    fn li_negative_small() {
+        let p = assemble("li r1, -5", 0).unwrap();
+        assert_eq!(
+            decode(p.words[0]).unwrap(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: -5
+            }
+        );
+    }
+
+    #[test]
+    fn la_resolves_forward_data_labels() {
+        let src = "
+            la r1, data
+            halt
+        data:
+            .word 0xCAFE
+        ";
+        let p = assemble(src, 0x2000).unwrap();
+        let addr = p.symbol("data").unwrap();
+        assert_eq!(addr, 0x200C);
+        let lui = decode(p.words[0]).unwrap();
+        let ori = decode(p.words[1]).unwrap();
+        assert_eq!(lui, Instr::Lui { rd: Reg(1), imm: addr >> 13 });
+        assert_eq!(
+            ori,
+            Instr::AluImm {
+                op: AluOp::Or,
+                rd: Reg(1),
+                rs1: Reg(1),
+                imm: (addr & 0x1FFF) as i32
+            }
+        );
+        assert_eq!(p.words[3], 0xCAFE);
+    }
+
+    #[test]
+    fn space_emits_zero_words() {
+        let p = assemble(".space 8\n.word 1\n", 0).unwrap();
+        assert_eq!(p.words, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn register_aliases() {
+        let p = assemble("add sp, ra, zero", 0).unwrap();
+        assert_eq!(
+            decode(p.words[0]).unwrap(),
+            Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::SP,
+                rs1: Reg::LINK,
+                rs2: Reg(0)
+            }
+        );
+    }
+
+    #[test]
+    fn pseudos_expand() {
+        let p = assemble("nop\nmv r1, r2\nsubi r3, r4, 5\nneg r5, r6\nnot r7, r8\nret\nj 8\ncall 8\n", 0)
+            .unwrap();
+        assert_eq!(p.words.len(), 8);
+        assert_eq!(
+            decode(p.words[5]).unwrap(),
+            Instr::Jalr {
+                rd: Reg(0),
+                rs1: Reg::LINK,
+                offset: 0
+            }
+        );
+        assert_eq!(decode(p.words[6]).unwrap(), Instr::Jal { rd: Reg(0), offset: 8 });
+        assert_eq!(
+            decode(p.words[7]).unwrap(),
+            Instr::Jal {
+                rd: Reg::LINK,
+                offset: 8
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1, r2\n", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = assemble("addi r1, r1\n", 0).unwrap_err();
+        assert!(e.message.contains("expects 3"));
+        let e = assemble("beq r1, r0, nowhere\n", 0).unwrap_err();
+        assert!(e.message.contains("undefined label"));
+        let e = assemble("lw r1, r2\n", 0).unwrap_err();
+        assert!(e.message.contains("offset(reg)"));
+        let e = assemble("x:\nx:\n", 0).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\n  # note\nnop ; trailing\n", 0).unwrap();
+        assert_eq!(p.words.len(), 1);
+    }
+
+    #[test]
+    fn fp_instructions_assemble() {
+        let src = "fadd f1, f2, f3\nflt r1, f2, f3\ncvtsw f1, r2\ncvtws r3, f4\nflw f5, 4(r6)\nfsw f7, -4(r8)\n";
+        let p = assemble(src, 0).unwrap();
+        assert_eq!(p.words.len(), 6);
+        assert_eq!(
+            decode(p.words[0]).unwrap(),
+            Instr::Fpu {
+                op: FpuOp::FAdd,
+                fd: FReg(1),
+                fs1: FReg(2),
+                fs2: FReg(3)
+            }
+        );
+        assert_eq!(
+            decode(p.words[4]).unwrap(),
+            Instr::FpLoad {
+                fd: FReg(5),
+                rs1: Reg(6),
+                offset: 4
+            }
+        );
+    }
+}

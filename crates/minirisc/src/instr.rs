@@ -1,0 +1,741 @@
+//! The MiniRISC-32 instruction set.
+//!
+//! A compact 32-bit load/store ISA designed as the substrate for the OSM
+//! case studies: it has every instruction *class* whose timing behaviour the
+//! paper's evaluation exercises — single-cycle integer ALU, multi-cycle
+//! multiply/divide, loads/stores (cache-dependent latency), conditional
+//! branches and jumps (control hazards), floating-point operations (distinct
+//! function units / reservation stations on the superscalar model) and
+//! serializing system operations.
+
+use crate::reg::{ArchReg, FReg, Reg};
+use std::fmt;
+
+/// Integer ALU operation (register or immediate form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction (register form only).
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left logical (by low 5 bits).
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Set if less than (signed).
+    Slt,
+    /// Set if less than (unsigned).
+    Sltu,
+}
+
+impl AluOp {
+    /// All ALU operations, in opcode order.
+    pub const ALL: [AluOp; 10] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Slt,
+        AluOp::Sltu,
+    ];
+
+    /// Opcode sub-index.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Mnemonic stem (`add`, `sub`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        }
+    }
+}
+
+/// Multi-cycle integer operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MulOp {
+    /// Low 32 bits of the signed product.
+    Mul,
+    /// High 32 bits of the signed 64-bit product.
+    Mulh,
+    /// Signed division (division by zero yields all ones).
+    Div,
+    /// Signed remainder (remainder by zero yields the dividend).
+    Rem,
+}
+
+impl MulOp {
+    /// All multiplier-class operations, in opcode order.
+    pub const ALL: [MulOp; 4] = [MulOp::Mul, MulOp::Mulh, MulOp::Div, MulOp::Rem];
+
+    /// Opcode sub-index.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            MulOp::Mul => "mul",
+            MulOp::Mulh => "mulh",
+            MulOp::Div => "div",
+            MulOp::Rem => "rem",
+        }
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// Branch condition over two GPRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than, signed.
+    Lt,
+    /// Greater or equal, signed.
+    Ge,
+    /// Less than, unsigned.
+    Ltu,
+    /// Greater or equal, unsigned.
+    Geu,
+}
+
+impl BranchCond {
+    /// All branch conditions, in opcode order.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ge,
+        BranchCond::Ltu,
+        BranchCond::Geu,
+    ];
+
+    /// Opcode sub-index.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Geu => "bgeu",
+        }
+    }
+
+    /// Evaluates the condition.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Geu => a >= b,
+        }
+    }
+}
+
+/// Floating-point arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpuOp {
+    /// Addition.
+    FAdd,
+    /// Subtraction.
+    FSub,
+    /// Multiplication.
+    FMul,
+    /// Division.
+    FDiv,
+}
+
+impl FpuOp {
+    /// All FPU operations, in opcode order.
+    pub const ALL: [FpuOp; 4] = [FpuOp::FAdd, FpuOp::FSub, FpuOp::FMul, FpuOp::FDiv];
+
+    /// Opcode sub-index.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&o| o == self).unwrap() as u8
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpuOp::FAdd => "fadd",
+            FpuOp::FSub => "fsub",
+            FpuOp::FMul => "fmul",
+            FpuOp::FDiv => "fdiv",
+        }
+    }
+}
+
+/// Floating-point comparison (result written to a GPR as 0/1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmpCond {
+    /// Equal.
+    Eq,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+}
+
+impl FpCmpCond {
+    /// All FP comparison conditions, in opcode order.
+    pub const ALL: [FpCmpCond; 3] = [FpCmpCond::Eq, FpCmpCond::Lt, FpCmpCond::Le];
+
+    /// Opcode sub-index.
+    pub fn code(self) -> u8 {
+        Self::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    /// Mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpCmpCond::Eq => "feq",
+            FpCmpCond::Lt => "flt",
+            FpCmpCond::Le => "fle",
+        }
+    }
+
+    /// Evaluates the condition.
+    pub fn eval(self, a: f32, b: f32) -> bool {
+        match self {
+            FpCmpCond::Eq => a == b,
+            FpCmpCond::Lt => a < b,
+            FpCmpCond::Le => a <= b,
+        }
+    }
+}
+
+/// One MiniRISC-32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Stop the machine.
+    Halt,
+    /// Environment call: number in `r10`, argument in `r11`.
+    Syscall,
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation (no `SubI`; use a negative `AddI`).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Sign-extended 14-bit immediate.
+        imm: i32,
+    },
+    /// Load upper immediate: `rd = imm << 13`.
+    Lui {
+        /// Destination.
+        rd: Reg,
+        /// 19-bit immediate.
+        imm: u32,
+    },
+    /// Multiplier-class operation (multi-cycle).
+    Mul {
+        /// Operation.
+        op: MulOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Load from memory: `rd = mem[rs1 + offset]`.
+    Load {
+        /// Access width.
+        width: MemWidth,
+        /// Zero- (true) or sign-extend (false) sub-word loads.
+        unsigned: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Store to memory: `mem[rs1 + offset] = rs2`.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Value register.
+        rs2: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Conditional branch; `offset` is in bytes relative to this instruction.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+        /// Byte offset (multiple of 4).
+        offset: i32,
+    },
+    /// Jump and link; `offset` in bytes relative to this instruction.
+    Jal {
+        /// Link destination (`r0` for a plain jump).
+        rd: Reg,
+        /// Byte offset (multiple of 4).
+        offset: i32,
+    },
+    /// Indirect jump and link: target `rs1 + offset`.
+    Jalr {
+        /// Link destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Floating-point arithmetic.
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination.
+        fd: FReg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// Floating-point comparison into a GPR.
+    FpCmp {
+        /// Condition.
+        cond: FpCmpCond,
+        /// Destination GPR (1 if true, else 0).
+        rd: Reg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// Convert signed integer to float: `fd = (f32)rs1`.
+    CvtSW {
+        /// Destination FPR.
+        fd: FReg,
+        /// Source GPR.
+        rs1: Reg,
+    },
+    /// Convert float to signed integer (truncating): `rd = (i32)fs1`.
+    CvtWS {
+        /// Destination GPR.
+        rd: Reg,
+        /// Source FPR.
+        fs1: FReg,
+    },
+    /// FP load: `fd = mem[rs1 + offset]` (word).
+    FpLoad {
+        /// Destination FPR.
+        fd: FReg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// FP store: `mem[rs1 + offset] = fs2` (word).
+    FpStore {
+        /// Value FPR.
+        fs2: FReg,
+        /// Base register.
+        rs1: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+}
+
+/// Coarse instruction class used by micro-architecture models to steer
+/// operations to function units and pick latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstrClass {
+    /// Single-cycle integer ALU.
+    IntAlu,
+    /// Multi-cycle multiply.
+    IntMul,
+    /// Multi-cycle divide/remainder.
+    IntDiv,
+    /// Memory load (integer or FP).
+    Load,
+    /// Memory store (integer or FP).
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// FP add/sub/compare/convert.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// Serializing system operation.
+    System,
+}
+
+impl Instr {
+    /// A canonical no-op (`add r0, r0, r0`).
+    pub const NOP: Instr = Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(0),
+        rs1: Reg(0),
+        rs2: Reg(0),
+    };
+
+    /// The instruction's class.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Halt | Instr::Syscall => InstrClass::System,
+            Instr::Alu { .. } | Instr::AluImm { .. } | Instr::Lui { .. } => InstrClass::IntAlu,
+            Instr::Mul { op, .. } => match op {
+                MulOp::Mul | MulOp::Mulh => InstrClass::IntMul,
+                MulOp::Div | MulOp::Rem => InstrClass::IntDiv,
+            },
+            Instr::Load { .. } | Instr::FpLoad { .. } => InstrClass::Load,
+            Instr::Store { .. } | Instr::FpStore { .. } => InstrClass::Store,
+            Instr::Branch { .. } => InstrClass::Branch,
+            Instr::Jal { .. } | Instr::Jalr { .. } => InstrClass::Jump,
+            Instr::Fpu { op, .. } => match op {
+                FpuOp::FAdd | FpuOp::FSub => InstrClass::FpAdd,
+                FpuOp::FMul => InstrClass::FpMul,
+                FpuOp::FDiv => InstrClass::FpDiv,
+            },
+            Instr::FpCmp { .. } | Instr::CvtSW { .. } | Instr::CvtWS { .. } => InstrClass::FpAdd,
+        }
+    }
+
+    /// The destination register, if the instruction writes one (writes to
+    /// `r0` are reported as `None` — they create no dependence).
+    pub fn dest(&self) -> Option<ArchReg> {
+        let d = match *self {
+            Instr::Alu { rd, .. }
+            | Instr::AluImm { rd, .. }
+            | Instr::Lui { rd, .. }
+            | Instr::Mul { rd, .. }
+            | Instr::Load { rd, .. }
+            | Instr::Jal { rd, .. }
+            | Instr::Jalr { rd, .. }
+            | Instr::FpCmp { rd, .. }
+            | Instr::CvtWS { rd, .. } => ArchReg::Gpr(rd),
+            Instr::Fpu { fd, .. } | Instr::CvtSW { fd, .. } | Instr::FpLoad { fd, .. } => {
+                ArchReg::Fpr(fd)
+            }
+            Instr::Halt
+            | Instr::Syscall
+            | Instr::Store { .. }
+            | Instr::FpStore { .. }
+            | Instr::Branch { .. } => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The source registers read by the instruction (`r0` excluded: reading
+    /// the hardwired zero is never a dependence).
+    pub fn sources(&self) -> Vec<ArchReg> {
+        let mut v: Vec<ArchReg> = Vec::with_capacity(2);
+        let mut push = |r: ArchReg| {
+            if !r.is_zero() && !v.contains(&r) {
+                v.push(r);
+            }
+        };
+        match *self {
+            Instr::Alu { rs1, rs2, .. } | Instr::Mul { rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+            }
+            Instr::AluImm { rs1, .. }
+            | Instr::Load { rs1, .. }
+            | Instr::Jalr { rs1, .. }
+            | Instr::CvtSW { rs1, .. } => push(rs1.into()),
+            Instr::Store { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+            }
+            Instr::Fpu { fs1, fs2, .. } | Instr::FpCmp { fs1, fs2, .. } => {
+                push(fs1.into());
+                push(fs2.into());
+            }
+            Instr::CvtWS { fs1, .. } => push(fs1.into()),
+            Instr::FpLoad { rs1, .. } => push(rs1.into()),
+            Instr::FpStore { rs1, fs2, .. } => {
+                push(rs1.into());
+                push(fs2.into());
+            }
+            Instr::Halt | Instr::Syscall | Instr::Lui { .. } | Instr::Jal { .. } => {}
+        }
+        // Syscall reads its argument registers.
+        if matches!(self, Instr::Syscall) {
+            push(Reg(10).into());
+            push(Reg(11).into());
+        }
+        v
+    }
+
+    /// True for control-transfer instructions (branch targets must be
+    /// resolved before the next fetch proceeds down the wrong path).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.class(),
+            InstrClass::Branch | InstrClass::Jump | InstrClass::System
+        )
+    }
+
+    /// True for memory accesses.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.class(), InstrClass::Load | InstrClass::Store)
+    }
+}
+
+impl Default for Instr {
+    fn default() -> Self {
+        Instr::NOP
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Halt => write!(f, "halt"),
+            Instr::Syscall => write!(f, "syscall"),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{}i {rd}, {rs1}, {imm}", op.mnemonic())
+            }
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {imm}"),
+            Instr::Mul { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", op.mnemonic())
+            }
+            Instr::Load {
+                width,
+                unsigned,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let m = match (width, unsigned) {
+                    (MemWidth::Word, _) => "lw",
+                    (MemWidth::Half, false) => "lh",
+                    (MemWidth::Half, true) => "lhu",
+                    (MemWidth::Byte, false) => "lb",
+                    (MemWidth::Byte, true) => "lbu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
+                let m = match width {
+                    MemWidth::Word => "sw",
+                    MemWidth::Half => "sh",
+                    MemWidth::Byte => "sb",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => write!(f, "{} {rs1}, {rs2}, {offset}", cond.mnemonic()),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Fpu { op, fd, fs1, fs2 } => {
+                write!(f, "{} {fd}, {fs1}, {fs2}", op.mnemonic())
+            }
+            Instr::FpCmp {
+                cond,
+                rd,
+                fs1,
+                fs2,
+            } => write!(f, "{} {rd}, {fs1}, {fs2}", cond.mnemonic()),
+            Instr::CvtSW { fd, rs1 } => write!(f, "cvtsw {fd}, {rs1}"),
+            Instr::CvtWS { rd, fs1 } => write!(f, "cvtws {rd}, {fs1}"),
+            Instr::FpLoad { fd, rs1, offset } => write!(f, "flw {fd}, {offset}({rs1})"),
+            Instr::FpStore { fs2, rs1, offset } => write!(f, "fsw {fs2}, {offset}({rs1})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_assigned() {
+        assert_eq!(Instr::NOP.class(), InstrClass::IntAlu);
+        assert_eq!(
+            Instr::Mul {
+                op: MulOp::Div,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3)
+            }
+            .class(),
+            InstrClass::IntDiv
+        );
+        assert_eq!(Instr::Halt.class(), InstrClass::System);
+        assert_eq!(
+            Instr::Fpu {
+                op: FpuOp::FMul,
+                fd: FReg(0),
+                fs1: FReg(1),
+                fs2: FReg(2)
+            }
+            .class(),
+            InstrClass::FpMul
+        );
+    }
+
+    #[test]
+    fn dest_skips_r0() {
+        assert_eq!(Instr::NOP.dest(), None);
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(4),
+            rs1: Reg(0),
+            imm: 1,
+        };
+        assert_eq!(i.dest(), Some(ArchReg::Gpr(Reg(4))));
+    }
+
+    #[test]
+    fn sources_dedup_and_skip_r0() {
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(2),
+            rs2: Reg(2),
+        };
+        assert_eq!(i.sources(), vec![ArchReg::Gpr(Reg(2))]);
+        let i = Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg(1),
+            rs1: Reg(0),
+            imm: 3,
+        };
+        assert!(i.sources().is_empty());
+    }
+
+    #[test]
+    fn branch_eval() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Lt.eval(-1i32 as u32, 0));
+        assert!(!BranchCond::Ltu.eval(-1i32 as u32, 0));
+        assert!(BranchCond::Geu.eval(-1i32 as u32, 0));
+    }
+
+    #[test]
+    fn control_and_mem_predicates() {
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::Jal {
+            rd: Reg(0),
+            offset: 8
+        }
+        .is_control());
+        assert!(Instr::Load {
+            width: MemWidth::Word,
+            unsigned: false,
+            rd: Reg(1),
+            rs1: Reg(2),
+            offset: 0
+        }
+        .is_mem());
+        assert!(!Instr::NOP.is_mem());
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let i = Instr::Load {
+            width: MemWidth::Byte,
+            unsigned: true,
+            rd: Reg(3),
+            rs1: Reg(4),
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "lbu r3, -8(r4)");
+        assert_eq!(Instr::NOP.to_string(), "add r0, r0, r0");
+    }
+
+    #[test]
+    fn syscall_reads_arg_registers() {
+        let s = Instr::Syscall.sources();
+        assert!(s.contains(&ArchReg::Gpr(Reg(10))));
+        assert!(s.contains(&ArchReg::Gpr(Reg(11))));
+    }
+}

@@ -1,0 +1,333 @@
+//! The functional instruction-set simulator (ISS).
+//!
+//! The paper builds its micro-architecture models *on top of* existing ISSs
+//! (§5); this interpreted ISS plays that role for MiniRISC-32. It executes
+//! programs instruction-at-a-time with no timing, handles the syscall layer,
+//! and exposes per-step events so lock-step co-simulation (used to validate
+//! the micro-architecture models' functional behaviour) is possible.
+
+use crate::encode::{decode, DecodeError};
+use crate::exec::{execute, CpuState, Outcome};
+use crate::instr::Instr;
+use crate::mem::Memory;
+use crate::program::Program;
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// Syscall numbers (in `r10`; argument in `r11`).
+pub mod syscalls {
+    /// Terminate; exit code in `r11`.
+    pub const EXIT: u32 = 0;
+    /// Append the low byte of `r11` to the output stream.
+    pub const PUTCHAR: u32 = 1;
+    /// Append `r11` as decimal text to the output stream.
+    pub const PUTUINT: u32 = 2;
+}
+
+/// Errors during ISS execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssError {
+    /// The fetched word does not decode.
+    Decode {
+        /// Faulting PC.
+        pc: u32,
+        /// Underlying decode error.
+        cause: DecodeError,
+    },
+    /// Unknown syscall number.
+    BadSyscall {
+        /// Faulting PC.
+        pc: u32,
+        /// The number found in `r10`.
+        number: u32,
+    },
+    /// `run` hit its step budget before the program halted.
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for IssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssError::Decode { pc, cause } => write!(f, "at {pc:#010x}: {cause}"),
+            IssError::BadSyscall { pc, number } => {
+                write!(f, "at {pc:#010x}: unknown syscall {number}")
+            }
+            IssError::StepLimit { limit } => write!(f, "step limit {limit} exhausted"),
+        }
+    }
+}
+
+impl Error for IssError {}
+
+/// What one retired instruction did (for co-simulation and tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executed {
+    /// Address the instruction was fetched from.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// Control-transfer target if the instruction redirected fetch.
+    pub taken: Option<u32>,
+}
+
+/// The interpreted instruction-set simulator.
+#[derive(Debug, Clone)]
+pub struct Iss<M> {
+    /// Architectural state.
+    pub cpu: CpuState,
+    /// The memory (plain [`crate::SparseMemory`] or a timing hierarchy).
+    pub mem: M,
+    /// True once `halt` or an exit syscall retires.
+    pub halted: bool,
+    /// Exit code from the exit syscall (0 for `halt`).
+    pub exit_code: u32,
+    /// Retired instruction count.
+    pub retired: u64,
+    /// Bytes written through output syscalls.
+    pub output: Vec<u8>,
+}
+
+impl<M: Memory> Iss<M> {
+    /// Creates an ISS over `mem`, starting at `entry`.
+    pub fn new(mem: M, entry: u32) -> Self {
+        Iss {
+            cpu: CpuState::new(entry),
+            mem,
+            halted: false,
+            exit_code: 0,
+            retired: 0,
+            output: Vec::new(),
+        }
+    }
+
+    /// Convenience: load `program` into `mem` and start at its entry point.
+    pub fn with_program(mut mem: M, program: &Program) -> Self {
+        program.load_into(&mut mem);
+        Self::new(mem, program.entry)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    /// Returns [`IssError::Decode`] or [`IssError::BadSyscall`]. After an
+    /// error or halt, further `step`s return the halt state unchanged.
+    pub fn step(&mut self) -> Result<Executed, IssError> {
+        let pc = self.cpu.pc;
+        if self.halted {
+            return Ok(Executed {
+                pc,
+                instr: Instr::Halt,
+                taken: None,
+            });
+        }
+        let word = self.mem.read_u32(pc);
+        let instr = decode(word).map_err(|cause| IssError::Decode { pc, cause })?;
+        let outcome = execute(instr, &mut self.cpu, &mut self.mem);
+        let taken = match outcome {
+            Outcome::Next => {
+                self.cpu.pc = pc.wrapping_add(4);
+                None
+            }
+            Outcome::Taken(t) => {
+                self.cpu.pc = t;
+                Some(t)
+            }
+            Outcome::Halt => {
+                self.halted = true;
+                None
+            }
+            Outcome::Syscall => {
+                self.handle_syscall(pc)?;
+                if !self.halted {
+                    self.cpu.pc = pc.wrapping_add(4);
+                }
+                None
+            }
+        };
+        self.retired += 1;
+        Ok(Executed { pc, instr, taken })
+    }
+
+    fn handle_syscall(&mut self, pc: u32) -> Result<(), IssError> {
+        let number = self.cpu.gpr(Reg(10));
+        let arg = self.cpu.gpr(Reg(11));
+        match number {
+            syscalls::EXIT => {
+                self.halted = true;
+                self.exit_code = arg;
+            }
+            syscalls::PUTCHAR => self.output.push(arg as u8),
+            syscalls::PUTUINT => self.output.extend_from_slice(arg.to_string().as_bytes()),
+            other => return Err(IssError::BadSyscall { pc, number: other }),
+        }
+        Ok(())
+    }
+
+    /// Runs until halt or `max_steps`.
+    ///
+    /// # Errors
+    /// Returns [`IssError::StepLimit`] if the budget is exhausted, or any
+    /// step error.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, IssError> {
+        let start = self.retired;
+        while !self.halted {
+            if self.retired - start >= max_steps {
+                return Err(IssError::StepLimit { limit: max_steps });
+            }
+            self.step()?;
+        }
+        Ok(self.retired - start)
+    }
+
+    /// The output stream as UTF-8 (lossy).
+    pub fn output_string(&self) -> String {
+        String::from_utf8_lossy(&self.output).into_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::mem::SparseMemory;
+
+    fn run_asm(src: &str) -> Iss<SparseMemory> {
+        let p = assemble(src, 0x1000).expect("assembles");
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        iss.run(1_000_000).expect("runs");
+        iss
+    }
+
+    #[test]
+    fn computes_a_sum_loop() {
+        let iss = run_asm(
+            "
+            li r1, 10      ; n
+            li r2, 0       ; acc
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 0      ; exit
+            add r11, r2, r0
+            syscall
+        ",
+        );
+        assert!(iss.halted);
+        assert_eq!(iss.exit_code, 55);
+    }
+
+    #[test]
+    fn halt_stops_without_syscall() {
+        let iss = run_asm("li r1, 1\nhalt\n");
+        assert!(iss.halted);
+        assert_eq!(iss.exit_code, 0);
+        assert_eq!(iss.retired, 2);
+    }
+
+    #[test]
+    fn putchar_and_putuint_build_output() {
+        let iss = run_asm(
+            "
+            li r10, 1
+            li r11, 72    ; 'H'
+            syscall
+            li r10, 2
+            li r11, 42
+            syscall
+            halt
+        ",
+        );
+        assert_eq!(iss.output_string(), "H42");
+    }
+
+    #[test]
+    fn memory_program_store_load() {
+        let iss = run_asm(
+            "
+            la r1, buf
+            li r2, 1234
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+            li r10, 0
+            add r11, r3, r0
+            syscall
+        buf:
+            .space 4
+        ",
+        );
+        assert_eq!(iss.exit_code, 1234);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let iss = run_asm(
+            "
+            li r1, 20
+            call double
+            li r10, 0
+            add r11, r1, r0
+            syscall
+        double:
+            add r1, r1, r1
+            ret
+        ",
+        );
+        assert_eq!(iss.exit_code, 40);
+    }
+
+    #[test]
+    fn bad_syscall_reported() {
+        let p = assemble("li r10, 99\nsyscall\n", 0).unwrap();
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        let e = iss.run(100).unwrap_err();
+        assert!(matches!(e, IssError::BadSyscall { number: 99, .. }));
+    }
+
+    #[test]
+    fn decode_error_reported() {
+        let mut mem = SparseMemory::new();
+        mem.write_u32(0, 0xFF00_0000);
+        let mut iss = Iss::new(mem, 0);
+        let e = iss.step().unwrap_err();
+        assert!(matches!(e, IssError::Decode { pc: 0, .. }));
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let p = assemble("loop: j loop\n", 0).unwrap();
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        let e = iss.run(10).unwrap_err();
+        assert!(matches!(e, IssError::StepLimit { limit: 10 }));
+    }
+
+    #[test]
+    fn steps_after_halt_are_inert() {
+        let mut iss = run_asm("halt\n");
+        let retired = iss.retired;
+        iss.step().unwrap();
+        assert_eq!(iss.retired, retired);
+    }
+
+    #[test]
+    fn fp_program_runs() {
+        let iss = run_asm(
+            "
+            li r1, 3
+            li r2, 4
+            cvtsw f1, r1
+            cvtsw f2, r2
+            fmul f3, f1, f2
+            cvtws r3, f3
+            li r10, 0
+            add r11, r3, r0
+            syscall
+        ",
+        );
+        assert_eq!(iss.exit_code, 12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Byte-addressable memory abstraction and a sparse backing store.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A byte-addressable, little-endian memory.
+///
+/// Accessors take `&mut self` because timing memories (caches, TLBs) update
+/// internal state on reads. Multi-byte accessors have default compositions
+/// from bytes; implementors may override them for speed.
+pub trait Memory {
+    /// Reads one byte.
+    fn read_u8(&mut self, addr: u32) -> u8;
+
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u32, value: u8);
+
+    /// Reads a little-endian 16-bit value.
+    fn read_u16(&mut self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian 16-bit value.
+    fn write_u16(&mut self, addr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a little-endian 32-bit value.
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian 32-bit value.
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b);
+        }
+    }
+}
+
+impl<M: Memory + ?Sized> Memory for &mut M {
+    fn read_u8(&mut self, addr: u32) -> u8 {
+        (**self).read_u8(addr)
+    }
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        (**self).write_u8(addr, value)
+    }
+    fn read_u16(&mut self, addr: u32) -> u16 {
+        (**self).read_u16(addr)
+    }
+    fn write_u16(&mut self, addr: u32, value: u16) {
+        (**self).write_u16(addr, value)
+    }
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        (**self).read_u32(addr)
+    }
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        (**self).write_u32(addr, value)
+    }
+}
+
+/// Sparse page-table-backed memory: pages materialize on first touch,
+/// reading unwritten memory yields zero.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized pages (for footprint diagnostics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+}
+
+impl Memory for SparseMemory {
+    fn read_u8(&mut self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
+    }
+
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 4 {
+            let p = self.page_mut(addr);
+            p[off..off + 4].copy_from_slice(&value.to_le_bytes());
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let mut m = SparseMemory::new();
+        assert_eq!(m.read_u8(0x1234), 0);
+        assert_eq!(m.read_u32(0xFFFF_FFF0), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn byte_and_word_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0x1000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_BEEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF); // little-endian
+        assert_eq!(m.read_u8(0x1003), 0xDE);
+        m.write_u8(0x1001, 0x00);
+        assert_eq!(m.read_u32(0x1000), 0xDEAD_00EF);
+        assert_eq!(m.page_count(), 1);
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_u16(0x2002, 0xABCD);
+        assert_eq!(m.read_u16(0x2002), 0xABCD);
+        assert_eq!(m.read_u8(0x2002), 0xCD);
+    }
+
+    #[test]
+    fn cross_page_word_access() {
+        let mut m = SparseMemory::new();
+        let addr = (1 << PAGE_BITS) - 2; // straddles page 0 and 1
+        m.write_u32(addr, 0x0102_0304);
+        assert_eq!(m.read_u32(addr), 0x0102_0304);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn mut_ref_is_a_memory() {
+        fn takes_mem<M: Memory>(mut m: M) -> u32 {
+            m.write_u32(4, 7);
+            m.read_u32(4)
+        }
+        let mut m = SparseMemory::new();
+        assert_eq!(takes_mem(&mut m), 7);
+        assert_eq!(m.read_u32(4), 7);
+    }
+}

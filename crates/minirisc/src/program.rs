@@ -1,0 +1,109 @@
+//! Program images: a contiguous block of encoded words plus metadata.
+
+use crate::encode::{encode, EncodeError};
+use crate::instr::Instr;
+use crate::mem::Memory;
+use std::collections::BTreeMap;
+
+/// A loadable program image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Load address of the first word.
+    pub base: u32,
+    /// Encoded 32-bit words (instructions and data).
+    pub words: Vec<u32>,
+    /// Entry point.
+    pub entry: u32,
+    /// Label addresses (from the assembler).
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Builds a program from instructions, loaded and entered at `base`.
+    ///
+    /// # Errors
+    /// Returns [`EncodeError`] if an instruction cannot be encoded.
+    pub fn from_instrs(base: u32, instrs: &[Instr]) -> Result<Self, EncodeError> {
+        let words = instrs.iter().map(|&i| encode(i)).collect::<Result<_, _>>()?;
+        Ok(Program {
+            base,
+            words,
+            entry: base,
+            symbols: BTreeMap::new(),
+        })
+    }
+
+    /// Copies the image into `mem`.
+    pub fn load_into<M: Memory>(&self, mem: &mut M) {
+        for (k, &w) in self.words.iter().enumerate() {
+            mem.write_u32(self.base.wrapping_add(4 * k as u32), w);
+        }
+    }
+
+    /// First address past the image.
+    pub fn end(&self) -> u32 {
+        self.base.wrapping_add(4 * self.words.len() as u32)
+    }
+
+    /// Image size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        4 * self.words.len()
+    }
+
+    /// True if the image has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{AluOp, Instr};
+    use crate::mem::SparseMemory;
+    use crate::reg::Reg;
+
+    #[test]
+    fn from_instrs_and_load() {
+        let p = Program::from_instrs(
+            0x1000,
+            &[
+                Instr::AluImm {
+                    op: AluOp::Add,
+                    rd: Reg(1),
+                    rs1: Reg(0),
+                    imm: 42,
+                },
+                Instr::Halt,
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.entry, 0x1000);
+        assert_eq!(p.end(), 0x1008);
+        assert_eq!(p.len_bytes(), 8);
+        assert!(!p.is_empty());
+        let mut mem = SparseMemory::new();
+        p.load_into(&mut mem);
+        assert_eq!(mem.read_u32(0x1000), p.words[0]);
+        assert_eq!(mem.read_u32(0x1004), p.words[1]);
+    }
+
+    #[test]
+    fn encode_failure_propagates() {
+        let r = Program::from_instrs(
+            0,
+            &[Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs1: Reg(0),
+                imm: 1 << 20,
+            }],
+        );
+        assert!(r.is_err());
+    }
+}

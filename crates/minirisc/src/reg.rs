@@ -1,0 +1,124 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// A general-purpose register `r0`–`r31`. `r0` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired-zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional link register for `jal`.
+    pub const LINK: Reg = Reg(31);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(30);
+
+    /// Register index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for `r0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A floating-point register `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Register index as usize.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Either register file — used by decode metadata (hazard tracking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchReg {
+    /// General-purpose register.
+    Gpr(Reg),
+    /// Floating-point register.
+    Fpr(FReg),
+}
+
+impl ArchReg {
+    /// A flat index over both files: GPRs 0–31, FPRs 32–63. Useful as a
+    /// token identifier for a combined scoreboard.
+    pub fn flat_index(self) -> usize {
+        match self {
+            ArchReg::Gpr(r) => r.index(),
+            ArchReg::Fpr(r) => 32 + r.index(),
+        }
+    }
+
+    /// True if this names `r0` (which is never a real dependency).
+    pub fn is_zero(self) -> bool {
+        matches!(self, ArchReg::Gpr(r) if r.is_zero())
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchReg::Gpr(r) => r.fmt(f),
+            ArchReg::Fpr(r) => r.fmt(f),
+        }
+    }
+}
+
+impl From<Reg> for ArchReg {
+    fn from(r: Reg) -> Self {
+        ArchReg::Gpr(r)
+    }
+}
+
+impl From<FReg> for ArchReg {
+    fn from(r: FReg) -> Self {
+        ArchReg::Fpr(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg(5).to_string(), "r5");
+        assert_eq!(FReg(7).to_string(), "f7");
+        assert_eq!(ArchReg::from(Reg(1)).to_string(), "r1");
+        assert_eq!(ArchReg::from(FReg(2)).to_string(), "f2");
+    }
+
+    #[test]
+    fn flat_index_separates_files() {
+        assert_eq!(ArchReg::Gpr(Reg(3)).flat_index(), 3);
+        assert_eq!(ArchReg::Fpr(FReg(3)).flat_index(), 35);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(ArchReg::Gpr(Reg(0)).is_zero());
+        assert!(!ArchReg::Fpr(FReg(0)).is_zero());
+    }
+}

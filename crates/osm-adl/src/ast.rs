@@ -1,0 +1,124 @@
+//! Abstract syntax of an ADL machine description.
+
+use std::fmt;
+
+/// A token-manager kind, mapping onto the reusable `osm-core` pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerKind {
+    /// `exclusive(n)` — [`osm_core::ExclusivePool`] with `n` tokens.
+    Exclusive(usize),
+    /// `counting(n)` — [`osm_core::CountingPool`].
+    Counting(u64),
+    /// `counting(n, per_cycle)` — per-cycle bandwidth pool.
+    PerCycle(u64),
+    /// `scoreboard(n)` — [`osm_core::RegScoreboard`] over `n` registers.
+    Scoreboard(usize),
+    /// `reset` — [`osm_core::ResetManager`].
+    Reset,
+}
+
+impl fmt::Display for ManagerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerKind::Exclusive(n) => write!(f, "exclusive({n})"),
+            ManagerKind::Counting(n) => write!(f, "counting({n})"),
+            ManagerKind::PerCycle(n) => write!(f, "counting({n}, per_cycle)"),
+            ManagerKind::Scoreboard(n) => write!(f, "scoreboard({n})"),
+            ManagerKind::Reset => write!(f, "reset"),
+        }
+    }
+}
+
+/// A `manager NAME : KIND;` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManagerDecl {
+    /// Manager name.
+    pub name: String,
+    /// Its kind.
+    pub kind: ManagerKind,
+}
+
+/// A token identifier expression inside `[...]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdlIdent {
+    /// `[N]` — constant identifier.
+    Const(u64),
+    /// `[any]` — any available token.
+    Any,
+    /// `[held]` — any held token (release/discard).
+    Held,
+    /// `[slot N]` — dynamic identifier slot `N`.
+    Slot(u32),
+}
+
+impl fmt::Display for AdlIdent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdlIdent::Const(v) => write!(f, "{v}"),
+            AdlIdent::Any => write!(f, "any"),
+            AdlIdent::Held => write!(f, "held"),
+            AdlIdent::Slot(s) => write!(f, "slot {s}"),
+        }
+    }
+}
+
+/// One Λ primitive in an edge condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdlPrimitive {
+    /// `allocate mgr[ident];`
+    Allocate(String, AdlIdent),
+    /// `inquire mgr[ident];`
+    Inquire(String, AdlIdent),
+    /// `release mgr[ident];`
+    Release(String, AdlIdent),
+    /// `discard mgr[ident];`
+    Discard(String, AdlIdent),
+    /// `discard all;`
+    DiscardAll,
+}
+
+/// An `edge NAME : SRC -> DST [priority N] { prims }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDecl {
+    /// Edge name.
+    pub name: String,
+    /// Source state name.
+    pub src: String,
+    /// Destination state name.
+    pub dst: String,
+    /// Static priority (default 0).
+    pub priority: i32,
+    /// Condition primitives.
+    pub condition: Vec<AdlPrimitive>,
+}
+
+/// An `osm NAME { states ...; initial S; edges... }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsmDecl {
+    /// Class name.
+    pub name: String,
+    /// State names in declaration order.
+    pub states: Vec<String>,
+    /// Initial state name.
+    pub initial: String,
+    /// Edge declarations.
+    pub edges: Vec<EdgeDecl>,
+}
+
+/// A complete `machine NAME { ... }` description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineDecl {
+    /// Machine name.
+    pub name: String,
+    /// Token managers, in declaration order (this order fixes their ids).
+    pub managers: Vec<ManagerDecl>,
+    /// OSM classes.
+    pub osms: Vec<OsmDecl>,
+}
+
+impl MachineDecl {
+    /// Index of manager `name` in declaration order.
+    pub fn manager_index(&self, name: &str) -> Option<usize> {
+        self.managers.iter().position(|m| m.name == name)
+    }
+}

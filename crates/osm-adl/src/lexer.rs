@@ -1,0 +1,241 @@
+//! Tokenizer for the OSM architecture description language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "`{s}`"),
+            Token::Number(n) => write!(f, "`{n}`"),
+            Token::LBrace => write!(f, "`{{`"),
+            Token::RBrace => write!(f, "`}}`"),
+            Token::LBracket => write!(f, "`[`"),
+            Token::RBracket => write!(f, "`]`"),
+            Token::LParen => write!(f, "`(`"),
+            Token::RParen => write!(f, "`)`"),
+            Token::Semi => write!(f, "`;`"),
+            Token::Colon => write!(f, "`:`"),
+            Token::Comma => write!(f, "`,`"),
+            Token::Arrow => write!(f, "`->`"),
+        }
+    }
+}
+
+/// A token plus its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line.
+    pub line: usize,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character `{}`", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes ADL source (`//` and `#` comments run to end of line).
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line_no = lineno + 1;
+        let mut chars = line.char_indices().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            match c {
+                '#' => break,
+                '/' if line[i..].starts_with("//") => break,
+                c if c.is_whitespace() => {
+                    chars.next();
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() || c2 == '_' {
+                            end = j + c2.len_utf8();
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    out.push(Spanned {
+                        token: Token::Ident(line[start..end].to_owned()),
+                        line: line_no,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let start = i;
+                    let mut end = i;
+                    while let Some(&(j, c2)) = chars.peek() {
+                        if c2.is_ascii_alphanumeric() {
+                            end = j + 1;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = &line[start..end];
+                    let value = if let Some(hex) = text.strip_prefix("0x") {
+                        u64::from_str_radix(hex, 16)
+                    } else {
+                        text.parse()
+                    }
+                    .map_err(|_| LexError {
+                        line: line_no,
+                        ch: c,
+                    })?;
+                    out.push(Spanned {
+                        token: Token::Number(value),
+                        line: line_no,
+                    });
+                }
+                '-' => {
+                    chars.next();
+                    if chars.peek().map(|&(_, c2)| c2) == Some('>') {
+                        chars.next();
+                        out.push(Spanned {
+                            token: Token::Arrow,
+                            line: line_no,
+                        });
+                    } else {
+                        return Err(LexError {
+                            line: line_no,
+                            ch: '-',
+                        });
+                    }
+                }
+                '{' | '}' | '[' | ']' | '(' | ')' | ';' | ':' | ',' => {
+                    chars.next();
+                    let token = match c {
+                        '{' => Token::LBrace,
+                        '}' => Token::RBrace,
+                        '[' => Token::LBracket,
+                        ']' => Token::RBracket,
+                        '(' => Token::LParen,
+                        ')' => Token::RParen,
+                        ';' => Token::Semi,
+                        ':' => Token::Colon,
+                        _ => Token::Comma,
+                    };
+                    out.push(Spanned {
+                        token,
+                        line: line_no,
+                    });
+                }
+                other => {
+                    return Err(LexError {
+                        line: line_no,
+                        ch: other,
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_basic_syntax() {
+        assert_eq!(
+            toks("edge e1: I -> F { allocate m[0]; }"),
+            vec![
+                Token::Ident("edge".into()),
+                Token::Ident("e1".into()),
+                Token::Colon,
+                Token::Ident("I".into()),
+                Token::Arrow,
+                Token::Ident("F".into()),
+                Token::LBrace,
+                Token::Ident("allocate".into()),
+                Token::Ident("m".into()),
+                Token::LBracket,
+                Token::Number(0),
+                Token::RBracket,
+                Token::Semi,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_hex() {
+        assert_eq!(
+            toks("x 0x1F // trailing\n# whole line\ny"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Number(0x1F),
+                Token::Ident("y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_tracked() {
+        let spanned = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<usize> = spanned.iter().map(|s| s.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let e = lex("a @ b").unwrap_err();
+        assert_eq!(e.ch, '@');
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains('@'));
+    }
+
+    #[test]
+    fn lone_dash_rejected() {
+        assert!(lex("a - b").is_err());
+    }
+}

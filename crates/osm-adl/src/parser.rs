@@ -1,0 +1,408 @@
+//! Recursive-descent parser for the ADL.
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! machine   := "machine" IDENT "{" (manager | osm)* "}"
+//! manager   := "manager" IDENT ":" kind ";"
+//! kind      := "exclusive" "(" NUM ")"
+//!            | "counting" "(" NUM ("," "per_cycle")? ")"
+//!            | "scoreboard" "(" NUM ")"
+//!            | "reset"
+//! osm       := "osm" IDENT "{" "states" IDENT ("," IDENT)* ";"
+//!              "initial" IDENT ";" edge* "}"
+//! edge      := "edge" IDENT ":" IDENT "->" IDENT ("priority" NUM)?
+//!              "{" prim* "}"
+//! prim      := ("allocate"|"inquire"|"release"|"discard") target ";"
+//! target    := "all" | IDENT "[" ident "]"
+//! ident     := NUM | "any" | "held" | "slot" NUM
+//! ```
+
+use crate::ast::{
+    AdlIdent, AdlPrimitive, EdgeDecl, MachineDecl, ManagerDecl, ManagerKind, OsmDecl,
+};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use std::error::Error;
+use std::fmt;
+
+/// A parse (or lex) error with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line (0 = end of input).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "at end of input: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            message: format!("unexpected character `{}`", e.ch),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map(|s| s.line).unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {want}, found {t}"))
+            }
+            None => self.err(format!("expected {want}, found end of input")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.next() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected an identifier, found {t}"))
+            }
+            None => self.err("expected an identifier, found end of input"),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let name = self.ident()?;
+        if name == kw {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            self.err(format!("expected `{kw}`, found `{name}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Token::Number(_)) => match self.next() {
+                Some(Token::Number(n)) => Ok(n),
+                _ => unreachable!(),
+            },
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected a number, found {t}"))
+            }
+            None => self.err("expected a number, found end of input"),
+        }
+    }
+
+    fn machine(&mut self) -> Result<MachineDecl, ParseError> {
+        self.keyword("machine")?;
+        let name = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut managers = Vec::new();
+        let mut osms = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(kw)) if kw == "manager" => managers.push(self.manager()?),
+                Some(Token::Ident(kw)) if kw == "osm" => osms.push(self.osm()?),
+                Some(t) => {
+                    let t = t.clone();
+                    return self.err(format!("expected `manager`, `osm` or `}}`, found {t}"));
+                }
+                None => return self.err("unterminated machine block"),
+            }
+        }
+        Ok(MachineDecl {
+            name,
+            managers,
+            osms,
+        })
+    }
+
+    fn manager(&mut self) -> Result<ManagerDecl, ParseError> {
+        self.keyword("manager")?;
+        let name = self.ident()?;
+        self.expect(&Token::Colon)?;
+        let kind_name = self.ident()?;
+        let kind = match kind_name.as_str() {
+            "reset" => ManagerKind::Reset,
+            "exclusive" | "counting" | "scoreboard" => {
+                self.expect(&Token::LParen)?;
+                let n = self.number()?;
+                let mut per_cycle = false;
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    self.keyword("per_cycle")?;
+                    per_cycle = true;
+                }
+                self.expect(&Token::RParen)?;
+                match (kind_name.as_str(), per_cycle) {
+                    ("exclusive", false) => ManagerKind::Exclusive(n as usize),
+                    ("counting", false) => ManagerKind::Counting(n),
+                    ("counting", true) => ManagerKind::PerCycle(n),
+                    ("scoreboard", false) => ManagerKind::Scoreboard(n as usize),
+                    _ => return self.err("`per_cycle` is only valid for `counting`"),
+                }
+            }
+            other => return self.err(format!("unknown manager kind `{other}`")),
+        };
+        self.expect(&Token::Semi)?;
+        Ok(ManagerDecl { name, kind })
+    }
+
+    fn osm(&mut self) -> Result<OsmDecl, ParseError> {
+        self.keyword("osm")?;
+        let name = self.ident()?;
+        self.expect(&Token::LBrace)?;
+        self.keyword("states")?;
+        let mut states = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            states.push(self.ident()?);
+        }
+        self.expect(&Token::Semi)?;
+        self.keyword("initial")?;
+        let initial = self.ident()?;
+        self.expect(&Token::Semi)?;
+        let mut edges = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(kw)) if kw == "edge" => edges.push(self.edge()?),
+                Some(t) => {
+                    let t = t.clone();
+                    return self.err(format!("expected `edge` or `}}`, found {t}"));
+                }
+                None => return self.err("unterminated osm block"),
+            }
+        }
+        Ok(OsmDecl {
+            name,
+            states,
+            initial,
+            edges,
+        })
+    }
+
+    fn edge(&mut self) -> Result<EdgeDecl, ParseError> {
+        self.keyword("edge")?;
+        let name = self.ident()?;
+        self.expect(&Token::Colon)?;
+        let src = self.ident()?;
+        self.expect(&Token::Arrow)?;
+        let dst = self.ident()?;
+        let mut priority = 0;
+        if let Some(Token::Ident(kw)) = self.peek() {
+            if kw == "priority" {
+                self.pos += 1;
+                priority = self.number()? as i32;
+            }
+        }
+        self.expect(&Token::LBrace)?;
+        let mut condition = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(Token::Ident(_)) => condition.push(self.primitive()?),
+                Some(t) => {
+                    let t = t.clone();
+                    return self.err(format!("expected a primitive or `}}`, found {t}"));
+                }
+                None => return self.err("unterminated edge block"),
+            }
+        }
+        Ok(EdgeDecl {
+            name,
+            src,
+            dst,
+            priority,
+            condition,
+        })
+    }
+
+    fn primitive(&mut self) -> Result<AdlPrimitive, ParseError> {
+        let verb = self.ident()?;
+        if verb == "discard" {
+            if let Some(Token::Ident(kw)) = self.peek() {
+                if kw == "all" {
+                    self.pos += 1;
+                    self.expect(&Token::Semi)?;
+                    return Ok(AdlPrimitive::DiscardAll);
+                }
+            }
+        }
+        let manager = self.ident()?;
+        self.expect(&Token::LBracket)?;
+        let ident = match self.peek() {
+            Some(Token::Number(_)) => AdlIdent::Const(self.number()?),
+            Some(Token::Ident(kw)) => match kw.as_str() {
+                "any" => {
+                    self.pos += 1;
+                    AdlIdent::Any
+                }
+                "held" => {
+                    self.pos += 1;
+                    AdlIdent::Held
+                }
+                "slot" => {
+                    self.pos += 1;
+                    AdlIdent::Slot(self.number()? as u32)
+                }
+                other => {
+                    let msg = format!("expected `any`, `held`, `slot N` or a number, found `{other}`");
+                    return self.err(msg);
+                }
+            },
+            _ => return self.err("expected a token identifier"),
+        };
+        self.expect(&Token::RBracket)?;
+        self.expect(&Token::Semi)?;
+        match verb.as_str() {
+            "allocate" => Ok(AdlPrimitive::Allocate(manager, ident)),
+            "inquire" => Ok(AdlPrimitive::Inquire(manager, ident)),
+            "release" => Ok(AdlPrimitive::Release(manager, ident)),
+            "discard" => Ok(AdlPrimitive::Discard(manager, ident)),
+            other => self.err(format!("unknown primitive `{other}`")),
+        }
+    }
+}
+
+/// Parses one `machine` description.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending source line.
+pub fn parse(src: &str) -> Result<MachineDecl, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let m = p.machine()?;
+    if p.pos != p.tokens.len() {
+        return p.err("trailing input after machine description");
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "
+        machine demo {
+            manager fetch  : exclusive(1);
+            manager decode : exclusive(1);
+            manager regs   : scoreboard(32);
+            manager bw     : counting(2, per_cycle);
+            manager rst    : reset;
+
+            osm op {
+                states I, F, D;
+                initial I;
+                edge take:  I -> F { allocate fetch[0]; allocate bw[any]; discard bw[held]; }
+                edge kill:  F -> I priority 10 { inquire rst[0]; discard all; }
+                edge move:  F -> D { release fetch[held]; allocate decode[0]; inquire regs[slot 1]; }
+                edge done:  D -> I { release decode[held]; }
+            }
+        }
+    ";
+
+    #[test]
+    fn parses_demo_machine() {
+        let m = parse(DEMO).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.managers.len(), 5);
+        assert_eq!(m.managers[2].kind, ManagerKind::Scoreboard(32));
+        assert_eq!(m.managers[3].kind, ManagerKind::PerCycle(2));
+        assert_eq!(m.managers[4].kind, ManagerKind::Reset);
+        assert_eq!(m.osms.len(), 1);
+        let osm = &m.osms[0];
+        assert_eq!(osm.states, vec!["I", "F", "D"]);
+        assert_eq!(osm.initial, "I");
+        assert_eq!(osm.edges.len(), 4);
+        assert_eq!(osm.edges[1].priority, 10);
+        assert_eq!(
+            osm.edges[2].condition[2],
+            AdlPrimitive::Inquire("regs".into(), AdlIdent::Slot(1))
+        );
+        assert_eq!(osm.edges[1].condition[1], AdlPrimitive::DiscardAll);
+        assert_eq!(m.manager_index("regs"), Some(2));
+        assert_eq!(m.manager_index("nope"), None);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "machine m {\n  manager x : bogus;\n}";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let src = "machine m { manager x : reset }";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("`;`"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        let src = "machine m { } extra";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn per_cycle_only_for_counting() {
+        let src = "machine m { manager x : exclusive(1, per_cycle); }";
+        assert!(parse(src).is_err());
+    }
+}

@@ -1,0 +1,574 @@
+//! The director: ranking and the sequential scheduling algorithm of Fig. 3.
+//!
+//! At each control step the director ranks every OSM, then serves them in
+//! rank order. For each OSM it evaluates the outgoing edges of the current
+//! state in descending static-priority order; the first edge whose condition
+//! (a conjunction of Λ primitives) is satisfied commits atomically and the
+//! OSM transitions — at most once per control step. After a transition the
+//! director may restart its outer loop from the highest-ranked remaining OSM
+//! so that operations blocked on just-freed resources are served within the
+//! same control step ([`RestartPolicy::Restart`], the paper's Fig. 3
+//! behaviour).
+
+use crate::error::ModelError;
+use crate::ids::{ManagerId, OsmId};
+use crate::manager::ManagerTable;
+use crate::osm::{Osm, OsmView, TransitionCtx, IDLE_AGE};
+use crate::spec::Edge;
+use crate::stats::Stats;
+use crate::token::{HeldToken, IdentExpr, Primitive, Token, TokenIdent};
+use crate::trace::{Trace, TraceEvent};
+
+/// Whether the director restarts its outer loop after a transition (Fig. 3).
+///
+/// The paper's case studies note that with age ranking no senior operation
+/// depends on a junior one, so the restart can be skipped without changing
+/// behaviour ([`RestartPolicy::NoRestart`]); the ablation benchmark measures
+/// the cost difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Restart from the highest-ranked remaining OSM after every transition.
+    #[default]
+    Restart,
+    /// Continue scanning past the transitioned OSM.
+    NoRestart,
+}
+
+/// Ranks OSMs at the beginning of each control step (paper §3.4).
+///
+/// Smaller rank = served earlier. Ties are broken by [`OsmId`] so the
+/// schedule is always a total order (determinism).
+pub trait Ranker<S>: 'static {
+    /// Computes the rank of one OSM.
+    fn rank(&self, view: &OsmView<'_>, shared: &S) -> u64;
+}
+
+/// The paper's case-study policy: rank by age, i.e. the order in which the
+/// OSMs last left the initial state (seniors first); idle OSMs last.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AgeRanker;
+
+impl<S> Ranker<S> for AgeRanker {
+    fn rank(&self, view: &OsmView<'_>, _shared: &S) -> u64 {
+        view.age
+    }
+}
+
+/// Rank by a closure (ablation experiments, multithreading policies).
+pub struct FnRanker<S>(pub Box<dyn Fn(&OsmView<'_>, &S) -> u64>);
+
+impl<S> std::fmt::Debug for FnRanker<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FnRanker(..)")
+    }
+}
+
+impl<S: 'static> Ranker<S> for FnRanker<S> {
+    fn rank(&self, view: &OsmView<'_>, shared: &S) -> u64 {
+        (self.0)(view, shared)
+    }
+}
+
+/// Result of one control step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Number of OSM transitions committed this step.
+    pub transitions: u32,
+}
+
+/// A prepared (but not yet committed) transaction of one edge condition.
+#[derive(Debug, Clone, Copy)]
+enum PreparedOp {
+    Alloc {
+        manager: ManagerId,
+        ident: TokenIdent,
+        token: Token,
+    },
+    Release {
+        manager: ManagerId,
+        buffer_index: usize,
+        token: Token,
+    },
+}
+
+/// A discard to apply if the edge commits.
+#[derive(Debug, Clone, Copy)]
+enum DiscardSpec {
+    /// Discard every held token (optionally restricted to one manager).
+    All(Option<ManagerId>),
+    /// Discard the held token requested under `ident` from `manager`.
+    One(ManagerId, TokenIdent),
+}
+
+/// Reusable per-step scratch buffers: the director's hot loop runs without
+/// heap allocation in steady state (the paper's efficiency claim depends on
+/// the control step being cheap).
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    list: Vec<(u64, OsmId)>,
+    ops: Vec<PreparedOp>,
+    discards: Vec<DiscardSpec>,
+    used: Vec<usize>,
+    removed: Vec<usize>,
+    wait_edges: Vec<(OsmId, OsmId)>,
+}
+
+/// Resolution of an [`IdentExpr`] against an OSM's slots.
+enum Resolved {
+    Ident(TokenIdent),
+    /// Slot holds [`TokenIdent::NONE`]: the primitive is vacuous.
+    Vacuous,
+    AnyHeld,
+}
+
+#[inline]
+fn resolve(expr: IdentExpr, slots: &[TokenIdent]) -> Resolved {
+    match expr {
+        IdentExpr::Const(v) if TokenIdent(v).is_none() => Resolved::Vacuous,
+        IdentExpr::Const(v) => Resolved::Ident(TokenIdent(v)),
+        IdentExpr::Slot(s) => {
+            let ident = slots.get(s.index()).copied().unwrap_or(TokenIdent::NONE);
+            if ident.is_none() {
+                Resolved::Vacuous
+            } else {
+                Resolved::Ident(ident)
+            }
+        }
+        IdentExpr::AnyHeld => Resolved::AnyHeld,
+    }
+}
+
+/// Evaluates `edge`'s condition for `osm`, tentatively applying
+/// transactions into `scratch` (cleared on entry). Returns true when the
+/// condition is satisfied; on failure every prepared transaction is aborted
+/// and the blocking owners are appended to `scratch.wait_edges`.
+fn try_condition<S>(
+    osm: &Osm<S>,
+    edge: &Edge,
+    managers: &mut ManagerTable,
+    scratch: &mut Scratch,
+    collect_waits: bool,
+) -> bool {
+    scratch.ops.clear();
+    scratch.discards.clear();
+    scratch.used.clear();
+    let mut failed = false;
+
+    'prims: for prim in &edge.condition {
+        match *prim {
+            Primitive::Allocate { manager, ident } => match resolve(ident, &osm.slots) {
+                Resolved::Vacuous => {}
+                Resolved::AnyHeld => {
+                    debug_assert!(false, "allocate cannot use AnyHeld");
+                    failed = true;
+                    break 'prims;
+                }
+                Resolved::Ident(id) => {
+                    match managers.get_mut(manager).prepare_allocate(osm.id, id) {
+                        Some(token) => scratch.ops.push(PreparedOp::Alloc {
+                            manager,
+                            ident: id,
+                            token,
+                        }),
+                        None => {
+                            if collect_waits {
+                                if let Some(owner) = managers.get(manager).owner_of(id) {
+                                    if owner != osm.id {
+                                        scratch.wait_edges.push((osm.id, owner));
+                                    }
+                                }
+                            }
+                            failed = true;
+                            break 'prims;
+                        }
+                    }
+                }
+            },
+            Primitive::Inquire { manager, ident } => match resolve(ident, &osm.slots) {
+                Resolved::Vacuous => {}
+                Resolved::AnyHeld => {
+                    debug_assert!(false, "inquire cannot use AnyHeld");
+                    failed = true;
+                    break 'prims;
+                }
+                Resolved::Ident(id) => {
+                    if !managers.get(manager).inquire(osm.id, id) {
+                        if collect_waits {
+                            if let Some(owner) = managers.get(manager).owner_of(id) {
+                                if owner != osm.id {
+                                    scratch.wait_edges.push((osm.id, owner));
+                                }
+                            }
+                        }
+                        failed = true;
+                        break 'prims;
+                    }
+                }
+            },
+            Primitive::Release { manager, ident } => {
+                let target = match resolve(ident, &osm.slots) {
+                    Resolved::Vacuous => continue,
+                    Resolved::AnyHeld => None,
+                    Resolved::Ident(id) => Some(id),
+                };
+                let found = osm.buffer.iter().enumerate().position(|(i, held)| {
+                    !scratch.used.contains(&i)
+                        && held.token.manager == manager
+                        && target.map_or(true, |id| held.ident == id)
+                });
+                match found {
+                    Some(i) => {
+                        let token = osm.buffer[i].token;
+                        if managers.get_mut(manager).prepare_release(osm.id, token) {
+                            scratch.used.push(i);
+                            scratch.ops.push(PreparedOp::Release {
+                                manager,
+                                buffer_index: i,
+                                token,
+                            });
+                        } else {
+                            failed = true;
+                            break 'prims;
+                        }
+                    }
+                    None => {
+                        // Releasing a token the OSM does not hold is a model
+                        // inconsistency; treat as an unsatisfied condition.
+                        failed = true;
+                        break 'prims;
+                    }
+                }
+            }
+            Primitive::Discard { manager, ident } => match resolve(ident, &osm.slots) {
+                Resolved::Vacuous => {}
+                Resolved::AnyHeld => scratch.discards.push(DiscardSpec::All(manager)),
+                Resolved::Ident(id) => {
+                    if let Some(m) = manager {
+                        scratch.discards.push(DiscardSpec::One(m, id));
+                    } else {
+                        scratch.discards.push(DiscardSpec::All(None));
+                    }
+                }
+            },
+        }
+    }
+
+    if failed {
+        for op in scratch.ops.iter().rev() {
+            match *op {
+                PreparedOp::Alloc { manager, token, .. } => {
+                    managers.get_mut(manager).abort_allocate(osm.id, token);
+                }
+                PreparedOp::Release { manager, token, .. } => {
+                    managers.get_mut(manager).abort_release(osm.id, token);
+                }
+            }
+        }
+        false
+    } else {
+        true
+    }
+}
+
+/// Commits the satisfied plan held in `scratch`: finalizes transactions and
+/// updates the buffer.
+fn commit_plan<S>(osm: &mut Osm<S>, scratch: &mut Scratch, managers: &mut ManagerTable) {
+    scratch.removed.clear();
+    for op in &scratch.ops {
+        match *op {
+            PreparedOp::Alloc {
+                manager,
+                ident,
+                token,
+            } => {
+                managers.get_mut(manager).commit_allocate(osm.id, token);
+                osm.buffer.push(HeldToken { ident, token });
+            }
+            PreparedOp::Release {
+                manager,
+                buffer_index,
+                token,
+            } => {
+                managers.get_mut(manager).commit_release(osm.id, token);
+                scratch.removed.push(buffer_index);
+            }
+        }
+    }
+    scratch.removed.sort_unstable_by(|a, b| b.cmp(a));
+    for &i in &scratch.removed {
+        osm.buffer.remove(i);
+    }
+    for spec in &scratch.discards {
+        let mut i = 0;
+        while i < osm.buffer.len() {
+            let held = osm.buffer[i];
+            let matches = match *spec {
+                DiscardSpec::All(None) => true,
+                DiscardSpec::All(Some(m)) => held.token.manager == m,
+                DiscardSpec::One(m, id) => held.token.manager == m && held.ident == id,
+            };
+            if matches {
+                managers
+                    .get_mut(held.token.manager)
+                    .discard(osm.id, held.token);
+                osm.buffer.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Runs one control step over all OSMs (the Fig. 3 algorithm).
+///
+/// # Errors
+/// Returns [`ModelError::Deadlock`] if `deadlock_check` is on, no OSM
+/// transitioned, and the blocked OSMs form a wait-for cycle.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn control_step<S: 'static>(
+    osms: &mut [Osm<S>],
+    specs: &[std::sync::Arc<crate::spec::StateMachineSpec>],
+    managers: &mut ManagerTable,
+    shared: &mut S,
+    ranker: &dyn Ranker<S>,
+    age_ranking: bool,
+    policy: RestartPolicy,
+    deadlock_check: bool,
+    cycle: u64,
+    age_counter: &mut u64,
+    stats: &mut Stats,
+    mut trace: Option<&mut Trace>,
+    scratch: &mut Scratch,
+) -> Result<StepOutcome, ModelError> {
+    // Rank all OSMs; stable order by (rank, id) guarantees determinism.
+    // The paper's age policy is the common case and needs no view.
+    scratch.list.clear();
+    scratch.wait_edges.clear();
+    if age_ranking {
+        for osm in osms.iter() {
+            scratch.list.push((osm.age, osm.id));
+        }
+    } else {
+        for osm in osms.iter() {
+            scratch.list.push((ranker.rank(&osm.view(), shared), osm.id));
+        }
+    }
+    scratch.list.sort_unstable_by_key(|&(rank, id)| (rank, id));
+    let mut list = std::mem::take(&mut scratch.list);
+
+    let mut transitions: u32 = 0;
+
+    let mut i = 0;
+    while i < list.len() {
+        let id = list[i].1;
+        let osm = &mut osms[id.index()];
+        let spec = &specs[osm.spec_idx as usize];
+        let mut moved = false;
+
+        for &eid in spec.out_edges(osm.state) {
+            let edge = spec.edge(eid);
+            if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+                stats.vetoed_edges += 1;
+                continue;
+            }
+            if try_condition(osm, edge, managers, scratch, false) {
+                {
+                    commit_plan(osm, scratch, managers);
+                    let from = osm.state;
+                    osm.state = edge.dst;
+                    let initial = spec.initial();
+                    if from == initial && edge.dst != initial {
+                        osm.age = *age_counter;
+                        *age_counter += 1;
+                    } else if edge.dst == initial {
+                        osm.age = IDLE_AGE;
+                        debug_assert!(
+                            osm.buffer.is_empty(),
+                            "OSM {} returned to initial state still holding tokens: {:?}",
+                            osm.id,
+                            osm.buffer
+                        );
+                    }
+                    let mut ctx = TransitionCtx {
+                        osm: osm.id,
+                        from,
+                        to: edge.dst,
+                        cycle,
+                        tag: osm.tag,
+                        slots: &mut osm.slots,
+                        buffer: &osm.buffer,
+                        managers,
+                        shared,
+                    };
+                    osm.behavior.on_transition(edge, &mut ctx);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceEvent {
+                            cycle,
+                            osm: osm.id,
+                            edge: eid,
+                            from,
+                            to: edge.dst,
+                        });
+                    }
+                    stats.transitions += 1;
+                    transitions += 1;
+                    moved = true;
+                    break;
+                }
+            } else {
+                stats.condition_failures += 1;
+            }
+        }
+
+        if moved {
+            list.remove(i);
+            match policy {
+                RestartPolicy::Restart => {
+                    if i != 0 {
+                        stats.restarts += 1;
+                    }
+                    i = 0;
+                }
+                RestartPolicy::NoRestart => {
+                    // The removed element's successor slid into position i.
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+
+    if transitions == 0 {
+        stats.idle_steps += 1;
+        if deadlock_check {
+            // Lazy wait-for-graph construction: only on globally idle steps
+            // is a second evaluation pass run, this time recording which
+            // OSMs own the blocking tokens. Conditions all failed above and
+            // nothing changed, so they fail again — the pass is side-effect
+            // free.
+            for osm in osms.iter_mut() {
+                let spec = &specs[osm.spec_idx as usize];
+                for &eid in spec.out_edges(osm.state) {
+                    let edge = spec.edge(eid);
+                    if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+                        continue;
+                    }
+                    let satisfied = try_condition(osm, edge, managers, scratch, true);
+                    debug_assert!(!satisfied, "idle step re-evaluation succeeded");
+                    if satisfied {
+                        // Roll back defensively in release builds.
+                        for op in scratch.ops.iter().rev() {
+                            match *op {
+                                PreparedOp::Alloc { manager, token, .. } => {
+                                    managers.get_mut(manager).abort_allocate(osm.id, token)
+                                }
+                                PreparedOp::Release { manager, token, .. } => {
+                                    managers.get_mut(manager).abort_release(osm.id, token)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(cycle_osms) = find_wait_cycle(&scratch.wait_edges) {
+                return Err(ModelError::Deadlock {
+                    cycle,
+                    osms: cycle_osms,
+                });
+            }
+        }
+    }
+
+    scratch.list = list;
+    scratch.list.clear();
+    Ok(StepOutcome { transitions })
+}
+
+/// Finds a cycle in the wait-for graph, if any, returning its nodes.
+fn find_wait_cycle(edges: &[(OsmId, OsmId)]) -> Option<Vec<OsmId>> {
+    use std::collections::HashMap;
+    let mut adj: HashMap<OsmId, Vec<OsmId>> = HashMap::new();
+    for &(a, b) in edges {
+        adj.entry(a).or_default().push(b);
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut marks: HashMap<OsmId, Mark> = adj.keys().map(|&k| (k, Mark::White)).collect();
+
+    fn dfs(
+        node: OsmId,
+        adj: &HashMap<OsmId, Vec<OsmId>>,
+        marks: &mut HashMap<OsmId, Mark>,
+        stack: &mut Vec<OsmId>,
+    ) -> Option<Vec<OsmId>> {
+        marks.insert(node, Mark::Gray);
+        stack.push(node);
+        if let Some(next) = adj.get(&node) {
+            for &n in next {
+                match marks.get(&n).copied().unwrap_or(Mark::Black) {
+                    Mark::Gray => {
+                        let start = stack.iter().position(|&x| x == n).unwrap_or(0);
+                        return Some(stack[start..].to_vec());
+                    }
+                    Mark::White => {
+                        if let Some(c) = dfs(n, adj, marks, stack) {
+                            return Some(c);
+                        }
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Black);
+        None
+    }
+
+    let nodes: Vec<OsmId> = adj.keys().copied().collect();
+    let mut stack = Vec::new();
+    for n in nodes {
+        if marks.get(&n) == Some(&Mark::White) {
+            if let Some(c) = dfs(n, &adj, &mut marks, &mut stack) {
+                return Some(c);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_cycle_detected() {
+        let edges = vec![(OsmId(0), OsmId(1)), (OsmId(1), OsmId(0))];
+        let cyc = find_wait_cycle(&edges).expect("cycle");
+        assert_eq!(cyc.len(), 2);
+    }
+
+    #[test]
+    fn no_cycle_in_chain() {
+        let edges = vec![(OsmId(0), OsmId(1)), (OsmId(1), OsmId(2))];
+        assert!(find_wait_cycle(&edges).is_none());
+    }
+
+    #[test]
+    fn self_wait_is_a_cycle() {
+        // An OSM blocked on a token it cannot obtain from itself would be a
+        // modeling error; the detector reports it.
+        let edges = vec![(OsmId(3), OsmId(3))];
+        let cyc = find_wait_cycle(&edges).expect("self cycle");
+        assert_eq!(cyc, vec![OsmId(3)]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        assert!(find_wait_cycle(&[]).is_none());
+    }
+}

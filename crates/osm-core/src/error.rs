@@ -1,0 +1,102 @@
+//! Error types for model construction and execution.
+
+use crate::ids::{OsmId, StateId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while building a [`crate::StateMachineSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec declares no states.
+    NoStates {
+        /// Spec name.
+        spec: String,
+    },
+    /// No initial state was declared.
+    NoInitialState {
+        /// Spec name.
+        spec: String,
+    },
+    /// An edge or the initial declaration references a state that does not exist.
+    UnknownState {
+        /// Spec name.
+        spec: String,
+        /// The out-of-range state id.
+        state: StateId,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoStates { spec } => write!(f, "spec `{spec}` declares no states"),
+            SpecError::NoInitialState { spec } => {
+                write!(f, "spec `{spec}` declares no initial state")
+            }
+            SpecError::UnknownState { spec, state } => {
+                write!(f, "spec `{spec}` references unknown state {state}")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// Errors raised while executing a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A cyclic resource dependency among OSMs was detected — the paper's
+    /// pathological scheduling deadlock (§3.4); the director aborts.
+    Deadlock {
+        /// Control step at which the cycle was detected.
+        cycle: u64,
+        /// The OSMs forming the wait-for cycle.
+        osms: Vec<OsmId>,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Deadlock { cycle, osms } => {
+                write!(f, "scheduling deadlock at control step {cycle} involving ")?;
+                for (i, o) in osms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " -> ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_error_display() {
+        let e = SpecError::NoInitialState { spec: "p".into() };
+        assert_eq!(e.to_string(), "spec `p` declares no initial state");
+        let e = SpecError::UnknownState {
+            spec: "p".into(),
+            state: StateId(9),
+        };
+        assert!(e.to_string().contains("s9"));
+    }
+
+    #[test]
+    fn model_error_display_lists_cycle() {
+        let e = ModelError::Deadlock {
+            cycle: 12,
+            osms: vec![OsmId(0), OsmId(1)],
+        };
+        let s = e.to_string();
+        assert!(s.contains("12"));
+        assert!(s.contains("osm0 -> osm1"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Static extraction of model properties (paper §6).
+//!
+//! Because OSM specifications are declarative, operation properties can be
+//! derived without simulation: *operation paths* (the possible flows from
+//! the initial state back to it), *reservation tables* (which structure
+//! resources are held at each step of a path) and *operand latencies* (the
+//! step at which a resource's token is released). The paper lists these as
+//! inputs for retargetable compilers and formal analysis.
+
+use crate::ids::{EdgeId, ManagerId, StateId};
+use crate::spec::StateMachineSpec;
+use crate::token::Primitive;
+
+/// One simple operation path from the initial state back to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationPath {
+    /// Edges taken, in order.
+    pub edges: Vec<EdgeId>,
+    /// States visited, starting and ending with the initial state.
+    pub states: Vec<StateId>,
+}
+
+impl OperationPath {
+    /// Number of steps (edges) on the path.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True for the degenerate empty path (never produced by enumeration).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Enumerates simple paths from the initial state back to the initial state.
+///
+/// Intermediate states are not revisited (so cyclic stall self-loops are not
+/// expanded), and enumeration stops after `max_paths` results — superscalar
+/// specs with many bypass edges can otherwise explode combinatorially.
+pub fn enumerate_paths(spec: &StateMachineSpec, max_paths: usize) -> Vec<OperationPath> {
+    let initial = spec.initial();
+    let mut out = Vec::new();
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    let mut state_stack: Vec<StateId> = vec![initial];
+
+    fn dfs(
+        spec: &StateMachineSpec,
+        initial: StateId,
+        current: StateId,
+        edge_stack: &mut Vec<EdgeId>,
+        state_stack: &mut Vec<StateId>,
+        out: &mut Vec<OperationPath>,
+        max_paths: usize,
+    ) {
+        if out.len() >= max_paths {
+            return;
+        }
+        for &eid in spec.out_edges(current) {
+            let edge = spec.edge(eid);
+            if edge.dst == initial {
+                if !edge_stack.is_empty() || current != initial {
+                    let mut edges = edge_stack.clone();
+                    edges.push(eid);
+                    let mut states = state_stack.clone();
+                    states.push(initial);
+                    out.push(OperationPath { edges, states });
+                    if out.len() >= max_paths {
+                        return;
+                    }
+                }
+                continue;
+            }
+            if state_stack.contains(&edge.dst) {
+                continue; // simple paths only
+            }
+            edge_stack.push(eid);
+            state_stack.push(edge.dst);
+            dfs(spec, initial, edge.dst, edge_stack, state_stack, out, max_paths);
+            edge_stack.pop();
+            state_stack.pop();
+        }
+    }
+
+    dfs(
+        spec,
+        initial,
+        initial,
+        &mut edge_stack,
+        &mut state_stack,
+        &mut out,
+        max_paths,
+    );
+    out
+}
+
+/// A reservation table: the structure resources (managers) whose tokens are
+/// held during each step of an operation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservationTable {
+    /// `steps[k]` = managers holding tokens during step `k` (sorted).
+    pub steps: Vec<Vec<ManagerId>>,
+}
+
+impl ReservationTable {
+    /// True if the resource `manager` is held at step `k`.
+    pub fn holds(&self, k: usize, manager: ManagerId) -> bool {
+        self.steps.get(k).is_some_and(|s| s.contains(&manager))
+    }
+
+    /// Path length in steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if the table has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Computes the reservation table of `path` by symbolically executing its
+/// allocate/release/discard primitives (identifiers are abstracted away:
+/// holding *any* token of a manager counts as holding the resource).
+pub fn reservation_table(spec: &StateMachineSpec, path: &OperationPath) -> ReservationTable {
+    let mut held: Vec<ManagerId> = Vec::new();
+    let mut steps = Vec::with_capacity(path.edges.len());
+    for &eid in &path.edges {
+        let edge = spec.edge(eid);
+        for prim in &edge.condition {
+            match *prim {
+                Primitive::Allocate { manager, .. } => {
+                    if !held.contains(&manager) {
+                        held.push(manager);
+                    }
+                }
+                Primitive::Release { manager, .. } => {
+                    if let Some(pos) = held.iter().position(|&m| m == manager) {
+                        held.remove(pos);
+                    }
+                }
+                Primitive::Discard { manager, .. } => match manager {
+                    Some(m) => {
+                        if let Some(pos) = held.iter().position(|&x| x == m) {
+                            held.remove(pos);
+                        }
+                    }
+                    None => held.clear(),
+                },
+                Primitive::Inquire { .. } => {}
+            }
+        }
+        let mut now = held.clone();
+        now.sort_unstable();
+        steps.push(now);
+    }
+    ReservationTable { steps }
+}
+
+/// The step index (1-based cycle count from operation start) at which the
+/// operation first *releases* a token of `manager` along `path` — the
+/// paper's "operand latency" when `manager` is the register file.
+pub fn release_step(
+    spec: &StateMachineSpec,
+    path: &OperationPath,
+    manager: ManagerId,
+) -> Option<usize> {
+    path.edges.iter().enumerate().find_map(|(k, &eid)| {
+        spec.edge(eid).condition.iter().any(|p| {
+            matches!(*p, Primitive::Release { manager: m, .. } if m == manager)
+        })
+        .then_some(k + 1)
+    })
+}
+
+/// The step index at which the operation first *inquires* of `manager`
+/// (e.g. the cycle source operands are read).
+pub fn inquire_step(
+    spec: &StateMachineSpec,
+    path: &OperationPath,
+    manager: ManagerId,
+) -> Option<usize> {
+    path.edges.iter().enumerate().find_map(|(k, &eid)| {
+        spec.edge(eid).condition.iter().any(|p| {
+            matches!(*p, Primitive::Inquire { manager: m, .. } if m == manager)
+        })
+        .then_some(k + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+    use crate::token::IdentExpr;
+
+    /// I -> F -> D -> I with stage managers 0 and 1 and a reg file 2.
+    fn spec3() -> std::sync::Arc<StateMachineSpec> {
+        let mf = ManagerId(0);
+        let md = ManagerId(1);
+        let rf = ManagerId(2);
+        let mut b = SpecBuilder::new("p");
+        let i = b.state("I");
+        let f = b.state("F");
+        let d = b.state("D");
+        b.initial(i);
+        b.edge(i, f).allocate(mf, IdentExpr::Const(0));
+        b.edge(f, d)
+            .release(mf, IdentExpr::AnyHeld)
+            .allocate(md, IdentExpr::Const(0))
+            .inquire(rf, IdentExpr::Const(1));
+        b.edge(d, i).release(md, IdentExpr::AnyHeld);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enumerates_the_single_path() {
+        let spec = spec3();
+        let paths = enumerate_paths(&spec, 16);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 3);
+        assert_eq!(paths[0].states.len(), 4);
+        assert_eq!(paths[0].states[0], spec.initial());
+        assert_eq!(*paths[0].states.last().unwrap(), spec.initial());
+    }
+
+    #[test]
+    fn enumerates_parallel_paths() {
+        // I -> A -> I plus I -> B -> I: two paths.
+        let mut b = SpecBuilder::new("p");
+        let i = b.state("I");
+        let a = b.state("A");
+        let z = b.state("B");
+        b.initial(i);
+        b.edge(i, a);
+        b.edge(a, i);
+        b.edge(i, z);
+        b.edge(z, i);
+        let spec = b.build().unwrap();
+        let paths = enumerate_paths(&spec, 16);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn max_paths_caps_enumeration() {
+        let mut b = SpecBuilder::new("p");
+        let i = b.state("I");
+        b.initial(i);
+        for k in 0..8 {
+            let s = b.state(format!("S{k}"));
+            b.edge(i, s);
+            b.edge(s, i);
+        }
+        let spec = b.build().unwrap();
+        assert_eq!(enumerate_paths(&spec, 3).len(), 3);
+    }
+
+    #[test]
+    fn reservation_table_tracks_holds() {
+        let spec = spec3();
+        let path = &enumerate_paths(&spec, 16)[0];
+        let table = reservation_table(&spec, path);
+        assert_eq!(table.len(), 3);
+        assert!(table.holds(0, ManagerId(0))); // F holds fetch
+        assert!(!table.holds(1, ManagerId(0))); // released at D
+        assert!(table.holds(1, ManagerId(1))); // D holds decode
+        assert!(!table.holds(2, ManagerId(1))); // released on leave
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn latency_extraction() {
+        let spec = spec3();
+        let path = &enumerate_paths(&spec, 16)[0];
+        assert_eq!(release_step(&spec, path, ManagerId(0)), Some(2));
+        assert_eq!(release_step(&spec, path, ManagerId(1)), Some(3));
+        assert_eq!(inquire_step(&spec, path, ManagerId(2)), Some(2));
+        assert_eq!(release_step(&spec, path, ManagerId(9)), None);
+        assert_eq!(inquire_step(&spec, path, ManagerId(9)), None);
+    }
+}

@@ -1,0 +1,97 @@
+//! Small newtype identifiers used throughout the OSM model.
+//!
+//! Every entity of the formalism — state machines, states, edges, token
+//! managers — is referred to by a compact index newtype so that model
+//! components can reference each other without borrowing issues and so that
+//! accidental cross-use (e.g. passing a state id where an edge id is
+//! expected) is a compile error ([C-NEWTYPE]).
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies one operation state machine instance within a [`crate::Machine`].
+    OsmId,
+    "osm"
+);
+id_newtype!(
+    /// Identifies a token manager (TMI-carrying hardware module).
+    ManagerId,
+    "mgr"
+);
+id_newtype!(
+    /// Identifies a state within a [`crate::StateMachineSpec`].
+    StateId,
+    "s"
+);
+id_newtype!(
+    /// Identifies an edge within a [`crate::StateMachineSpec`].
+    EdgeId,
+    "e"
+);
+id_newtype!(
+    /// Identifies a dynamic identifier slot of an OSM instance.
+    SlotId,
+    "slot"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(OsmId(3).to_string(), "osm3");
+        assert_eq!(ManagerId(0).to_string(), "mgr0");
+        assert_eq!(StateId(7).to_string(), "s7");
+        assert_eq!(EdgeId(1).to_string(), "e1");
+        assert_eq!(SlotId(2).to_string(), "slot2");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = OsmId::from(5usize);
+        assert_eq!(id.index(), 5);
+        let id2 = ManagerId::from(9u32);
+        assert_eq!(id2.index(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(OsmId(1) < OsmId(2));
+        assert!(EdgeId(0) < EdgeId(10));
+    }
+}

@@ -1,0 +1,303 @@
+//! The discrete-event simulation kernel of paper Fig. 4.
+//!
+//! The OSM model of computation is embedded inside a DE scheduler: hardware
+//! modules exchange events during the interval between control steps, and at
+//! every clock edge the director's control step runs *in zero DE time* (it
+//! introduces no events of its own). The case studies use the cycle-driven
+//! specialization ([`crate::Machine::step`] in a loop); this kernel provides
+//! the general event-queue form for hardware layers that need sub-cycle
+//! event communication.
+
+use crate::error::ModelError;
+use crate::machine::{HardwareLayer, Machine};
+use std::collections::BinaryHeap;
+
+/// A user event: runs at its timestamp with access to the machine and the
+/// scheduler (to post follow-up events).
+pub type EventFn<S> = Box<dyn FnOnce(&mut Machine<S>, &mut EventScheduler<S>)>;
+
+/// Handle through which a running event posts follow-up events.
+pub struct EventScheduler<S> {
+    now: u64,
+    posted: Vec<(u64, EventFn<S>)>,
+}
+
+impl<S> EventScheduler<S> {
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Posts `event` to run at absolute `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
+    pub fn post(&mut self, time: u64, event: EventFn<S>) {
+        assert!(time >= self.now, "cannot post event into the past");
+        self.posted.push((time, event));
+    }
+
+    /// Posts `event` to run `delay` time units from now.
+    pub fn post_in(&mut self, delay: u64, event: EventFn<S>) {
+        let at = self.now + delay;
+        self.posted.push((at, event));
+    }
+}
+
+impl<S> std::fmt::Debug for EventScheduler<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventScheduler")
+            .field("now", &self.now)
+            .field("posted", &self.posted.len())
+            .finish()
+    }
+}
+
+enum EventKind<S> {
+    /// A clock edge: run the hardware hooks + one OSM control step.
+    Clock,
+    User(EventFn<S>),
+}
+
+struct Entry<S> {
+    time: u64,
+    /// User events at a timestamp run before the clock edge at the same
+    /// timestamp, so all hardware activity of the cycle is visible to the
+    /// control step.
+    order: u8,
+    seq: u64,
+    kind: EventKind<S>,
+}
+
+impl<S> Entry<S> {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.time, self.order, self.seq)
+    }
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first order.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// The Fig. 4 kernel: an event queue with regular clock events driving OSM
+/// control steps.
+///
+/// ```
+/// use osm_core::{DeKernel, HardwareLayer, Machine};
+///
+/// #[derive(Debug, Default)]
+/// struct Counter(u64);
+/// impl HardwareLayer for Counter {}
+///
+/// # fn main() -> Result<(), osm_core::ModelError> {
+/// let machine: Machine<Counter> = Machine::new(Counter::default());
+/// let mut kernel = DeKernel::new(machine, 1);
+/// kernel.post(0, Box::new(|m, _| m.shared.0 += 1));
+/// kernel.run_cycles(3)?;
+/// assert_eq!(kernel.machine().shared.0, 1);
+/// assert_eq!(kernel.machine().cycle(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeKernel<S: HardwareLayer + 'static> {
+    machine: Machine<S>,
+    queue: BinaryHeap<Entry<S>>,
+    interval: u64,
+    now: u64,
+    seq: u64,
+}
+
+impl<S: HardwareLayer + std::fmt::Debug + 'static> std::fmt::Debug for DeKernel<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeKernel")
+            .field("now", &self.now)
+            .field("interval", &self.interval)
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl<S: HardwareLayer + 'static> DeKernel<S> {
+    /// Wraps `machine`, with clock edges every `interval` time units.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn new(machine: Machine<S>, interval: u64) -> Self {
+        assert!(interval > 0, "clock interval must be positive");
+        DeKernel {
+            machine,
+            queue: BinaryHeap::new(),
+            interval,
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// The wrapped machine.
+    pub fn machine(&self) -> &Machine<S> {
+        &self.machine
+    }
+
+    /// Mutable access to the wrapped machine.
+    pub fn machine_mut(&mut self) -> &mut Machine<S> {
+        &mut self.machine
+    }
+
+    /// Unwraps the kernel, returning the machine.
+    pub fn into_machine(self) -> Machine<S> {
+        self.machine
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Posts a user event at absolute `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past.
+    pub fn post(&mut self, time: u64, event: EventFn<S>) {
+        assert!(time >= self.now, "cannot post event into the past");
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            order: 0,
+            seq: self.seq,
+            kind: EventKind::User(event),
+        });
+    }
+
+    fn post_clock(&mut self, time: u64) {
+        self.seq += 1;
+        self.queue.push(Entry {
+            time,
+            order: 1,
+            seq: self.seq,
+            kind: EventKind::Clock,
+        });
+    }
+
+    /// Processes events until `cycles` clock edges have fired (Fig. 4 loop).
+    ///
+    /// # Errors
+    /// Propagates [`ModelError`] from the control steps.
+    pub fn run_cycles(&mut self, cycles: u64) -> Result<(), ModelError> {
+        if cycles == 0 {
+            return Ok(());
+        }
+        let mut fired = 0;
+        // `nextedge = now; insert clock_event(nextedge)` — Fig. 4 prologue.
+        self.post_clock(self.now);
+        while let Some(entry) = self.queue.pop() {
+            self.now = entry.time;
+            match entry.kind {
+                EventKind::Clock => {
+                    // The control step finishes in zero DE time and posts no
+                    // events of its own.
+                    self.machine.step()?;
+                    fired += 1;
+                    if fired == cycles {
+                        // Leave remaining (future) user events queued.
+                        self.now += 1;
+                        return Ok(());
+                    }
+                    self.post_clock(self.now + self.interval);
+                }
+                EventKind::User(f) => {
+                    let mut sched = EventScheduler {
+                        now: self.now,
+                        posted: Vec::new(),
+                    };
+                    f(&mut self.machine, &mut sched);
+                    for (time, ev) in sched.posted {
+                        self.post(time, ev);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Log(Vec<u64>);
+    impl HardwareLayer for Log {}
+
+    #[test]
+    fn clock_edges_drive_machine_cycles() {
+        let m: Machine<Log> = Machine::new(Log::default());
+        let mut k = DeKernel::new(m, 10);
+        k.run_cycles(5).unwrap();
+        assert_eq!(k.machine().cycle(), 5);
+        assert_eq!(k.now(), 41); // edges at 0,10,20,30,40 then +1
+    }
+
+    #[test]
+    fn user_events_run_in_time_order_before_same_time_clock() {
+        let m: Machine<Log> = Machine::new(Log::default());
+        let mut k = DeKernel::new(m, 10);
+        k.post(10, Box::new(|m, _| m.shared.0.push(10)));
+        k.post(5, Box::new(|m, _| m.shared.0.push(5)));
+        k.run_cycles(2).unwrap();
+        // Order: clock@0, user@5, user@10 (before clock@10).
+        assert_eq!(k.machine().shared.0, vec![5, 10]);
+    }
+
+    #[test]
+    fn events_can_post_followups() {
+        let m: Machine<Log> = Machine::new(Log::default());
+        let mut k = DeKernel::new(m, 100);
+        k.post(
+            1,
+            Box::new(|m, sched| {
+                m.shared.0.push(1);
+                sched.post_in(2, Box::new(|m, _| m.shared.0.push(3)));
+            }),
+        );
+        k.run_cycles(2).unwrap();
+        assert_eq!(k.machine().shared.0, vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn posting_into_the_past_panics() {
+        let m: Machine<()> = Machine::new(());
+        let mut k = DeKernel::new(m, 1);
+        k.run_cycles(3).unwrap();
+        k.post(0, Box::new(|_, _| {}));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let m: Machine<()> = Machine::new(());
+        let _ = DeKernel::new(m, 0);
+    }
+
+    #[test]
+    fn zero_cycles_is_a_no_op() {
+        let m: Machine<()> = Machine::new(());
+        let mut k = DeKernel::new(m, 1);
+        k.run_cycles(0).unwrap();
+        assert_eq!(k.machine().cycle(), 0);
+    }
+}

@@ -1,0 +1,554 @@
+//! The machine: managers + OSMs + director configuration + shared hardware state.
+
+use crate::director::{self, AgeRanker, Ranker, RestartPolicy, Scratch, StepOutcome};
+use crate::error::ModelError;
+use crate::ids::{ManagerId, OsmId};
+use crate::manager::{ManagerTable, TokenManager};
+use crate::osm::{Behavior, Osm};
+use crate::spec::StateMachineSpec;
+use crate::stats::Stats;
+use crate::trace::Trace;
+use std::sync::Arc;
+
+/// The hardware layer of a processor model (paper §4).
+///
+/// The shared state `S` of a [`Machine`] implements this trait; its
+/// [`clock`](HardwareLayer::clock) hook runs once per cycle *before* the OSM
+/// control step, modeling the interval between control steps in which
+/// "hardware modules communicate with one another and exchange information
+/// with their TMIs". Typical work: advance cache-miss timers, unblock stage
+/// releases, update branch predictors.
+pub trait HardwareLayer {
+    /// Advances the hardware layer by one clock, with TMI access.
+    fn clock(&mut self, cycle: u64, managers: &mut ManagerTable) {
+        let _ = (cycle, managers);
+    }
+}
+
+impl HardwareLayer for () {}
+
+/// A complete OSM machine model.
+///
+/// `S` is the model's shared hardware-layer state. A machine owns the
+/// [`ManagerTable`] (hardware layer interface), all [`Osm`] instances
+/// (operation layer), and the director configuration.
+///
+/// ```
+/// use osm_core::{Machine, SpecBuilder, ExclusivePool, IdentExpr, InertBehavior};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m: Machine<()> = Machine::new(());
+/// let stage = m.add_manager(ExclusivePool::new("stage", 1));
+/// let mut b = SpecBuilder::new("op");
+/// let i = b.state("I");
+/// let s = b.state("S");
+/// b.initial(i);
+/// b.edge(i, s).allocate(stage, IdentExpr::Const(0));
+/// b.edge(s, i).release(stage, IdentExpr::AnyHeld);
+/// let spec = b.build()?;
+/// let op = m.add_osm(&spec, InertBehavior);
+/// m.step()?;
+/// assert_eq!(m.osm(op).state_name(), "S");
+/// # Ok(())
+/// # }
+/// ```
+pub struct Machine<S> {
+    /// The token managers (public for hardware-layer data access).
+    pub managers: ManagerTable,
+    osms: Vec<Osm<S>>,
+    specs: Vec<Arc<StateMachineSpec>>,
+    /// Shared hardware-layer state.
+    pub shared: S,
+    ranker: Box<dyn Ranker<S>>,
+    age_ranking: bool,
+    restart: RestartPolicy,
+    deadlock_check: bool,
+    cycle: u64,
+    age_counter: u64,
+    /// Scheduler statistics.
+    pub stats: Stats,
+    trace: Option<Trace>,
+    scratch: Scratch,
+}
+
+impl<S: 'static> Machine<S> {
+    /// Creates a machine around the given shared state, with the paper's
+    /// defaults: age ranking, Fig. 3 restart semantics, deadlock detection on.
+    pub fn new(shared: S) -> Self {
+        Machine {
+            managers: ManagerTable::new(),
+            osms: Vec::new(),
+            specs: Vec::new(),
+            shared,
+            ranker: Box::new(AgeRanker),
+            age_ranking: true,
+            restart: RestartPolicy::Restart,
+            deadlock_check: true,
+            cycle: 0,
+            age_counter: 0,
+            stats: Stats::new(),
+            trace: None,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Installs a token manager.
+    pub fn add_manager<M: TokenManager>(&mut self, manager: M) -> ManagerId {
+        self.managers.add(manager)
+    }
+
+    /// Instantiates one OSM of class `spec` with the given behavior.
+    pub fn add_osm<B: Behavior<S>>(&mut self, spec: &Arc<StateMachineSpec>, behavior: B) -> OsmId {
+        self.add_osm_tagged(spec, behavior, 0)
+    }
+
+    /// Instantiates one OSM with a thread tag (§6 multithreading extension).
+    pub fn add_osm_tagged<B: Behavior<S>>(
+        &mut self,
+        spec: &Arc<StateMachineSpec>,
+        behavior: B,
+        tag: u64,
+    ) -> OsmId {
+        let id = OsmId(self.osms.len() as u32);
+        let spec_idx = match self.specs.iter().position(|s| Arc::ptr_eq(s, spec)) {
+            Some(k) => k as u32,
+            None => {
+                self.specs.push(spec.clone());
+                (self.specs.len() - 1) as u32
+            }
+        };
+        self.osms
+            .push(Osm::new(id, spec.clone(), spec_idx, tag, Box::new(behavior)));
+        id
+    }
+
+    /// Instantiates `count` OSMs of the same class, one behavior each.
+    pub fn add_osm_pool<B, F>(
+        &mut self,
+        spec: &Arc<StateMachineSpec>,
+        count: usize,
+        mut factory: F,
+    ) -> Vec<OsmId>
+    where
+        B: Behavior<S>,
+        F: FnMut(usize) -> B,
+    {
+        (0..count).map(|k| self.add_osm(spec, factory(k))).collect()
+    }
+
+    /// Borrows an OSM.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn osm(&self, id: OsmId) -> &Osm<S> {
+        &self.osms[id.index()]
+    }
+
+    /// Number of OSM instances.
+    pub fn osm_count(&self) -> usize {
+        self.osms.len()
+    }
+
+    /// Iterates over all OSMs.
+    pub fn osms(&self) -> impl Iterator<Item = &Osm<S>> {
+        self.osms.iter()
+    }
+
+    /// Replaces the ranking policy.
+    pub fn set_ranker<R: Ranker<S>>(&mut self, ranker: R) {
+        self.age_ranking = std::any::TypeId::of::<R>() == std::any::TypeId::of::<AgeRanker>();
+        self.ranker = Box::new(ranker);
+    }
+
+    /// Sets the director restart policy.
+    pub fn set_restart_policy(&mut self, policy: RestartPolicy) {
+        self.restart = policy;
+    }
+
+    /// The current restart policy.
+    pub fn restart_policy(&self) -> RestartPolicy {
+        self.restart
+    }
+
+    /// Enables or disables wait-for-cycle deadlock detection.
+    pub fn set_deadlock_check(&mut self, on: bool) {
+        self.deadlock_check = on;
+    }
+
+    /// Starts recording a transition trace.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::new());
+        }
+    }
+
+    /// The trace recorded so far, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Takes the recorded trace, disabling tracing.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// The current cycle (number of completed [`Machine::step`]s).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Token-conservation audit: every token a manager believes is owned
+    /// must sit in exactly that owner's buffer, and every buffered token of
+    /// an auditable manager must be acknowledged by it. This is the dynamic
+    /// counterpart of the static checks in [`crate::verify_spec`]; tests run
+    /// it between control steps.
+    ///
+    /// # Panics
+    /// Never panics; violations are returned as human-readable strings.
+    pub fn audit_tokens(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut audited: Vec<bool> = vec![false; self.managers.len()];
+        for (id, manager) in self.managers.iter() {
+            let Some(owned) = manager.owned_tokens() else {
+                continue;
+            };
+            audited[id.index()] = true;
+            for (token, owner) in owned {
+                let held = self
+                    .osms
+                    .get(owner.index())
+                    .map(|osm| osm.buffer().iter().any(|h| h.token == token))
+                    .unwrap_or(false);
+                if !held {
+                    problems.push(format!(
+                        "manager {} says {owner} owns {token}, but it is not in that OSM's buffer",
+                        manager.name()
+                    ));
+                }
+            }
+        }
+        for osm in self.osms() {
+            for held in osm.buffer() {
+                let id = held.token.manager;
+                if !audited.get(id.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                let acknowledged = self
+                    .managers
+                    .get(id)
+                    .owned_tokens()
+                    .map(|owned| owned.iter().any(|(t, o)| *t == held.token && *o == osm.id()))
+                    .unwrap_or(true);
+                if !acknowledged {
+                    problems.push(format!(
+                        "{} holds {} which its manager does not acknowledge",
+                        osm.id(),
+                        held.token
+                    ));
+                }
+            }
+        }
+        problems
+    }
+
+    /// Runs the OSM layer only: one director control step (Fig. 3) at the
+    /// current cycle, without advancing the hardware layer. The DE kernel
+    /// uses this at clock edges; most users call [`Machine::step`].
+    ///
+    /// # Errors
+    /// Returns [`ModelError::Deadlock`] on a detected wait-for cycle.
+    pub fn control_step(&mut self) -> Result<StepOutcome, ModelError> {
+        director::control_step(
+            &mut self.osms,
+            &self.specs,
+            &mut self.managers,
+            &mut self.shared,
+            self.ranker.as_ref(),
+            self.age_ranking,
+            self.restart,
+            self.deadlock_check,
+            self.cycle,
+            &mut self.age_counter,
+            &mut self.stats,
+            self.trace.as_mut(),
+            &mut self.scratch,
+        )
+    }
+}
+
+impl<S: HardwareLayer + 'static> Machine<S> {
+    /// Advances one full cycle: hardware layer clock, manager clock hooks,
+    /// then the OSM control step (paper Fig. 4 embedding, cycle-driven form).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::Deadlock`] on a detected wait-for cycle.
+    pub fn step(&mut self) -> Result<StepOutcome, ModelError> {
+        self.shared.clock(self.cycle, &mut self.managers);
+        self.managers.clock_all(self.cycle);
+        let outcome = self.control_step()?;
+        self.cycle += 1;
+        self.stats.cycles += 1;
+        Ok(outcome)
+    }
+
+    /// Runs `n` cycles.
+    ///
+    /// # Errors
+    /// Propagates the first [`ModelError`].
+    pub fn run(&mut self, n: u64) -> Result<(), ModelError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Runs until `stop` returns true or `max_cycles` elapse; returns the
+    /// number of cycles executed.
+    ///
+    /// # Errors
+    /// Propagates the first [`ModelError`].
+    pub fn run_until<F>(&mut self, max_cycles: u64, mut stop: F) -> Result<u64, ModelError>
+    where
+        F: FnMut(&Machine<S>) -> bool,
+    {
+        let start = self.cycle;
+        while self.cycle - start < max_cycles {
+            if stop(self) {
+                break;
+            }
+            self.step()?;
+        }
+        Ok(self.cycle - start)
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Machine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cycle", &self.cycle)
+            .field("managers", &self.managers)
+            .field("osms", &self.osms.len())
+            .field("shared", &self.shared)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::SlotId;
+    use crate::osm::{InertBehavior, TransitionCtx};
+    use crate::pools::{ExclusivePool, RegScoreboard};
+    use crate::spec::{Edge, SpecBuilder};
+    use crate::token::{IdentExpr, TokenIdent};
+
+    /// Three-stage loop: I -> A -> B -> I over two exclusive stages.
+    fn pipeline_spec(ma: ManagerId, mb: ManagerId) -> Arc<StateMachineSpec> {
+        let mut b = SpecBuilder::new("pipe");
+        let i = b.state("I");
+        let a = b.state("A");
+        let bb = b.state("B");
+        b.initial(i);
+        b.edge(i, a).named("enter").allocate(ma, IdentExpr::Const(0));
+        b.edge(a, bb)
+            .named("advance")
+            .release(ma, IdentExpr::AnyHeld)
+            .allocate(mb, IdentExpr::Const(0));
+        b.edge(bb, i).named("leave").release(mb, IdentExpr::AnyHeld);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_osm_walks_pipeline() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        let op = m.add_osm(&spec, InertBehavior);
+        assert_eq!(m.osm(op).state_name(), "I");
+        m.step().unwrap();
+        assert_eq!(m.osm(op).state_name(), "A");
+        assert_eq!(m.osm(op).buffer().len(), 1);
+        m.step().unwrap();
+        assert_eq!(m.osm(op).state_name(), "B");
+        m.step().unwrap();
+        assert_eq!(m.osm(op).state_name(), "I");
+        assert!(m.osm(op).buffer().is_empty());
+        assert_eq!(m.stats.transitions, 3);
+        assert_eq!(m.cycle(), 3);
+    }
+
+    #[test]
+    fn two_osms_pipeline_in_order_and_structure_hazard_resolves() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        let o0 = m.add_osm(&spec, InertBehavior);
+        let o1 = m.add_osm(&spec, InertBehavior);
+        // Step 1: only one can enter A (one occupancy token).
+        m.step().unwrap();
+        let in_a = [o0, o1]
+            .iter()
+            .filter(|&&o| m.osm(o).state_name() == "A")
+            .count();
+        assert_eq!(in_a, 1);
+        // Step 2: senior advances to B, junior takes A *in the same step*
+        // (release visible within the step).
+        m.step().unwrap();
+        assert_eq!(m.osm(o0).state_name(), "B");
+        assert_eq!(m.osm(o1).state_name(), "A");
+    }
+
+    #[test]
+    fn age_ranking_keeps_seniors_first() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        // Insert in reverse id order relative to fetch: both idle, id ties
+        // break toward o0; o0 becomes senior.
+        let o0 = m.add_osm(&spec, InertBehavior);
+        let o1 = m.add_osm(&spec, InertBehavior);
+        m.run(2).unwrap();
+        assert!(m.osm(o0).age() < m.osm(o1).age());
+        assert_eq!(m.osm(o0).state_name(), "B");
+    }
+
+    #[test]
+    fn deadlock_detected_on_cyclic_dependency() {
+        // Two OSMs each hold one stage and want the other's: a wait cycle.
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        // Class 1: I -> A (take A), A -> Z (want B without releasing A).
+        let spec_ab = {
+            let mut b = SpecBuilder::new("ab");
+            let i = b.state("I");
+            let a = b.state("A");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(ma, IdentExpr::Const(0));
+            b.edge(a, z).allocate(mb, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        let spec_ba = {
+            let mut b = SpecBuilder::new("ba");
+            let i = b.state("I");
+            let a = b.state("B");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(mb, IdentExpr::Const(0));
+            b.edge(a, z).allocate(ma, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        m.add_osm(&spec_ab, InertBehavior);
+        m.add_osm(&spec_ba, InertBehavior);
+        // Step 1: each takes its first stage.
+        m.step().unwrap();
+        // Step 2: both blocked on each other -> deadlock.
+        let err = m.step().unwrap_err();
+        match err {
+            ModelError::Deadlock { osms, .. } => assert_eq!(osms.len(), 2),
+        }
+    }
+
+    #[test]
+    fn deadlock_check_can_be_disabled() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec_ab = {
+            let mut b = SpecBuilder::new("ab");
+            let i = b.state("I");
+            let a = b.state("A");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(ma, IdentExpr::Const(0));
+            b.edge(a, z).allocate(mb, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        let spec_ba = {
+            let mut b = SpecBuilder::new("ba");
+            let i = b.state("I");
+            let a = b.state("B");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(mb, IdentExpr::Const(0));
+            b.edge(a, z).allocate(ma, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        m.add_osm(&spec_ab, InertBehavior);
+        m.add_osm(&spec_ba, InertBehavior);
+        m.set_deadlock_check(false);
+        m.run(5).unwrap(); // stalls forever but never errors
+        assert!(m.stats.idle_steps >= 4);
+    }
+
+    #[test]
+    fn behavior_slots_drive_dynamic_identifiers() {
+        // An OSM that allocates a register-update token whose register index
+        // is decided by the behavior at the previous transition.
+        struct Decode {
+            dest: usize,
+        }
+        impl Behavior<()> for Decode {
+            fn on_transition(&mut self, edge: &Edge, ctx: &mut TransitionCtx<'_, ()>) {
+                if edge.name == "enter" {
+                    ctx.set_slot(SlotId(0), RegScoreboard::update_ident(self.dest));
+                }
+            }
+        }
+        let mut m: Machine<()> = Machine::new(());
+        let stage = m.add_manager(ExclusivePool::new("stage", 2));
+        let rf = m.add_manager(RegScoreboard::new("regs", 8));
+        let spec = {
+            let mut b = SpecBuilder::new("op");
+            let i = b.state("I");
+            let d = b.state("D");
+            let e = b.state("E");
+            b.initial(i);
+            b.edge(i, d).named("enter").allocate(stage, IdentExpr::ANY);
+            b.edge(d, e)
+                .named("issue")
+                .allocate(rf, IdentExpr::Slot(SlotId(0)));
+            b.build().unwrap()
+        };
+        let o0 = m.add_osm(&spec, Decode { dest: 3 });
+        let o1 = m.add_osm(&spec, Decode { dest: 3 });
+        m.run(2).unwrap();
+        // Senior OSM got the reg-3 update token; junior stalls in D (WAW).
+        assert_eq!(m.osm(o0).state_name(), "E");
+        assert_eq!(m.osm(o1).state_name(), "D");
+        let rfm: &RegScoreboard = m.managers.downcast(rf);
+        assert_eq!(rfm.writer_of(3), Some(o0));
+    }
+
+    #[test]
+    fn trace_records_transitions() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        m.add_osm(&spec, InertBehavior);
+        m.enable_trace();
+        m.run(3).unwrap();
+        let trace = m.take_trace().unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(m.trace().is_none());
+    }
+
+    #[test]
+    fn run_until_stops_on_predicate() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        let op = m.add_osm(&spec, InertBehavior);
+        let ran = m
+            .run_until(100, |m| m.osm(op).state_name() == "B")
+            .unwrap();
+        assert_eq!(ran, 2);
+        assert_eq!(m.osm(op).state_name(), "B");
+    }
+}

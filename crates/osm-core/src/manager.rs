@@ -1,0 +1,271 @@
+//! The token manager interface (TMI) and the manager table.
+//!
+//! Each hardware module that interacts with operations implements
+//! [`TokenManager`], the Rust rendering of the paper's TMI (§4). Because an
+//! edge condition is a conjunction whose primitives must succeed and commit
+//! *simultaneously*, the interface is two-phase: `prepare_*` tentatively
+//! applies a transaction (so that later primitives of the same condition
+//! observe it), and the director then either `commit_*`s or `abort_*`s every
+//! prepared transaction of the condition atomically.
+
+use crate::ids::{ManagerId, OsmId};
+use crate::token::{Token, TokenIdent};
+use std::any::Any;
+
+/// The token manager interface (TMI).
+///
+/// A manager controls one or more closely related tokens and implements the
+/// resource-management policy of its hardware module. Managers may check the
+/// identity (`OsmId`) of the requesting OSM when making decisions.
+///
+/// # Two-phase protocol
+///
+/// For every `prepare_allocate` that returns `Some(token)` and every
+/// `prepare_release` that returns `true`, the director guarantees exactly one
+/// matching `commit_*` or `abort_*` call before the end of the current edge
+/// evaluation. Managers must treat prepared transactions as tentatively
+/// applied: a token with a prepared allocation is unavailable to other
+/// requests until aborted.
+///
+/// `inquire` is read-only and needs no second phase. `discard` requires no
+/// permission and always succeeds; it is only invoked when an edge actually
+/// commits.
+pub trait TokenManager: Any {
+    /// Human-readable module name (used in traces and error messages).
+    fn name(&self) -> &str;
+
+    /// Called once when the manager is installed into a [`ManagerTable`],
+    /// telling it the id under which it will mint tokens.
+    fn attach(&mut self, id: ManagerId) {
+        let _ = id;
+    }
+
+    /// Λ `allocate`: tentatively grant a token for `ident` to `osm`.
+    ///
+    /// Returns `None` if the token is not available to this OSM.
+    fn prepare_allocate(&mut self, osm: OsmId, ident: TokenIdent) -> Option<Token>;
+
+    /// Λ `inquire`: is the resource unit denoted by `ident` available to
+    /// `osm` right now (without obtaining it)?
+    fn inquire(&self, osm: OsmId, ident: TokenIdent) -> bool;
+
+    /// Λ `release`: tentatively accept the return of `token` from `osm`.
+    ///
+    /// Returns `false` to refuse (e.g. a cache miss still in flight; the
+    /// paper's variable-latency idiom, §4).
+    fn prepare_release(&mut self, osm: OsmId, token: Token) -> bool;
+
+    /// Finalize a prepared allocation: `osm` now owns `token`.
+    fn commit_allocate(&mut self, osm: OsmId, token: Token);
+
+    /// Undo a prepared allocation; the token becomes available again.
+    fn abort_allocate(&mut self, osm: OsmId, token: Token);
+
+    /// Finalize a prepared release: the token returns to the manager and is
+    /// immediately available to other OSMs *within the same control step*.
+    fn commit_release(&mut self, osm: OsmId, token: Token);
+
+    /// Undo a prepared release; `osm` keeps the token.
+    fn abort_release(&mut self, osm: OsmId, token: Token);
+
+    /// Λ `discard`: `osm` drops `token` without permission. Always succeeds.
+    fn discard(&mut self, osm: OsmId, token: Token);
+
+    /// Current owner of the token denoted by `ident`, if the manager tracks
+    /// ownership. Used by the director's deadlock detector to build the
+    /// wait-for graph; returning `None` merely disables detection through
+    /// this manager.
+    fn owner_of(&self, ident: TokenIdent) -> Option<OsmId> {
+        let _ = ident;
+        None
+    }
+
+    /// Hardware-layer clock hook, invoked once per control step *before* the
+    /// OSM scheduling pass (managers are hardware modules; paper §4).
+    fn clock(&mut self, cycle: u64) {
+        let _ = cycle;
+    }
+
+    /// Every `(token, owner)` pair the manager believes is committed-owned.
+    /// Managers that do not track ownership return `None`, which merely
+    /// exempts them from [`crate::Machine::audit_tokens`].
+    fn owned_tokens(&self) -> Option<Vec<(Token, OsmId)>> {
+        None
+    }
+
+    /// Upcast for concrete-type access from behaviors.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for concrete-type access from behaviors.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Owning table of all token managers of a machine, indexed by [`ManagerId`].
+#[derive(Default)]
+pub struct ManagerTable {
+    managers: Vec<Box<dyn TokenManager>>,
+}
+
+impl ManagerTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a manager, informs it of its id via [`TokenManager::attach`],
+    /// and returns the id.
+    pub fn add<M: TokenManager>(&mut self, manager: M) -> ManagerId {
+        let id = ManagerId(self.managers.len() as u32);
+        let mut boxed = Box::new(manager);
+        boxed.attach(id);
+        self.managers.push(boxed);
+        id
+    }
+
+    /// Number of installed managers.
+    pub fn len(&self) -> usize {
+        self.managers.len()
+    }
+
+    /// True if no managers are installed.
+    pub fn is_empty(&self) -> bool {
+        self.managers.is_empty()
+    }
+
+    /// Borrows a manager as the trait object.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get(&self, id: ManagerId) -> &dyn TokenManager {
+        self.managers[id.index()].as_ref()
+    }
+
+    /// Mutably borrows a manager as the trait object.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn get_mut(&mut self, id: ManagerId) -> &mut dyn TokenManager {
+        self.managers[id.index()].as_mut()
+    }
+
+    /// Borrows a manager downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or the manager is not a `M`.
+    pub fn downcast<M: TokenManager>(&self, id: ManagerId) -> &M {
+        self.managers[id.index()]
+            .as_ref()
+            .as_any()
+            .downcast_ref::<M>()
+            .unwrap_or_else(|| panic!("manager {id} is not a {}", std::any::type_name::<M>()))
+    }
+
+    /// Mutably borrows a manager downcast to its concrete type.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range or the manager is not a `M`.
+    pub fn downcast_mut<M: TokenManager>(&mut self, id: ManagerId) -> &mut M {
+        self.managers[id.index()]
+            .as_mut()
+            .as_any_mut()
+            .downcast_mut::<M>()
+            .unwrap_or_else(|| panic!("manager {id} is not a {}", std::any::type_name::<M>()))
+    }
+
+    /// Invokes every manager's [`TokenManager::clock`] hook.
+    pub fn clock_all(&mut self, cycle: u64) {
+        for m in &mut self.managers {
+            m.clock(cycle);
+        }
+    }
+
+    /// Iterates over `(id, manager)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ManagerId, &dyn TokenManager)> {
+        self.managers
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ManagerId(i as u32), m.as_ref()))
+    }
+}
+
+impl std::fmt::Debug for ManagerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.managers.iter().map(|m| m.name()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pools::ExclusivePool;
+
+    #[test]
+    fn table_add_and_lookup() {
+        let mut table = ManagerTable::new();
+        assert!(table.is_empty());
+        let a = table.add(ExclusivePool::new("fetch", 1));
+        let b = table.add(ExclusivePool::new("decode", 1));
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.get(a).name(), "fetch");
+        assert_eq!(table.get(b).name(), "decode");
+        assert_eq!(a, ManagerId(0));
+        assert_eq!(b, ManagerId(1));
+    }
+
+    #[test]
+    fn downcast_roundtrip() {
+        let mut table = ManagerTable::new();
+        let a = table.add(ExclusivePool::new("fetch", 3));
+        let pool: &ExclusivePool = table.downcast(a);
+        assert_eq!(pool.capacity(), 3);
+        let pool: &mut ExclusivePool = table.downcast_mut(a);
+        assert_eq!(pool.capacity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn downcast_wrong_type_panics() {
+        struct Other;
+        impl TokenManager for Other {
+            fn name(&self) -> &str {
+                "other"
+            }
+            fn prepare_allocate(&mut self, _: OsmId, _: TokenIdent) -> Option<Token> {
+                None
+            }
+            fn inquire(&self, _: OsmId, _: TokenIdent) -> bool {
+                false
+            }
+            fn prepare_release(&mut self, _: OsmId, _: Token) -> bool {
+                false
+            }
+            fn commit_allocate(&mut self, _: OsmId, _: Token) {}
+            fn abort_allocate(&mut self, _: OsmId, _: Token) {}
+            fn commit_release(&mut self, _: OsmId, _: Token) {}
+            fn abort_release(&mut self, _: OsmId, _: Token) {}
+            fn discard(&mut self, _: OsmId, _: Token) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut table = ManagerTable::new();
+        let id = table.add(Other);
+        let _: &ExclusivePool = table.downcast(id);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let mut table = ManagerTable::new();
+        table.add(ExclusivePool::new("a", 1));
+        table.add(ExclusivePool::new("b", 1));
+        let names: Vec<_> = table.iter().map(|(id, m)| (id.0, m.name().to_owned())).collect();
+        assert_eq!(names, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Execution statistics for machines and processor models.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters collected while a [`crate::Machine`] runs.
+///
+/// Besides the fixed scheduler counters, models register named counters
+/// (retired instructions, cache hits, ...) through [`Stats::incr`].
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    /// Completed control steps.
+    pub cycles: u64,
+    /// Committed state transitions across all OSMs.
+    pub transitions: u64,
+    /// Edge evaluations whose condition was not satisfied.
+    pub condition_failures: u64,
+    /// Edge evaluations skipped by a behavior veto.
+    pub vetoed_edges: u64,
+    /// Control steps in which no OSM transitioned (global stall steps).
+    pub idle_steps: u64,
+    /// Director outer-loop restarts performed (Fig. 3 restart semantics).
+    pub restarts: u64,
+    named: BTreeMap<String, u64>,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to the named counter, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, amount: u64) {
+        *self.named.entry(name.to_owned()).or_insert(0) += amount;
+    }
+
+    /// Reads a named counter (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.named.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over named counters in name order.
+    pub fn named(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.named.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Transitions per cycle (0 if no cycles ran).
+    pub fn transitions_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.transitions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Stats::default();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:             {}", self.cycles)?;
+        writeln!(f, "transitions:        {}", self.transitions)?;
+        writeln!(f, "condition failures: {}", self.condition_failures)?;
+        writeln!(f, "vetoed edges:       {}", self.vetoed_edges)?;
+        writeln!(f, "idle steps:         {}", self.idle_steps)?;
+        writeln!(f, "restarts:           {}", self.restarts)?;
+        for (k, v) in self.named() {
+            writeln!(f, "{k}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_counters_accumulate() {
+        let mut s = Stats::new();
+        assert_eq!(s.get("retired"), 0);
+        s.incr("retired", 2);
+        s.incr("retired", 3);
+        assert_eq!(s.get("retired"), 5);
+        let all: Vec<_> = s.named().collect();
+        assert_eq!(all, vec![("retired", 5)]);
+    }
+
+    #[test]
+    fn transitions_per_cycle_handles_zero() {
+        let mut s = Stats::new();
+        assert_eq!(s.transitions_per_cycle(), 0.0);
+        s.cycles = 4;
+        s.transitions = 6;
+        assert!((s.transitions_per_cycle() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let mut s = Stats::new();
+        s.cycles = 7;
+        s.incr("hits", 1);
+        let text = s.to_string();
+        assert!(text.contains("cycles:             7"));
+        assert!(text.contains("hits: 1"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = Stats::new();
+        s.cycles = 1;
+        s.incr("x", 9);
+        s.reset();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.get("x"), 0);
+    }
+}

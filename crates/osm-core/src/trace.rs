@@ -1,0 +1,149 @@
+//! Transition tracing, used for model validation and determinism tests.
+
+use crate::ids::{EdgeId, OsmId, StateId};
+use std::fmt;
+
+/// One committed state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Control step at which the transition committed.
+    pub cycle: u64,
+    /// The transitioning OSM.
+    pub osm: OsmId,
+    /// The committed edge.
+    pub edge: EdgeId,
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{} {} {}: {} -> {}",
+            self.cycle, self.osm, self.edge, self.from, self.to
+        )
+    }
+}
+
+/// An ordered record of every committed transition of a machine run.
+///
+/// The order of events within one control step reflects the director's
+/// (deterministic) scheduling order, so two traces with equal digests imply
+/// behaviourally identical runs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    /// All recorded events, in commit order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// FNV-1a digest over the full event stream; equal digests mean equal
+    /// traces (up to hash collision), handy for determinism property tests.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.events {
+            mix(e.cycle);
+            mix(e.osm.0 as u64);
+            mix(e.edge.0 as u64);
+            mix(e.from.0 as u64);
+            mix(e.to.0 as u64);
+        }
+        h
+    }
+
+    /// Events of one control step.
+    pub fn step(&self, cycle: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.cycle == cycle)
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, osm: u32) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            osm: OsmId(osm),
+            edge: EdgeId(0),
+            from: StateId(0),
+            to: StateId(1),
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_traces() {
+        let mut a = Trace::new();
+        a.push(ev(0, 0));
+        let mut b = Trace::new();
+        b.push(ev(0, 1));
+        assert_ne!(a.digest(), b.digest());
+        let mut c = Trace::new();
+        c.push(ev(0, 0));
+        assert_eq!(a.digest(), c.digest());
+        assert_ne!(Trace::new().digest(), a.digest());
+    }
+
+    #[test]
+    fn step_filters_by_cycle() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0));
+        t.push(ev(1, 1));
+        t.push(ev(1, 2));
+        assert_eq!(t.step(1).count(), 2);
+        assert_eq!(t.step(0).count(), 1);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display_one_line_per_event() {
+        let mut t = Trace::new();
+        t.push(ev(3, 7));
+        assert_eq!(t.to_string(), "@3 osm7 e0: s0 -> s1\n");
+    }
+}

@@ -1,0 +1,454 @@
+//! Static (formal) analysis of state machine specifications — paper §6:
+//! "The OSM model is highly declarative... Thus it is possible to extract
+//! model properties for formal verification purposes."
+//!
+//! [`verify_spec`] checks structural properties every well-formed operation
+//! class should satisfy, without running a single cycle:
+//!
+//! * **Reachability** — every state is reachable from the initial state and
+//!   can reach it back (operations must be able to complete or be killed).
+//! * **Token balance** — along every simple operation path from `I` back to
+//!   `I`, each `allocate` is matched by a later `release`/`discard` of the
+//!   same manager (no token leaks — the director asserts an empty buffer at
+//!   `I` dynamically; this proves it statically), and nothing is released
+//!   that was never allocated.
+//! * **Priority ambiguity** — outgoing edges of one state with equal
+//!   priority are flagged (legal — declaration order breaks ties
+//!   deterministically — but usually unintended for edges to different
+//!   destinations).
+//! * **Initial-state buffer emptiness** — edges entering the initial state
+//!   must not allocate (the buffer must be empty in `I`, §3.1).
+
+use crate::ids::{EdgeId, ManagerId, StateId};
+use crate::spec::StateMachineSpec;
+use crate::token::{IdentExpr, Primitive};
+use std::fmt;
+
+/// A finding from [`verify_spec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecIssue {
+    /// `state` cannot be reached from the initial state.
+    Unreachable {
+        /// The orphaned state.
+        state: StateId,
+    },
+    /// `state` cannot reach the initial state (operations get stuck).
+    NoReturn {
+        /// The dead-end state.
+        state: StateId,
+    },
+    /// A path from `I` to `I` ends still holding a token of `manager`.
+    TokenLeak {
+        /// Edges of the leaking path.
+        path: Vec<EdgeId>,
+        /// The manager whose token is never returned.
+        manager: ManagerId,
+    },
+    /// An edge releases/discards a specific manager's token on a path that
+    /// never allocated one.
+    ReleaseWithoutAllocate {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The manager involved.
+        manager: ManagerId,
+    },
+    /// Two outgoing edges of `state` to different destinations share a
+    /// priority (tie broken by declaration order).
+    AmbiguousPriority {
+        /// The state with the ambiguous edges.
+        state: StateId,
+        /// The tied edges.
+        edges: Vec<EdgeId>,
+        /// The shared priority value.
+        priority: i32,
+    },
+    /// An edge entering the initial state allocates a token (the buffer
+    /// must be empty in `I`).
+    AllocateIntoInitial {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+}
+
+impl fmt::Display for SpecIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecIssue::Unreachable { state } => {
+                write!(f, "state {state} is unreachable from the initial state")
+            }
+            SpecIssue::NoReturn { state } => {
+                write!(f, "state {state} cannot reach the initial state")
+            }
+            SpecIssue::TokenLeak { path, manager } => {
+                write!(f, "path [")?;
+                for (k, e) in path.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "] returns to the initial state holding a token of {manager}")
+            }
+            SpecIssue::ReleaseWithoutAllocate { edge, manager } => {
+                write!(f, "edge {edge} returns a token of {manager} never allocated on its path")
+            }
+            SpecIssue::AmbiguousPriority {
+                state,
+                edges,
+                priority,
+            } => {
+                write!(
+                    f,
+                    "state {state} has {} outgoing edges tied at priority {priority}",
+                    edges.len()
+                )
+            }
+            SpecIssue::AllocateIntoInitial { edge } => {
+                write!(f, "edge {edge} allocates while entering the initial state")
+            }
+        }
+    }
+}
+
+/// Runs every static check; an empty result means the spec is well formed.
+pub fn verify_spec(spec: &StateMachineSpec) -> Vec<SpecIssue> {
+    let mut issues = Vec::new();
+    reachability(spec, &mut issues);
+    priorities(spec, &mut issues);
+    alloc_into_initial(spec, &mut issues);
+    token_balance(spec, &mut issues);
+    issues
+}
+
+fn reachability(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
+    let n = spec.state_count();
+    let initial = spec.initial();
+
+    // Forward reachability from I.
+    let mut fwd = vec![false; n];
+    let mut stack = vec![initial];
+    while let Some(s) = stack.pop() {
+        if std::mem::replace(&mut fwd[s.index()], true) {
+            continue;
+        }
+        for &e in spec.out_edges(s) {
+            stack.push(spec.edge(e).dst);
+        }
+    }
+    // Backward reachability to I.
+    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for e in spec.edges() {
+        preds[e.dst.index()].push(e.src);
+    }
+    let mut back = vec![false; n];
+    let mut stack = vec![initial];
+    while let Some(s) = stack.pop() {
+        if std::mem::replace(&mut back[s.index()], true) {
+            continue;
+        }
+        for &p in &preds[s.index()] {
+            stack.push(p);
+        }
+    }
+    for s in spec.states() {
+        if !fwd[s.index()] {
+            issues.push(SpecIssue::Unreachable { state: s });
+        } else if !back[s.index()] {
+            issues.push(SpecIssue::NoReturn { state: s });
+        }
+    }
+}
+
+fn priorities(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
+    for s in spec.states() {
+        let out = spec.out_edges(s);
+        let mut k = 0;
+        while k < out.len() {
+            let p = spec.edge(out[k]).priority;
+            let mut group = vec![out[k]];
+            let mut j = k + 1;
+            while j < out.len() && spec.edge(out[j]).priority == p {
+                group.push(out[j]);
+                j += 1;
+            }
+            // Parallel edges between the same pair of states are the
+            // documented encoding of disjunction — not ambiguous.
+            let first_dst = spec.edge(group[0]).dst;
+            if group.len() > 1 && group.iter().any(|&e| spec.edge(e).dst != first_dst) {
+                issues.push(SpecIssue::AmbiguousPriority {
+                    state: s,
+                    edges: group,
+                    priority: p,
+                });
+            }
+            k = j;
+        }
+    }
+}
+
+fn alloc_into_initial(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
+    for e in spec.edges() {
+        if e.dst != spec.initial() {
+            continue;
+        }
+        // An allocation is fine if the same condition returns it (the
+        // allocate-and-discard idiom for per-cycle bandwidth tokens).
+        let returned = |m: ManagerId| {
+            e.condition.iter().any(|p| match *p {
+                Primitive::Release { manager, .. } => manager == m,
+                Primitive::Discard { manager, .. } => manager.map_or(true, |x| x == m),
+                _ => false,
+            })
+        };
+        for p in &e.condition {
+            if let Primitive::Allocate { manager, .. } = *p {
+                if !returned(manager) {
+                    issues.push(SpecIssue::AllocateIntoInitial { edge: e.id });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Symbolically tracks held-manager multisets along every simple `I → I`
+/// path (identifiers abstracted away; slot-resolved primitives may be
+/// vacuous at runtime, so releases of never-allocated managers are only
+/// flagged for constant identifiers).
+fn token_balance(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
+    let initial = spec.initial();
+
+    fn dfs(
+        spec: &StateMachineSpec,
+        state: StateId,
+        held: &mut Vec<ManagerId>,
+        path: &mut Vec<EdgeId>,
+        visited: &mut Vec<StateId>,
+        issues: &mut Vec<SpecIssue>,
+    ) {
+        for &eid in spec.out_edges(state) {
+            let edge = spec.edge(eid);
+            let mut now = held.clone();
+            for prim in &edge.condition {
+                match *prim {
+                    Primitive::Allocate { manager, ident } => {
+                        if !matches!(ident, IdentExpr::Slot(_)) {
+                            now.push(manager);
+                        } else {
+                            now.push(manager); // may be vacuous; assume held
+                        }
+                    }
+                    Primitive::Release { manager, ident } => {
+                        if let Some(pos) = now.iter().position(|&m| m == manager) {
+                            now.remove(pos);
+                        } else if matches!(ident, IdentExpr::Const(_) | IdentExpr::AnyHeld) {
+                            issues.push(SpecIssue::ReleaseWithoutAllocate {
+                                edge: eid,
+                                manager,
+                            });
+                        }
+                    }
+                    Primitive::Discard { manager, .. } => match manager {
+                        Some(m) => {
+                            if let Some(pos) = now.iter().position(|&x| x == m) {
+                                now.remove(pos);
+                            }
+                        }
+                        None => now.clear(),
+                    },
+                    Primitive::Inquire { .. } => {}
+                }
+            }
+            path.push(eid);
+            if edge.dst == spec.initial() {
+                // A complete operation path: the buffer must be empty. Slot
+                // allocations may have been vacuous, so only report leaks
+                // whose allocation used a constant identifier.
+                for &m in &now {
+                    let const_alloc = path.iter().any(|&pe| {
+                        spec.edge(pe).condition.iter().any(|p| {
+                            matches!(
+                                *p,
+                                Primitive::Allocate {
+                                    manager,
+                                    ident: IdentExpr::Const(_)
+                                } if manager == m
+                            )
+                        })
+                    });
+                    if const_alloc {
+                        issues.push(SpecIssue::TokenLeak {
+                            path: path.clone(),
+                            manager: m,
+                        });
+                    }
+                }
+            } else if !visited.contains(&edge.dst) {
+                visited.push(edge.dst);
+                dfs(spec, edge.dst, &mut now, path, visited, issues);
+                visited.pop();
+            }
+            path.pop();
+        }
+    }
+
+    let mut held = Vec::new();
+    let mut path = Vec::new();
+    let mut visited = vec![initial];
+    dfs(spec, initial, &mut held, &mut path, &mut visited, issues);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn m(k: u32) -> ManagerId {
+        ManagerId(k)
+    }
+
+    #[test]
+    fn clean_pipeline_verifies() {
+        let mut b = SpecBuilder::new("ok");
+        let i = b.state("I");
+        let a = b.state("A");
+        let z = b.state("B");
+        b.initial(i);
+        b.edge(i, a).allocate(m(0), IdentExpr::Const(0));
+        b.edge(a, z)
+            .release(m(0), IdentExpr::AnyHeld)
+            .allocate(m(1), IdentExpr::Const(0));
+        b.edge(z, i).release(m(1), IdentExpr::AnyHeld);
+        let spec = b.build().unwrap();
+        assert!(verify_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn unreachable_state_detected() {
+        let mut b = SpecBuilder::new("x");
+        let i = b.state("I");
+        let a = b.state("A");
+        let orphan = b.state("Orphan");
+        b.initial(i);
+        b.edge(i, a);
+        b.edge(a, i);
+        b.edge(orphan, i);
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues.contains(&SpecIssue::Unreachable { state: orphan }));
+    }
+
+    #[test]
+    fn dead_end_state_detected() {
+        let mut b = SpecBuilder::new("x");
+        let i = b.state("I");
+        let stuck = b.state("Stuck");
+        b.initial(i);
+        b.edge(i, stuck);
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues.contains(&SpecIssue::NoReturn { state: stuck }));
+    }
+
+    #[test]
+    fn token_leak_detected() {
+        let mut b = SpecBuilder::new("leaky");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a).allocate(m(0), IdentExpr::Const(0));
+        b.edge(a, i); // never releases
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues
+            .iter()
+            .any(|x| matches!(x, SpecIssue::TokenLeak { manager, .. } if *manager == m(0))));
+    }
+
+    #[test]
+    fn discard_all_clears_leak() {
+        let mut b = SpecBuilder::new("reset");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a).allocate(m(0), IdentExpr::Const(0));
+        b.edge(a, i).discard_all();
+        let spec = b.build().unwrap();
+        assert!(verify_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn release_without_allocate_detected() {
+        let mut b = SpecBuilder::new("bad");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a).release(m(3), IdentExpr::AnyHeld);
+        b.edge(a, i);
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues
+            .iter()
+            .any(|x| matches!(x, SpecIssue::ReleaseWithoutAllocate { manager, .. } if *manager == m(3))));
+    }
+
+    #[test]
+    fn equal_priority_to_different_states_flagged() {
+        let mut b = SpecBuilder::new("amb");
+        let i = b.state("I");
+        let a = b.state("A");
+        let z = b.state("B");
+        b.initial(i);
+        b.edge(i, a).priority(5);
+        b.edge(i, z).priority(5);
+        b.edge(a, i);
+        b.edge(z, i);
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues
+            .iter()
+            .any(|x| matches!(x, SpecIssue::AmbiguousPriority { priority: 5, .. })));
+    }
+
+    #[test]
+    fn parallel_edges_same_destination_not_flagged() {
+        // Disjunction encoding: parallel edges between the same states.
+        let mut b = SpecBuilder::new("par");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a).inquire(m(0), IdentExpr::Const(0));
+        b.edge(i, a).inquire(m(1), IdentExpr::Const(0));
+        b.edge(a, i);
+        let spec = b.build().unwrap();
+        assert!(verify_spec(&spec).is_empty());
+    }
+
+    #[test]
+    fn allocate_into_initial_flagged() {
+        let mut b = SpecBuilder::new("bad");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a).allocate(m(0), IdentExpr::Const(0));
+        b.edge(a, i)
+            .release(m(0), IdentExpr::AnyHeld)
+            .allocate(m(1), IdentExpr::Const(0));
+        let spec = b.build().unwrap();
+        let issues = verify_spec(&spec);
+        assert!(issues
+            .iter()
+            .any(|x| matches!(x, SpecIssue::AllocateIntoInitial { .. })));
+    }
+
+    #[test]
+    fn issues_display_readably() {
+        let issue = SpecIssue::TokenLeak {
+            path: vec![EdgeId(0), EdgeId(1)],
+            manager: m(2),
+        };
+        let text = issue.to_string();
+        assert!(text.contains("e0 e1"));
+        assert!(text.contains("mgr2"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests over the reusable token managers: random transaction
+//! sequences never violate the pool invariants (conservation, two-phase
+//! restoration, exclusivity).
+
+use osm_core::{ExclusivePool, ManagerId, OsmId, RegScoreboard, Token, TokenIdent, TokenManager};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    PrepareAllocate { osm: u32, ident: u64 },
+    PrepareRelease { osm: u32 },
+    Commit,
+    Abort,
+    Discard { osm: u32 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, 0u64..6).prop_map(|(osm, ident)| Op::PrepareAllocate { osm, ident }),
+        (0u32..4).prop_map(|osm| Op::PrepareRelease { osm }),
+        Just(Op::Commit),
+        Just(Op::Abort),
+        (0u32..4).prop_map(|osm| Op::Discard { osm }),
+    ]
+}
+
+/// Drives an [`ExclusivePool`] with a random transaction stream, modeling
+/// the director's discipline (each prepare is either committed or aborted
+/// before the next), and checks conservation after every step.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn exclusive_pool_conserves_tokens(ops in prop::collection::vec(op(), 1..120)) {
+        let mut pool = ExclusivePool::new("p", 4);
+        pool.attach(ManagerId(0));
+        // Committed ownership we believe in: (osm, token).
+        let mut owned: Vec<(OsmId, Token)> = Vec::new();
+        // At most one outstanding prepared transaction (director discipline).
+        let mut pending: Option<(OsmId, Token, bool)> = None; // (osm, token, is_release)
+
+        for o in ops {
+            match o {
+                Op::PrepareAllocate { osm, ident } if pending.is_none() => {
+                    let osm = OsmId(osm);
+                    if let Some(token) = pool.prepare_allocate(osm, TokenIdent(ident % 6)) {
+                        // Exclusivity: nobody owns it already.
+                        prop_assert!(!owned.iter().any(|(_, t)| *t == token));
+                        pending = Some((osm, token, false));
+                    }
+                }
+                Op::PrepareRelease { osm } if pending.is_none() => {
+                    let osm = OsmId(osm);
+                    if let Some(&(_, token)) = owned.iter().find(|(o2, _)| *o2 == osm) {
+                        if pool.prepare_release(osm, token) {
+                            pending = Some((osm, token, true));
+                        }
+                    }
+                }
+                Op::Commit => {
+                    if let Some((osm, token, is_release)) = pending.take() {
+                        if is_release {
+                            pool.commit_release(osm, token);
+                            owned.retain(|(_, t)| *t != token);
+                        } else {
+                            pool.commit_allocate(osm, token);
+                            owned.push((osm, token));
+                        }
+                    }
+                }
+                Op::Abort => {
+                    if let Some((osm, token, is_release)) = pending.take() {
+                        if is_release {
+                            pool.abort_release(osm, token);
+                        } else {
+                            pool.abort_allocate(osm, token);
+                        }
+                    }
+                }
+                Op::Discard { osm } => {
+                    if pending.is_none() {
+                        let osm = OsmId(osm);
+                        if let Some(&(_, token)) = owned.iter().find(|(o2, _)| *o2 == osm) {
+                            pool.discard(osm, token);
+                            owned.retain(|(_, t)| *t != token);
+                        }
+                    }
+                }
+                _ => {} // prepare while another is pending: skipped
+            }
+            // Conservation: free + owned + pending-allocate == capacity.
+            // (A pending release is already counted in `owned`.)
+            let in_flight =
+                owned.len() + usize::from(matches!(pending, Some((_, _, false))));
+            prop_assert_eq!(pool.free_count() + in_flight, pool.capacity());
+            // The pool's ownership report matches ours exactly: a pending
+            // allocate is not yet owned (and absent from both sides), while
+            // a pending release is still owned (and present on both sides).
+            let reported = pool.owned_tokens().expect("auditable");
+            prop_assert_eq!(reported.len(), owned.len());
+            for (token, osm) in reported {
+                prop_assert!(owned.contains(&(osm, token)));
+            }
+        }
+    }
+
+    #[test]
+    fn scoreboard_prepare_abort_is_identity(regs in prop::collection::vec(0usize..8, 1..40)) {
+        let mut sb = RegScoreboard::new("sb", 8);
+        sb.attach(ManagerId(0));
+        // Commit a writer first.
+        let w = OsmId(0);
+        let t0 = sb.prepare_allocate(w, RegScoreboard::update_ident(0)).expect("free");
+        sb.commit_allocate(w, t0);
+        let before: Vec<bool> = (0..8).map(|r| sb.is_busy(r)).collect();
+        // Any prepare/abort round-trip leaves the scoreboard unchanged.
+        for r in regs {
+            if let Some(t) = sb.prepare_allocate(OsmId(1), RegScoreboard::update_ident(r)) {
+                sb.abort_allocate(OsmId(1), t);
+            }
+            if sb.prepare_release(w, t0) {
+                sb.abort_release(w, t0);
+            }
+            let after: Vec<bool> = (0..8).map(|k| sb.is_busy(k)).collect();
+            prop_assert_eq!(&after, &before);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # portsim — a hardware-centric port/signal simulation substrate
+//!
+//! A from-scratch, SystemC-like discrete-event kernel: typed [`Signal`]s
+//! with current/next (delta-cycle) semantics, [`Module`]s with
+//! combinational `eval` and clocked `tick` phases, and a [`PortKernel`]
+//! that iterates evaluation to convergence every cycle.
+//!
+//! In this repository it plays the role of the SystemC substrate of the
+//! paper's PowerPC-750 baseline model (§5.2): the same micro-architecture
+//! expressed with explicit port wiring, whose communication overhead the
+//! OSM model avoids.
+//!
+//! ```
+//! use portsim::{Module, PortKernel, Signal, SignalStore};
+//!
+//! struct Driver { out: Signal<u8> }
+//! impl Module for Driver {
+//!     fn name(&self) -> &str { "driver" }
+//!     fn eval(&mut self, s: &mut SignalStore) { s.write(self.out, 5); }
+//!     fn tick(&mut self, _s: &mut SignalStore) {}
+//! }
+//!
+//! let mut k = PortKernel::new();
+//! let wire = k.signals.signal("wire", 0u8);
+//! k.add_module(Driver { out: wire });
+//! k.step();
+//! assert_eq!(k.signals.read(wire), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kernel;
+mod signal;
+
+pub use kernel::{KernelStats, Module, PortKernel};
+pub use signal::{Signal, SignalStore};

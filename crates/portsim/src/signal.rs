@@ -1,0 +1,202 @@
+//! Typed signals with current/next-value (delta-cycle) semantics.
+
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed handle to a signal in a [`SignalStore`].
+///
+/// Handles are cheap copies; the value lives in the store. Like a SystemC
+/// `sc_signal`, a write becomes visible to readers only after the next delta
+/// cycle, which makes module evaluation order irrelevant.
+pub struct Signal<T> {
+    pub(crate) index: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Signal<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Signal<T> {}
+
+impl<T> fmt::Debug for Signal<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signal#{}", self.index)
+    }
+}
+
+trait SlotLike: Any {
+    /// Moves `next` into `current`; returns true if the value changed.
+    fn settle(&mut self) -> bool;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn name(&self) -> &str;
+}
+
+struct Slot<T> {
+    name: String,
+    current: T,
+    next: T,
+}
+
+impl<T: Copy + PartialEq + 'static> SlotLike for Slot<T> {
+    fn settle(&mut self) -> bool {
+        let changed = self.current != self.next;
+        self.current = self.next;
+        changed
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Owns every signal of a simulation.
+#[derive(Default)]
+pub struct SignalStore {
+    slots: Vec<Box<dyn SlotLike>>,
+    writes: u64,
+}
+
+impl fmt::Debug for SignalStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SignalStore")
+            .field("signals", &self.slots.len())
+            .field("writes", &self.writes)
+            .finish()
+    }
+}
+
+impl SignalStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a signal with an initial value.
+    pub fn signal<T: Copy + PartialEq + 'static>(
+        &mut self,
+        name: impl Into<String>,
+        initial: T,
+    ) -> Signal<T> {
+        let index = self.slots.len();
+        self.slots.push(Box::new(Slot {
+            name: name.into(),
+            current: initial,
+            next: initial,
+        }));
+        Signal {
+            index,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Reads a signal's *current* value.
+    ///
+    /// # Panics
+    /// Panics if the handle does not belong to this store.
+    pub fn read<T: Copy + PartialEq + 'static>(&self, sig: Signal<T>) -> T {
+        self.slots[sig.index]
+            .as_any()
+            .downcast_ref::<Slot<T>>()
+            .expect("signal type mismatch")
+            .current
+    }
+
+    /// Schedules a signal's *next* value (visible after the delta cycle).
+    ///
+    /// # Panics
+    /// Panics if the handle does not belong to this store.
+    pub fn write<T: Copy + PartialEq + 'static>(&mut self, sig: Signal<T>, value: T) {
+        self.writes += 1;
+        self.slots[sig.index]
+            .as_any_mut()
+            .downcast_mut::<Slot<T>>()
+            .expect("signal type mismatch")
+            .next = value;
+    }
+
+    /// Commits all pending writes; returns how many signals changed value.
+    pub fn settle(&mut self) -> usize {
+        self.slots.iter_mut().map(|s| s.settle() as usize).sum()
+    }
+
+    /// Number of declared signals.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no signals are declared.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total writes performed (kernel overhead statistic).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Name of the signal behind a handle.
+    pub fn name<T: Copy + PartialEq + 'static>(&self, sig: Signal<T>) -> &str {
+        self.slots[sig.index].name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_is_invisible_until_settle() {
+        let mut store = SignalStore::new();
+        let s = store.signal("s", 0u32);
+        store.write(s, 7);
+        assert_eq!(store.read(s), 0);
+        assert_eq!(store.settle(), 1);
+        assert_eq!(store.read(s), 7);
+    }
+
+    #[test]
+    fn settle_reports_only_changes() {
+        let mut store = SignalStore::new();
+        let a = store.signal("a", 1u8);
+        let _b = store.signal("b", false);
+        store.write(a, 1); // same value
+        assert_eq!(store.settle(), 0);
+        store.write(a, 2);
+        assert_eq!(store.settle(), 1);
+    }
+
+    #[test]
+    fn typed_signals_coexist() {
+        let mut store = SignalStore::new();
+        let a = store.signal("a", 0u64);
+        let b = store.signal("b", (0u32, true));
+        store.write(a, 9);
+        store.write(b, (3, false));
+        store.settle();
+        assert_eq!(store.read(a), 9);
+        assert_eq!(store.read(b), (3, false));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.name(a), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_confusion_panics() {
+        let mut store = SignalStore::new();
+        let a = store.signal("a", 0u64);
+        let fake: Signal<bool> = Signal {
+            index: a.index,
+            _marker: std::marker::PhantomData,
+        };
+        let _ = store.read(fake);
+    }
+}

@@ -1,0 +1,211 @@
+//! The lock-step functional oracle.
+//!
+//! The paper built its micro-architecture models "based on existing ISSs"
+//! (§5). In the out-of-order model this takes the classic oracle form: the
+//! functional engine executes each *right-path* instruction at fetch time,
+//! supplying the timing model with the decoded instruction, the actual
+//! control-flow outcome (so mispredictions are known when the branch
+//! resolves) and the memory address (for D-cache timing). Wrong-path
+//! operations never touch the oracle — they exist only in the timing model.
+
+use minirisc::{
+    decode, effective_address, execute, CpuState, Instr, Memory, Outcome, Program, Reg,
+    SparseMemory,
+};
+
+/// Everything the timing model needs to know about one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleStep {
+    /// Fetch address.
+    pub pc: u32,
+    /// Decoded instruction.
+    pub instr: Instr,
+    /// Actual next PC.
+    pub next_pc: u32,
+    /// True if control transferred (next_pc != pc + 4).
+    pub taken: bool,
+    /// Effective address for memory operations.
+    pub mem_addr: Option<u32>,
+    /// True for `halt` / exit-syscall (ends the program at retire).
+    pub is_halting: bool,
+}
+
+/// The functional execution oracle.
+#[derive(Debug)]
+pub struct Oracle {
+    /// Architectural state (authoritative).
+    pub cpu: CpuState,
+    /// Functional memory.
+    pub mem: SparseMemory,
+    /// True once the halting instruction executed.
+    pub halted: bool,
+    /// Exit code.
+    pub exit_code: u32,
+    /// Output bytes (committed in program order — right-path only).
+    pub output: Vec<u8>,
+    /// First anomaly (undecodable right-path instruction, unknown syscall).
+    pub error: Option<String>,
+    /// Instructions executed.
+    pub executed: u64,
+}
+
+impl Oracle {
+    /// Loads `program` and prepares to execute from its entry.
+    pub fn new(program: &Program) -> Self {
+        let mut mem = SparseMemory::new();
+        program.load_into(&mut mem);
+        Oracle {
+            cpu: CpuState::new(program.entry),
+            mem,
+            halted: false,
+            exit_code: 0,
+            output: Vec::new(),
+            error: None,
+            executed: 0,
+        }
+    }
+
+    /// The PC of the next instruction the oracle will execute.
+    pub fn next_pc(&self) -> u32 {
+        self.cpu.pc
+    }
+
+    /// Executes one instruction, returning its record.
+    ///
+    /// # Panics
+    /// Panics if called after the oracle halted (the timing model's fetch
+    /// gate must prevent this).
+    pub fn step(&mut self) -> OracleStep {
+        assert!(!self.halted, "oracle stepped after halt");
+        let pc = self.cpu.pc;
+        let word = self.mem.read_u32(pc);
+        let instr = match decode(word) {
+            Ok(i) => i,
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(format!("at {pc:#010x}: {e}"));
+                }
+                // An undecodable right-path instruction halts the machine.
+                self.halted = true;
+                return OracleStep {
+                    pc,
+                    instr: Instr::Halt,
+                    next_pc: pc.wrapping_add(4),
+                    taken: false,
+                    mem_addr: None,
+                    is_halting: true,
+                };
+            }
+        };
+        let mem_addr = effective_address(instr, &self.cpu);
+        let outcome = execute(instr, &mut self.cpu, &mut self.mem);
+        let mut is_halting = false;
+        let next_pc = match outcome {
+            Outcome::Next => pc.wrapping_add(4),
+            Outcome::Taken(t) => t,
+            Outcome::Halt => {
+                is_halting = true;
+                pc.wrapping_add(4)
+            }
+            Outcome::Syscall => {
+                let nr = self.cpu.gpr(Reg(10));
+                let arg = self.cpu.gpr(Reg(11));
+                match nr {
+                    minirisc::syscalls::EXIT => {
+                        is_halting = true;
+                        self.exit_code = arg;
+                    }
+                    minirisc::syscalls::PUTCHAR => self.output.push(arg as u8),
+                    minirisc::syscalls::PUTUINT => {
+                        self.output.extend_from_slice(arg.to_string().as_bytes())
+                    }
+                    other => {
+                        if self.error.is_none() {
+                            self.error = Some(format!("unknown syscall {other} at {pc:#010x}"));
+                        }
+                        is_halting = true;
+                    }
+                }
+                pc.wrapping_add(4)
+            }
+        };
+        self.cpu.pc = next_pc;
+        self.halted = is_halting;
+        self.executed += 1;
+        OracleStep {
+            pc,
+            instr,
+            next_pc,
+            taken: next_pc != pc.wrapping_add(4),
+            mem_addr,
+            is_halting,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minirisc::assemble;
+
+    #[test]
+    fn steps_through_a_branching_program() {
+        let p = assemble(
+            "
+            li r1, 2
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        ",
+            0,
+        )
+        .unwrap();
+        let mut o = Oracle::new(&p);
+        let s = o.step();
+        assert_eq!(s.pc, 0);
+        assert!(!s.taken);
+        let s = o.step(); // addi
+        assert!(!s.taken);
+        let s = o.step(); // bne taken
+        assert!(s.taken);
+        assert_eq!(s.next_pc, p.symbol("loop").unwrap());
+        o.step(); // addi
+        let s = o.step(); // bne not taken
+        assert!(!s.taken);
+        let s = o.step(); // halt
+        assert!(s.is_halting);
+        assert!(o.halted);
+        assert_eq!(o.executed, 6);
+    }
+
+    #[test]
+    fn memory_ops_report_addresses() {
+        let p = assemble("la r1, d\nlw r2, 0(r1)\nhalt\nd:\n.word 5\n", 0).unwrap();
+        let mut o = Oracle::new(&p);
+        o.step();
+        o.step(); // ori half of la
+        let s = o.step(); // lw
+        assert_eq!(s.mem_addr, Some(p.symbol("d").unwrap()));
+    }
+
+    #[test]
+    fn undecodable_becomes_halting() {
+        let mut p = assemble("nop\n", 0).unwrap();
+        p.words.push(0xFF00_0000);
+        let mut o = Oracle::new(&p);
+        o.step();
+        let s = o.step();
+        assert!(s.is_halting);
+        assert!(o.error.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "after halt")]
+    fn stepping_after_halt_panics() {
+        let p = assemble("halt\n", 0).unwrap();
+        let mut o = Oracle::new(&p);
+        o.step();
+        o.step();
+    }
+}

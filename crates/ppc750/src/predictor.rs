@@ -1,0 +1,93 @@
+//! Branch prediction hardware: a 2-bit-counter branch history table.
+//!
+//! The PPC 750 predicts conditional branches with a 512-entry BHT and caches
+//! targets in a branch target instruction cache (BTIC). In this model
+//! direct targets are computed at fetch (standing in for the BTIC), so only
+//! the direction predictor carries state.
+
+/// A table of 2-bit saturating counters indexed by the instruction address.
+#[derive(Debug, Clone)]
+pub struct Bht {
+    counters: Vec<u8>,
+    mask: usize,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Training updates performed.
+    pub updates: u64,
+}
+
+impl Bht {
+    /// Creates a BHT with `entries` counters (power of two), initialized to
+    /// weakly-not-taken.
+    ///
+    /// # Panics
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "BHT entries must be a power of two");
+        Bht {
+            counters: vec![1; entries],
+            mask: entries - 1,
+            lookups: 0,
+            updates: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & self.mask
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&mut self, pc: u32) -> bool {
+        self.lookups += 1;
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Trains the counter with the actual direction.
+    pub fn train(&mut self, pc: u32, taken: bool) {
+        self.updates += 1;
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate_and_flip() {
+        let mut bht = Bht::new(16);
+        let pc = 0x1000;
+        assert!(!bht.predict(pc)); // weakly not-taken
+        bht.train(pc, true);
+        assert!(bht.predict(pc)); // counter 2
+        bht.train(pc, true);
+        bht.train(pc, true); // saturates at 3
+        bht.train(pc, false);
+        assert!(bht.predict(pc)); // 2: still taken
+        bht.train(pc, false);
+        bht.train(pc, false);
+        assert!(!bht.predict(pc));
+        assert_eq!(bht.updates, 6);
+    }
+
+    #[test]
+    fn distinct_pcs_map_to_distinct_counters() {
+        let mut bht = Bht::new(16);
+        bht.train(0x1000, true);
+        bht.train(0x1000, true);
+        assert!(bht.predict(0x1000));
+        assert!(!bht.predict(0x1004));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Bht::new(10);
+    }
+}

@@ -1,0 +1,196 @@
+//! Model-diff debugging harness (all `#[ignore]`d): cycle-by-cycle
+//! comparison of the OSM and port/signal PPC-750 models, plus the
+//! micro-program bisection suite that located the three cross-paradigm
+//! timing discrepancies documented in `EXPERIMENTS.md`. Run with
+//! `cargo test -p ppc750 --test diag -- --ignored --nocapture`.
+
+use minirisc::assemble;
+use ppc750::{PpcConfig, PpcOsmSim, PpcPortSim};
+use workloads::specint_scaled;
+
+#[test]
+#[ignore]
+fn alu11_dump() {
+    let instrs: Vec<String> = (0..11).map(|k| format!("addi r{}, r0, {}", 2 + k, k + 1)).collect();
+    let src = format!("li r1, 30\nloop:\n{}\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n", instrs.join("\n"));
+    let p = assemble(&src, 0x1000).unwrap();
+    let mut osm = PpcOsmSim::new(PpcConfig::paper(), &p);
+    let mut port = PpcPortSim::new(PpcConfig::paper(), &p);
+    let mut log: Vec<String> = Vec::new();
+    let mut first_div: Option<usize> = None;
+    for cycle in 0..400u64 {
+        let o = osm.result();
+        let q = port.result();
+        log.push(format!("c{cycle:3} OSM ret={} {} | PORT ret={} {}", o.retired, osm.debug_state(), q.retired, port.debug_state()));
+        if first_div.is_none() && o.retired != q.retired {
+            first_div = Some(log.len() - 1);
+        }
+        if osm.machine().shared.halted {
+            break;
+        }
+        osm.machine_mut().step().unwrap();
+        port.run_to_halt(cycle + 1);
+    }
+    if let Some(d) = first_div {
+        for line in &log[d.saturating_sub(8)..(d + 4).min(log.len())] {
+            println!("{line}");
+        }
+    } else {
+        println!("no divergence");
+    }
+}
+
+#[test]
+#[ignore]
+fn micro_bisect() {
+    let cases: &[(&str, &str)] = &[
+        ("store_loop", "li r1, 50\nla r2, buf\nloop:\nsw r1, 0(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("mul_loop", "li r1, 50\nloop:\nmul r3, r1, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("la_loop", "li r1, 50\nloop:\nla r2, buf\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("lw_chain", "li r1, 50\nla r2, buf\nsw r2, 0(r2)\nloop:\nlw r2, 0(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("mul_store", "li r1, 50\nla r2, buf\nloop:\nmul r3, r1, r1\nsw r3, 0(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("two_store", "li r1, 50\nla r2, buf\nloop:\nsw r1, 0(r2)\nsw r1, 4(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("alu_only", "li r1, 50\nloop:\nadd r3, r1, r1\nxor r4, r3, r1\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu02", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu03", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu04", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu05", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu06", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu08", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu10", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r10, r0, 9\naddi r11, r0, 10\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu11", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r10, r0, 9\naddi r11, r0, 10\naddi r12, r0, 11\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu12", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r10, r0, 9\naddi r11, r0, 10\naddi r12, r0, 11\naddi r13, r0, 12\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu13", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r10, r0, 9\naddi r11, r0, 10\naddi r12, r0, 11\naddi r13, r0, 12\naddi r14, r0, 13\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("alu14", "li r1, 30\nloop:\naddi r2, r0, 1\naddi r3, r0, 2\naddi r4, r0, 3\naddi r5, r0, 4\naddi r6, r0, 5\naddi r7, r0, 6\naddi r8, r0, 7\naddi r9, r0, 8\naddi r12, r0, 9\naddi r13, r0, 10\naddi r14, r0, 11\naddi r15, r0, 12\naddi r16, r0, 13\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\n"),
+        ("mul_dep_store", "li r1, 30\nla r2, buf\nloop:\nmul r6, r1, r1\nsrli r6, r6, 4\nsw r6, 0(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("dep_chain_store2", "li r1, 30\nla r2, buf\nloop:\naddi r7, r1, 7\nandi r7, r7, 15\nslli r7, r7, 3\nadd r7, r7, r2\nsw r7, 4(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("build_nomul", "li r1, 30\nla r2, buf\nloop:\nli r5, 40503\nsrli r6, r5, 4\nsw r6, 0(r2)\naddi r7, r1, 7\nandi r7, r7, 15\nslli r7, r7, 3\nla r8, buf\nadd r7, r7, r8\nsw r7, 4(r2)\naddi r1, r1, -1\nbne r1, r0, loop\nhalt\nbuf:\n.space 8\n"),
+        ("build_verbatim", "
+            la   r2, nodes
+            li   r3, 16
+            li   r4, 0
+        build:
+            li   r5, 40503
+            mul  r6, r4, r5
+            srli r6, r6, 4
+            sw   r6, 0(r2)
+            addi r7, r4, 7
+            andi r7, r7, 15
+            slli r7, r7, 3
+            la   r8, nodes
+            add  r7, r7, r8
+            sw   r7, 4(r2)
+            addi r2, r2, 8
+            addi r4, r4, 1
+            bne  r4, r3, build
+            halt
+        nodes:
+            .space 128
+        "),
+        ("chase_verbatim", "
+            la r9, nodes
+            la r2, nodes
+            li r3, 16
+        init:
+            sw r2, 4(r2)
+            addi r2, r2, 8
+            addi r3, r3, -1
+            bne r3, r0, init
+            li r1, 60
+            li r20, 0
+        chase:
+            lw   r12, 0(r9)
+            lw   r9, 4(r9)
+            xor  r20, r20, r12
+            slli r13, r20, 3
+            srli r14, r20, 2
+            add  r20, r13, r14
+            andi r15, r12, 3
+            beq  r15, r0, b0
+            andi r16, r12, 4
+            bne  r16, r0, b1
+            addi r20, r20, 5
+            j    bend
+        b1:
+            addi r20, r20, 7
+            j    bend
+        b0:
+            addi r20, r20, 11
+        bend:
+            addi r1, r1, -1
+            bne  r1, r0, chase
+            halt
+        nodes:
+            .space 128
+        "),
+    ];
+    for (name, src) in cases {
+        let p = assemble(src, 0x1000).unwrap();
+        let mut osm = PpcOsmSim::new(PpcConfig::paper(), &p);
+        let o = osm.run_to_halt(1_000_000).unwrap();
+        let mut port = PpcPortSim::new(PpcConfig::paper(), &p);
+        let q = port.run_to_halt(1_000_000);
+        println!("{name:10} osm={} port={} diff={}", o.cycles, q.cycles, q.cycles as i64 - o.cycles as i64);
+    }
+}
+
+#[test]
+#[ignore]
+fn diverge_specint() {
+    let p = specint_scaled(1).program();
+    let mut osm = PpcOsmSim::new(PpcConfig::paper(), &p);
+    let mut port = PpcPortSim::new(PpcConfig::paper(), &p);
+    let mut last = (0u64, 0u64);
+    for cycle in 0..4000u64 {
+        let o = osm.result();
+        let q = port.result();
+        if (o.retired, q.retired) != last {
+            println!(
+                "c{cycle:4} osm(ret={} sq={} mp={}) port(ret={} sq={} mp={}) lag={}",
+                o.retired, o.squashed, o.mispredicts, q.retired, q.squashed, q.mispredicts,
+                o.retired as i64 - q.retired as i64
+            );
+            last = (o.retired, q.retired);
+        }
+        if osm.machine().shared.halted {
+            break;
+        }
+        osm.machine_mut().step().unwrap();
+        port.run_to_halt(cycle + 1);
+    }
+}
+
+#[test]
+#[ignore]
+fn diverge_point() {
+    let src = "
+        li r1, 60
+        li r3, 0
+    loop:
+        andi r2, r1, 1
+        beq r2, r0, even
+        addi r3, r3, 1
+    even:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        li r10, 0
+        add r11, r3, r0
+        syscall
+    ";
+    let p = assemble(src, 0x1000).unwrap();
+    let mut osm = PpcOsmSim::new(PpcConfig::paper(), &p);
+    let mut port = PpcPortSim::new(PpcConfig::paper(), &p);
+    for cycle in 0..120u64 {
+        let o = osm.result();
+        let q = port.result();
+        println!(
+            "c{cycle:3} osm(ret={} sq={} mp={}) port(ret={} sq={} mp={})",
+            o.retired, o.squashed, o.mispredicts, q.retired, q.squashed, q.mispredicts
+        );
+        if osm.machine().shared.halted {
+            break;
+        }
+        osm.machine_mut().step().unwrap();
+        port.run_to_halt(cycle + 1);
+    }
+}

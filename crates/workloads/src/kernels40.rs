@@ -1,0 +1,338 @@
+//! The 40 diagnostic micro-kernels (paper §5.1: "We used 40 small kernel
+//! loops to diagnose timing mismatches between the model and the real
+//! processor").
+//!
+//! Each kernel isolates one timing behaviour — a forwarding distance, a
+//! load-use bubble, a multiplier latency, a branch pattern, a cache or TLB
+//! access pattern — so a cycle-count disagreement between two simulators
+//! points directly at the mis-modeled mechanism.
+
+use crate::Workload;
+
+/// Wraps a loop body in the standard iterate-and-exit harness.
+fn kernel(name: &str, iters: u32, body: &str, data: &str) -> Workload {
+    let asm = format!(
+        "
+            li r20, 0
+            li r1, {iters}
+        loop:
+{body}
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 0
+            andi r11, r20, 8191
+            syscall
+{data}
+        "
+    );
+    Workload::new(format!("k40/{name}"), asm)
+}
+
+/// Builds all 40 kernels.
+pub fn kernels40() -> Vec<Workload> {
+    let mut ks: Vec<Workload> = Vec::with_capacity(40);
+
+    // --- Forwarding distances (producer-to-consumer gap 1..4) -------------
+    for dist in 1..=4u32 {
+        let mut body = String::from("            add r2, r1, r1\n");
+        for k in 0..dist - 1 {
+            body.push_str(&format!("            addi r{}, r0, 1\n", 12 + k));
+        }
+        body.push_str("            add r20, r20, r2\n");
+        ks.push(kernel(&format!("fwd_dist_{dist}"), 400, &body, ""));
+    }
+
+    // --- Load-use bubbles (0..2 fillers after a load) ----------------------
+    for gap in 0..=2u32 {
+        let mut body = String::from("            la r3, ldat\n            lw r2, 0(r3)\n");
+        for k in 0..gap {
+            body.push_str(&format!("            addi r{}, r0, 1\n", 12 + k));
+        }
+        body.push_str("            add r20, r20, r2\n");
+        ks.push(kernel(
+            &format!("load_use_{gap}"),
+            400,
+            &body,
+            "        ldat:\n            .word 7",
+        ));
+    }
+
+    // --- Multiplier / divider latencies ------------------------------------
+    ks.push(kernel(
+        "mul_lat",
+        300,
+        "            mul r2, r1, r1\n            add r20, r20, r2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "div_lat",
+        80,
+        "            addi r3, r1, 1\n            div r2, r1, r3\n            add r20, r20, r2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "mul_chain",
+        200,
+        "            mul r2, r1, r1\n            mul r3, r2, r1\n            mul r4, r3, r1\n            add r20, r20, r4\n",
+        "",
+    ));
+
+    // --- Branch patterns ----------------------------------------------------
+    ks.push(kernel(
+        "branch_taken",
+        400,
+        "            beq r0, r0, t1\n            addi r20, r20, 99\n        t1:\n            addi r20, r20, 1\n",
+        "",
+    ));
+    ks.push(kernel(
+        "branch_nottaken",
+        400,
+        "            bne r0, r0, t2\n            addi r20, r20, 1\n        t2:\n",
+        "",
+    ));
+    ks.push(kernel(
+        "branch_alt",
+        400,
+        "            andi r2, r1, 1\n            beq r2, r0, t3\n            addi r20, r20, 1\n        t3:\n            addi r20, r20, 2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "branch_dense",
+        300,
+        "            andi r2, r1, 3\n            beq r2, r0, d0\n            addi r20, r20, 1\n        d0:\n            andi r3, r1, 7\n            bne r3, r0, d1\n            addi r20, r20, 2\n        d1:\n            andi r4, r1, 1\n            beq r4, r0, d2\n            addi r20, r20, 3\n        d2:\n",
+        "",
+    ));
+
+    // --- Instruction-cache behaviour ---------------------------------------
+    // Small hot loop (fits one line), medium loop, and a long straight body.
+    ks.push(kernel(
+        "icache_hot",
+        600,
+        "            add r20, r20, r1\n",
+        "",
+    ));
+    {
+        let mut body = String::new();
+        for k in 0..24 {
+            body.push_str(&format!("            addi r{}, r0, {}\n", 2 + (k % 8), k));
+        }
+        body.push_str("            add r20, r20, r2\n");
+        ks.push(kernel("icache_medium", 200, &body, ""));
+    }
+    {
+        let mut body = String::new();
+        for k in 0..120 {
+            body.push_str(&format!("            addi r{}, r0, {}\n", 2 + (k % 8), k % 100));
+        }
+        body.push_str("            add r20, r20, r2\n");
+        ks.push(kernel("icache_long", 60, &body, ""));
+    }
+
+    // --- Data-cache behaviour ------------------------------------------------
+    ks.push(kernel(
+        "dcache_hit",
+        400,
+        "            la r3, darr\n            lw r2, 0(r3)\n            lw r4, 4(r3)\n            add r20, r20, r2\n            add r20, r20, r4\n",
+        "        darr:\n            .word 5\n            .word 6",
+    ));
+    ks.push(kernel(
+        "dcache_stride",
+        150,
+        "            la r3, big\n            andi r2, r1, 7\n            slli r2, r2, 7      ; stride 128\n            add r3, r3, r2\n            lw r4, 0(r3)\n            add r20, r20, r4\n",
+        "        big:\n            .space 1024",
+    ));
+    ks.push(kernel(
+        "dcache_writeback",
+        200,
+        "            la r3, warr\n            andi r2, r1, 15\n            slli r2, r2, 2\n            add r3, r3, r2\n            sw r1, 0(r3)\n            lw r4, 0(r3)\n            add r20, r20, r4\n",
+        "        warr:\n            .space 64",
+    ));
+
+    // --- TLB walks -------------------------------------------------------------
+    ks.push(kernel(
+        "tlb_walk",
+        60,
+        "            la r3, pages\n            andi r2, r1, 7\n            slli r2, r2, 12     ; stride 4096\n            add r3, r3, r2\n            lw r4, 0(r3)\n            add r20, r20, r4\n",
+        "        pages:\n            .word 1",
+    ));
+
+    // --- Calls and indirect jumps ----------------------------------------------
+    ks.push(Workload::new(
+        "k40/call_ret",
+        "
+            li r20, 0
+            li r1, 300
+        loop:
+            call addone
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 0
+            andi r11, r20, 8191
+            syscall
+        addone:
+            addi r20, r20, 1
+            ret
+        ",
+    ));
+    ks.push(Workload::new(
+        "k40/jalr_indirect",
+        "
+            li r20, 0
+            li r1, 300
+            la r5, hop
+        loop:
+            jalr r31, 0(r5)
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 0
+            andi r11, r20, 8191
+            syscall
+        hop:
+            addi r20, r20, 2
+            ret
+        ",
+    ));
+    ks.push(kernel(
+        "jal_dense",
+        300,
+        "            j j1\n        j1:\n            j j2\n        j2:\n            addi r20, r20, 1\n",
+        "",
+    ));
+
+    // --- Floating point ----------------------------------------------------------
+    ks.push(kernel(
+        "fp_add_chain",
+        200,
+        "            cvtsw f1, r1\n            fadd f2, f1, f1\n            fadd f3, f2, f1\n            cvtws r2, f3\n            add r20, r20, r2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "fp_mul_chain",
+        200,
+        "            cvtsw f1, r1\n            fmul f2, f1, f1\n            fmul f3, f2, f1\n            cvtws r2, f3\n            andi r2, r2, 255\n            add r20, r20, r2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "fp_div",
+        80,
+        "            cvtsw f1, r1\n            addi r3, r1, 1\n            cvtsw f2, r3\n            fdiv f3, f2, f1\n            cvtws r2, f3\n            add r20, r20, r2\n",
+        "",
+    ));
+
+    // --- Store/load interactions ---------------------------------------------------
+    ks.push(kernel(
+        "store_load_same",
+        300,
+        "            la r3, slot\n            sw r1, 0(r3)\n            lw r2, 0(r3)\n            add r20, r20, r2\n",
+        "        slot:\n            .space 4",
+    ));
+    ks.push(kernel(
+        "store_stream",
+        200,
+        "            la r3, sarr\n            andi r2, r1, 15\n            slli r2, r2, 2\n            add r3, r3, r2\n            sw r1, 0(r3)\n            sw r1, 4(r3)\n            addi r20, r20, 1\n",
+        "        sarr:\n            .space 128",
+    ));
+    ks.push(kernel(
+        "load_stream",
+        200,
+        "            la r3, larr\n            andi r2, r1, 7\n            slli r2, r2, 2\n            add r3, r3, r2\n            lw r4, 0(r3)\n            lw r5, 4(r3)\n            lw r6, 8(r3)\n            add r20, r20, r4\n            add r20, r20, r5\n            add r20, r20, r6\n",
+        "        larr:\n            .word 1\n            .word 2\n            .word 3\n            .word 4\n            .word 5\n            .word 6\n            .word 7\n            .word 8\n            .word 9\n            .word 10",
+    ));
+
+    // --- Hazard mixes ------------------------------------------------------------------
+    ks.push(kernel(
+        "raw_waw_mix",
+        300,
+        "            add r2, r1, r1\n            add r2, r2, r1      ; RAW + WAW on r2\n            add r2, r2, r2\n            add r20, r20, r2\n",
+        "",
+    ));
+    ks.push(kernel(
+        "nop_sled",
+        300,
+        "            nop\n            nop\n            nop\n            nop\n            addi r20, r20, 1\n",
+        "",
+    ));
+    ks.push(kernel(
+        "mixed_alu",
+        300,
+        "            xor r2, r1, r20\n            sll r3, r1, r1\n            sltu r4, r2, r3\n            sub r5, r3, r2\n            or r6, r4, r5\n            add r20, r20, r6\n",
+        "",
+    ));
+    ks.push(Workload::new(
+        "k40/output_bytes",
+        "
+            li r20, 0
+            li r1, 20
+        loop:
+            li r10, 1
+            li r11, 46      ; '.'
+            syscall
+            addi r20, r20, 1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 0
+            andi r11, r20, 8191
+            syscall
+        ",
+    ));
+
+    // --- Constant materialization, shifts, compares, memcpy ---------------------------------
+    ks.push(kernel(
+        "lui_heavy",
+        300,
+        "            li r2, 0x12345\n            li r3, 0x54321\n            xor r4, r2, r3\n            andi r4, r4, 1023\n            add r20, r20, r4\n",
+        "",
+    ));
+    ks.push(kernel(
+        "shift_chain",
+        300,
+        "            sll r2, r1, r1\n            srl r3, r2, r1\n            sra r4, r3, r1\n            add r20, r20, r4\n",
+        "",
+    ));
+    ks.push(kernel(
+        "compare_chain",
+        300,
+        "            slt r2, r1, r20\n            sltu r3, r20, r1\n            slti r4, r1, 100\n            add r5, r2, r3\n            add r5, r5, r4\n            add r20, r20, r5\n",
+        "",
+    ));
+    ks.push(kernel(
+        "mem_copy",
+        150,
+        "            la r3, srcb\n            la r4, dstb\n            li r5, 8\n        cp:\n            lw r6, 0(r3)\n            sw r6, 0(r4)\n            addi r3, r3, 4\n            addi r4, r4, 4\n            addi r5, r5, -1\n            bne r5, r0, cp\n            addi r20, r20, 1\n",
+        "        srcb:\n            .word 1\n            .word 2\n            .word 3\n            .word 4\n            .word 5\n            .word 6\n            .word 7\n            .word 8\n        dstb:\n            .space 32",
+    ));
+
+    // --- Sub-word memory, halves and bytes ----------------------------------------------------
+    ks.push(kernel(
+        "subword_mem",
+        200,
+        "            la r3, bdat\n            lb r2, 0(r3)\n            lbu r4, 1(r3)\n            lh r5, 2(r3)\n            lhu r6, 0(r3)\n            sb r1, 4(r3)\n            sh r1, 6(r3)\n            add r20, r20, r2\n            add r20, r20, r4\n            add r20, r20, r5\n            add r20, r20, r6\n",
+        "        bdat:\n            .word 0x80FF7F01\n            .space 8",
+    ));
+    ks.push(kernel(
+        "long_dep_chain",
+        200,
+        "            add r2, r20, r1\n            add r2, r2, r2\n            add r2, r2, r2\n            add r2, r2, r2\n            add r2, r2, r2\n            add r2, r2, r2\n            andi r20, r2, 4095\n",
+        "",
+    ));
+
+    debug_assert_eq!(ks.len(), 40, "expected exactly 40 kernels, got {}", ks.len());
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_forty() {
+        assert_eq!(kernels40().len(), 40);
+    }
+
+    #[test]
+    fn all_assemble() {
+        for k in kernels40() {
+            let _ = k.program(); // panics on failure
+        }
+    }
+}

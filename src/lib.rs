@@ -1,0 +1,36 @@
+//! # osm-repro — reproduction of the OSM retargetable simulation framework
+//!
+//! Facade crate re-exporting every component of the reproduction of
+//! *"Flexible and Formal Modeling of Microprocessors with Application to
+//! Retargetable Simulation"* (Qin & Malik, DATE 2003):
+//!
+//! * [`osm_core`] — the operation state machine formalism (the paper's
+//!   contribution): tokens, token managers, the Λ transaction language, the
+//!   director (Fig. 3) and the DE kernel (Fig. 4).
+//! * [`osm_adl`] — a declarative architecture description language that
+//!   synthesizes OSM specs (the paper's proposed next step, §7).
+//! * [`minirisc`] — the MiniRISC-32 ISA substrate: assembler, encodings,
+//!   functional execution, ISS.
+//! * [`memsys`] — cache/TLB/bus timing models.
+//! * [`portsim`] — a SystemC-like port/signal kernel (baseline substrate).
+//! * [`sa1100`] — the StrongARM case study (§5.1): OSM model + independent
+//!   hand-sequenced reference simulator.
+//! * [`ppc750`] — the PowerPC 750 case study (§5.2): OSM model + port/signal
+//!   hardware-centric baseline.
+//! * [`workloads`] — MediaBench-like kernels, the 40 diagnostic loops, a
+//!   SPECint-like mix and a random program generator.
+//! * [`vliw`] — the §6 VLIW demonstration: a two-slot bundle scheduler and
+//!   a lockstep OSM core model.
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system map and
+//! `EXPERIMENTS.md` for the reproduced tables and figures.
+
+pub use memsys;
+pub use minirisc;
+pub use osm_adl;
+pub use osm_core;
+pub use portsim;
+pub use ppc750;
+pub use sa1100;
+pub use vliw;
+pub use workloads;

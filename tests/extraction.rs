@@ -1,0 +1,150 @@
+//! §6 model-property extraction on the real case-study specs: operation
+//! paths, reservation tables and operand latencies derived statically from
+//! the declarative models (inputs for retargetable compilers).
+
+use osm_repro::osm_core::{
+    enumerate_paths, release_step, reservation_table, verify_spec, ManagerId, SpecIssue,
+};
+use osm_repro::ppc750;
+use osm_repro::sa1100;
+
+#[test]
+fn strongarm_reservation_table_matches_the_pipeline() {
+    let ids = sa1100::SaManagers {
+        mf: 0u32.into(),
+        md: 1u32.into(),
+        me: 2u32.into(),
+        mb: 3u32.into(),
+        mw: 4u32.into(),
+        rff: 5u32.into(),
+        mult: 6u32.into(),
+        reset: 7u32.into(),
+    };
+    let spec = sa1100::build_spec(ids);
+    let paths = enumerate_paths(&spec, 64);
+    // One normal 6-step flow (I F D E B W I) plus two reset paths.
+    assert_eq!(paths.len(), 3);
+    let normal = paths
+        .iter()
+        .find(|p| p.len() == 6)
+        .expect("the full pipeline path exists");
+
+    let table = reservation_table(&spec, normal);
+    // Step k holds exactly stage k's occupancy token (plus the register
+    // update token from issue to retire).
+    for (step, stage) in [ids.mf, ids.md, ids.me, ids.mb, ids.mw].into_iter().enumerate() {
+        assert!(
+            table.holds(step, stage),
+            "stage {stage} not held at step {step}"
+        );
+    }
+    assert!(!table.holds(1, ids.mf), "fetch released at decode");
+    // Operand latency: the register update token releases at retire (step 6).
+    assert_eq!(release_step(&spec, normal, ids.rff), Some(6));
+
+    // Reset paths: killed in F (2 steps) or in D (3 steps).
+    assert!(paths.iter().any(|p| p.len() == 2));
+    assert!(paths.iter().any(|p| p.len() == 3));
+}
+
+#[test]
+fn ppc750_paths_cover_both_dispatch_routes() {
+    let units: [ManagerId; 6] =
+        [9u32.into(), 10u32.into(), 11u32.into(), 12u32.into(), 13u32.into(), 14u32.into()];
+    let rs: [ManagerId; 6] =
+        [15u32.into(), 16u32.into(), 17u32.into(), 18u32.into(), 19u32.into(), 20u32.into()];
+    let ids = ppc750::PpcManagers {
+        fq: 0u32.into(),
+        fbw: 1u32.into(),
+        dbw: 2u32.into(),
+        rbw: 3u32.into(),
+        cq: 4u32.into(),
+        gren: 5u32.into(),
+        fren: 6u32.into(),
+        rename: 7u32.into(),
+        bus: 8u32.into(),
+        units,
+        rs,
+        reset: 21u32.into(),
+    };
+    let spec = ppc750::build_spec(&ids);
+    let paths = enumerate_paths(&spec, 4096);
+    // Fig. 2's point: both the direct I-Q-E-C-I flow and the
+    // reservation-station I-Q-R-E-C-I flow exist (enumeration is static —
+    // it ignores behavior vetoes — so each appears once per unit-edge
+    // combination), plus the short reset kills.
+    let uses = |p: &osm_repro::osm_core::OperationPath, prefix: &str| {
+        p.edges
+            .iter()
+            .any(|&e| spec.edge(e).name.starts_with(prefix))
+    };
+    let direct = paths
+        .iter()
+        .find(|p| p.len() == 4 && uses(p, "dispexec_"))
+        .expect("a direct dispatch path exists");
+    assert!(paths
+        .iter()
+        .any(|p| p.len() == 5 && uses(p, "disprs_") && uses(p, "issue_")));
+    assert!(
+        paths.iter().any(|p| p.len() == 2 && uses(p, "reset_q")),
+        "fetch-queue kill path exists"
+    );
+
+    // A direct path holds the completion-queue entry from dispatch to retire.
+    let table = reservation_table(&spec, direct);
+    assert!(table.holds(1, ids.cq));
+    assert!(table.holds(2, ids.cq));
+    assert!(!table.holds(3, ids.cq), "freed at retire");
+}
+
+#[test]
+fn strongarm_spec_passes_static_verification() {
+    let ids = sa1100::SaManagers {
+        mf: 0u32.into(),
+        md: 1u32.into(),
+        me: 2u32.into(),
+        mb: 3u32.into(),
+        mw: 4u32.into(),
+        rff: 5u32.into(),
+        mult: 6u32.into(),
+        reset: 7u32.into(),
+    };
+    let spec = sa1100::build_spec(ids);
+    let issues = verify_spec(&spec);
+    assert!(issues.is_empty(), "unexpected findings: {issues:?}");
+}
+
+#[test]
+fn ppc750_spec_verification_flags_only_the_unit_choice_abstraction() {
+    // Static analysis cannot see the behavior vetoes that tie an operation
+    // to one function unit, so it explores impossible paths that enter one
+    // unit and leave another. Every finding must be of that shape; anything
+    // else (a genuine leak, an unreachable state) fails the test.
+    let units: [ManagerId; 6] =
+        [9u32.into(), 10u32.into(), 11u32.into(), 12u32.into(), 13u32.into(), 14u32.into()];
+    let rs: [ManagerId; 6] =
+        [15u32.into(), 16u32.into(), 17u32.into(), 18u32.into(), 19u32.into(), 20u32.into()];
+    let ids = ppc750::PpcManagers {
+        fq: 0u32.into(),
+        fbw: 1u32.into(),
+        dbw: 2u32.into(),
+        rbw: 3u32.into(),
+        cq: 4u32.into(),
+        gren: 5u32.into(),
+        fren: 6u32.into(),
+        rename: 7u32.into(),
+        bus: 8u32.into(),
+        units,
+        rs,
+        reset: 21u32.into(),
+    };
+    let spec = ppc750::build_spec(&ids);
+    let unit_like = |m: ManagerId| units.contains(&m) || rs.contains(&m);
+    for issue in verify_spec(&spec) {
+        match issue {
+            SpecIssue::ReleaseWithoutAllocate { manager, .. } if unit_like(manager) => {}
+            SpecIssue::TokenLeak { manager, .. } if unit_like(manager) => {}
+            other => panic!("unexpected finding: {other}"),
+        }
+    }
+}

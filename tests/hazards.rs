@@ -1,0 +1,120 @@
+//! Timing-behaviour integration tests: the four hazard idioms of paper §4,
+//! checked through end-to-end cycle counts on the StrongARM model (and its
+//! reference, which must agree — see `cross_model.rs`).
+
+use osm_repro::minirisc::assemble;
+use osm_repro::sa1100::{SaConfig, SaOsmSim, SimResult};
+
+fn run(src: &str, cfg: SaConfig) -> SimResult {
+    let p = assemble(src, 0x1000).expect("assembles");
+    let mut sim = SaOsmSim::new(cfg, &p);
+    sim.run_to_halt(10_000_000).expect("no deadlock")
+}
+
+fn run_paper(src: &str) -> SimResult {
+    run(src, SaConfig::paper())
+}
+
+/// Structure hazard: the multiplier's occupancy token serializes multiply
+/// operations — a second multiply pays the full extra occupancy that an
+/// independent single-cycle op would not.
+#[test]
+fn structure_hazard_serializes_the_multiplier() {
+    let two_muls = run_paper(
+        "li r1, 3\nli r2, 5\nmul r3, r1, r2\nmul r4, r2, r1\nhalt\n",
+    );
+    let mul_and_add = run_paper(
+        "li r1, 3\nli r2, 5\nmul r3, r1, r2\nadd r4, r2, r1\nhalt\n",
+    );
+    // The second multiply costs exactly `mul_extra` more cycles than the
+    // single-cycle op in the same slot (it stalls on the multiplier token).
+    assert_eq!(
+        two_muls.cycles,
+        mul_and_add.cycles + SaConfig::paper().mul_extra as u64
+    );
+}
+
+/// Data hazard: a RAW chain stalls when forwarding is off, flows when on.
+#[test]
+fn data_hazard_forwarding_ablation() {
+    let chain = "
+        li r1, 1
+        add r2, r1, r1
+        add r3, r2, r2
+        add r4, r3, r3
+        add r5, r4, r4
+        add r6, r5, r5
+        halt
+    ";
+    let fwd = run_paper(chain);
+    let nofwd = run(
+        chain,
+        SaConfig {
+            forwarding: false,
+            ..SaConfig::paper()
+        },
+    );
+    // Without bypass each dependent pays the E->W distance.
+    assert!(nofwd.cycles >= fwd.cycles + 5 * 2);
+    assert_eq!(nofwd.exit_code, fwd.exit_code);
+}
+
+/// Variable latency: the same load pays more under a slower memory.
+#[test]
+fn variable_latency_scales_with_miss_penalty() {
+    let loads = "
+        la r1, buf
+        lw r2, 0(r1)
+        lw r3, 1024(r1)
+        lw r4, 2048(r1)
+        halt
+    buf:
+        .space 4096
+    ";
+    let fast = run_paper(loads);
+    let mut slow_cfg = SaConfig::paper();
+    slow_cfg.mem.dcache.miss_penalty += 30;
+    let slow = run(loads, slow_cfg);
+    // Three cold misses, each 30 cycles more expensive.
+    assert_eq!(slow.cycles, fast.cycles + 3 * 30);
+}
+
+/// Control hazard: every taken branch squashes the wrong-path fetch.
+#[test]
+fn control_hazard_squashes_track_taken_branches() {
+    let r = run_paper(
+        "
+        li r1, 25
+    loop:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    ",
+    );
+    // 24 taken back-edges squash one op each; the halt squashes one more.
+    assert_eq!(r.squashed, 25);
+}
+
+/// Not-taken branches cost nothing extra (sequential fetch was right).
+#[test]
+fn not_taken_branches_are_free() {
+    let with_nt_branch = run_paper(
+        "li r1, 1\nli r2, 2\nbeq r1, r2, skip\naddi r3, r0, 1\nskip:\nhalt\n",
+    );
+    let with_nop = run_paper("li r1, 1\nli r2, 2\nnop\naddi r3, r0, 1\nhalt\n");
+    assert_eq!(with_nt_branch.cycles, with_nop.cycles);
+    assert_eq!(with_nt_branch.squashed, 1); // only the halt's wrong-path fetch
+}
+
+/// The load-use bubble is exactly one cycle and is hidden by one filler.
+#[test]
+fn load_use_bubble_is_one_cycle() {
+    let tight = run_paper(
+        "la r1, d\nlw r2, 0(r1)\nadd r3, r2, r2\nhalt\nd:\n.word 3\n",
+    );
+    let filled = run_paper(
+        "la r1, d\nlw r2, 0(r1)\nnop\nadd r3, r2, r2\nhalt\nd:\n.word 3\n",
+    );
+    // The filler replaces the bubble: same total cycles.
+    assert_eq!(tight.cycles, filled.cycles);
+}

@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * instruction encode/decode round-trips;
+//! * assembler parses the disassembler's output back to the same instruction;
+//! * random programs behave identically on the ISS, both StrongARM
+//!   simulators and both PPC-750 simulators (functional equivalence), with
+//!   deterministic, pairwise-equal timing;
+//! * the OSM director is deterministic (trace digests repeat).
+
+use osm_repro::minirisc::{
+    assemble, decode, encode, AluOp, BranchCond, FpCmpCond, FpuOp, FReg, Instr, Iss, MemWidth,
+    MulOp, Reg, SparseMemory,
+};
+use osm_repro::ppc750::{PpcConfig, PpcOsmSim, PpcPortSim};
+use osm_repro::sa1100::{RefSim, SaConfig, SaOsmSim};
+use osm_repro::workloads::random_program;
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg)
+}
+
+fn imm14() -> impl Strategy<Value = i32> {
+    -8192i32..8192
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        Just(Instr::Halt),
+        Just(Instr::Syscall),
+        (prop::sample::select(&AluOp::ALL[..]), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        // No Sub-immediate: the ISA convention is a negative AddI (the
+        // assembler's `subi` pseudo), so the canonical form excludes it.
+        (
+            prop::sample::select(&AluOp::ALL[..]).prop_filter("no subi", |op| *op != AluOp::Sub),
+            reg(),
+            reg(),
+            imm14()
+        )
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op, rd, rs1, imm }),
+        (reg(), 0u32..(1 << 19)).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
+        (prop::sample::select(&MulOp::ALL[..]), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Mul { op, rd, rs1, rs2 }),
+        (
+            prop::sample::select(&[MemWidth::Byte, MemWidth::Half, MemWidth::Word][..]),
+            any::<bool>(),
+            reg(),
+            reg(),
+            imm14()
+        )
+            .prop_map(|(width, unsigned, rd, rs1, offset)| Instr::Load {
+                width,
+                unsigned,
+                rd,
+                rs1,
+                offset
+            }),
+        (
+            prop::sample::select(&[MemWidth::Byte, MemWidth::Half, MemWidth::Word][..]),
+            reg(),
+            reg(),
+            imm14()
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset
+            }),
+        (
+            prop::sample::select(&BranchCond::ALL[..]),
+            reg(),
+            reg(),
+            -8192i32..8192
+        )
+            .prop_map(|(cond, rs1, rs2, w)| Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: w * 4
+            }),
+        (reg(), -200000i32..200000).prop_map(|(rd, w)| Instr::Jal { rd, offset: w * 4 }),
+        (reg(), reg(), imm14()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (prop::sample::select(&FpuOp::ALL[..]), freg(), freg(), freg())
+            .prop_map(|(op, fd, fs1, fs2)| Instr::Fpu { op, fd, fs1, fs2 }),
+        (
+            prop::sample::select(&FpCmpCond::ALL[..]),
+            reg(),
+            freg(),
+            freg()
+        )
+            .prop_map(|(cond, rd, fs1, fs2)| Instr::FpCmp { cond, rd, fs1, fs2 }),
+        (freg(), reg()).prop_map(|(fd, rs1)| Instr::CvtSW { fd, rs1 }),
+        (reg(), freg()).prop_map(|(rd, fs1)| Instr::CvtWS { rd, fs1 }),
+        (freg(), reg(), imm14()).prop_map(|(fd, rs1, offset)| Instr::FpLoad { fd, rs1, offset }),
+        (freg(), reg(), imm14()).prop_map(|(fs2, rs1, offset)| Instr::FpStore {
+            fs2,
+            rs1,
+            offset
+        }),
+    ]
+}
+
+/// An instruction's sub-word load variants print identically when the width
+/// makes `unsigned` meaningless; normalize before comparing round-trips.
+fn normalize(i: Instr) -> Instr {
+    match i {
+        Instr::Load {
+            width: MemWidth::Word,
+            rd,
+            rs1,
+            offset,
+            ..
+        } => Instr::Load {
+            width: MemWidth::Word,
+            unsigned: false,
+            rd,
+            rs1,
+            offset,
+        },
+        other => other,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trip(i in instr()) {
+        let i = normalize(i);
+        let word = encode(i).expect("strategy stays in range");
+        prop_assert_eq!(normalize(decode(word).expect("decodes")), i);
+    }
+
+    #[test]
+    fn assembler_parses_disassembly(i in instr()) {
+        let i = normalize(i);
+        let text = i.to_string();
+        let p = assemble(&text, 0).unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        prop_assert_eq!(p.words.len(), 1);
+        prop_assert_eq!(normalize(decode(p.words[0]).expect("decodes")), i);
+    }
+
+    #[test]
+    fn decode_is_idempotent_under_reencoding(word in any::<u32>()) {
+        if let Ok(i) = decode(word) {
+            if let Ok(again) = encode(i) {
+                prop_assert_eq!(decode(again).expect("canonical decodes"), i);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Full-simulator cases are expensive; fewer, bigger cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_programs_equivalent_on_every_simulator(seed in 0u64..10_000, len in 10usize..60) {
+        let w = random_program(seed, len);
+        let program = w.program();
+
+        let mut iss = Iss::with_program(SparseMemory::new(), &program);
+        iss.run(20_000_000).expect("ISS terminates");
+
+        let mut sa = SaOsmSim::new(SaConfig::paper(), &program);
+        let sa_r = sa.run_to_halt(50_000_000).expect("no deadlock");
+        let sr_r = RefSim::new(SaConfig::paper(), &program).run_to_halt(50_000_000);
+        let mut po = PpcOsmSim::new(PpcConfig::paper(), &program);
+        let po_r = po.run_to_halt(50_000_000).expect("no deadlock");
+        let pp_r = PpcPortSim::new(PpcConfig::paper(), &program).run_to_halt(50_000_000);
+
+        prop_assert_eq!(sa_r.exit_code, iss.exit_code);
+        prop_assert_eq!(sr_r.exit_code, iss.exit_code);
+        prop_assert_eq!(po_r.exit_code, iss.exit_code);
+        prop_assert_eq!(pp_r.exit_code, iss.exit_code);
+        prop_assert_eq!(sa_r.retired, iss.retired);
+        prop_assert_eq!(po_r.retired, iss.retired);
+        prop_assert_eq!(sa_r.cycles, sr_r.cycles);
+        prop_assert_eq!(po_r.cycles, pp_r.cycles);
+    }
+
+    #[test]
+    fn token_conservation_holds_throughout_execution(seed in 0u64..10_000) {
+        // The dynamic counterpart of the static verifier: at every cycle of
+        // a random program, every committed-owned token of every auditable
+        // manager sits in exactly its owner's buffer.
+        let w = random_program(seed, 30);
+        let program = w.program();
+        let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+        let mut cycles = 0u64;
+        while !sim.machine().shared.halted && cycles < 200_000 {
+            sim.step().expect("no deadlock");
+            cycles += 1;
+            if cycles % 7 == 0 {
+                let problems = sim.machine().audit_tokens();
+                prop_assert!(problems.is_empty(), "cycle {}: {:?}", cycles, problems);
+            }
+        }
+        prop_assert!(sim.machine().shared.halted);
+    }
+
+    #[test]
+    fn director_traces_are_deterministic(seed in 0u64..10_000) {
+        let w = random_program(seed, 25);
+        let program = w.program();
+        let digest = |(
+        )| {
+            let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+            sim.machine_mut().enable_trace();
+            sim.run_to_halt(50_000_000).expect("no deadlock");
+            sim.machine_mut().take_trace().expect("trace on").digest()
+        };
+        prop_assert_eq!(digest(()), digest(()));
+    }
+}
