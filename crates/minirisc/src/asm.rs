@@ -848,7 +848,7 @@ mod tests {
                 op: AluOp::Or,
                 rd: Reg(2),
                 rs1: Reg(2),
-                imm: (100000 & 0x1FFF) as i32
+                imm: 100000 & 0x1FFF
             }
         );
     }

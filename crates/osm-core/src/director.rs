@@ -10,14 +10,15 @@
 //! same control step ([`RestartPolicy::Restart`], the paper's Fig. 3
 //! behaviour).
 
-use crate::error::ModelError;
+use crate::error::{BlockedOsm, ModelError, WaitCause};
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::ManagerTable;
 use crate::osm::{Osm, OsmView, TransitionCtx, IDLE_AGE};
-use crate::spec::Edge;
+use crate::spec::{Edge, StateMachineSpec};
 use crate::stats::Stats;
 use crate::token::{HeldToken, IdentExpr, Primitive, Token, TokenIdent};
 use crate::trace::{Trace, TraceEvent};
+use std::sync::Arc;
 
 /// Whether the director restarts its outer loop after a transition (Fig. 3).
 ///
@@ -54,8 +55,11 @@ impl<S> Ranker<S> for AgeRanker {
     }
 }
 
+/// The closure type boxed inside a [`FnRanker`].
+pub type RankFn<S> = dyn Fn(&OsmView<'_>, &S) -> u64;
+
 /// Rank by a closure (ablation experiments, multithreading policies).
-pub struct FnRanker<S>(pub Box<dyn Fn(&OsmView<'_>, &S) -> u64>);
+pub struct FnRanker<S>(pub Box<RankFn<S>>);
 
 impl<S> std::fmt::Debug for FnRanker<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -74,6 +78,9 @@ impl<S: 'static> Ranker<S> for FnRanker<S> {
 pub struct StepOutcome {
     /// Number of OSM transitions committed this step.
     pub transitions: u32,
+    /// Of those, how many returned an OSM to its initial state (operation
+    /// completions — the stall watchdog's notion of end-to-end progress).
+    pub completions: u32,
 }
 
 /// A prepared (but not yet committed) transaction of one edge condition.
@@ -111,6 +118,9 @@ pub(crate) struct Scratch {
     used: Vec<usize>,
     removed: Vec<usize>,
     wait_edges: Vec<(OsmId, OsmId)>,
+    /// First failing primitive of the most recent failed `try_condition`,
+    /// with its resolved identifier (stall diagnostics).
+    fail: Option<(Primitive, TokenIdent)>,
 }
 
 /// Resolution of an [`IdentExpr`] against an OSM's slots.
@@ -152,6 +162,7 @@ fn try_condition<S>(
     scratch.ops.clear();
     scratch.discards.clear();
     scratch.used.clear();
+    scratch.fail = None;
     let mut failed = false;
 
     'prims: for prim in &edge.condition {
@@ -160,11 +171,17 @@ fn try_condition<S>(
                 Resolved::Vacuous => {}
                 Resolved::AnyHeld => {
                     debug_assert!(false, "allocate cannot use AnyHeld");
+                    scratch.fail = Some((*prim, TokenIdent::NONE));
                     failed = true;
                     break 'prims;
                 }
                 Resolved::Ident(id) => {
-                    match managers.get_mut(manager).prepare_allocate(osm.id, id) {
+                    // A dangling manager id in the spec is a modeling error;
+                    // it surfaces as a never-satisfied condition, not a panic.
+                    let granted = managers
+                        .try_get_mut(manager)
+                        .and_then(|m| m.prepare_allocate(osm.id, id));
+                    match granted {
                         Some(token) => scratch.ops.push(PreparedOp::Alloc {
                             manager,
                             ident: id,
@@ -172,12 +189,15 @@ fn try_condition<S>(
                         }),
                         None => {
                             if collect_waits {
-                                if let Some(owner) = managers.get(manager).owner_of(id) {
+                                let owner =
+                                    managers.try_get(manager).and_then(|m| m.owner_of(id));
+                                if let Some(owner) = owner {
                                     if owner != osm.id {
                                         scratch.wait_edges.push((osm.id, owner));
                                     }
                                 }
                             }
+                            scratch.fail = Some((*prim, id));
                             failed = true;
                             break 'prims;
                         }
@@ -188,18 +208,24 @@ fn try_condition<S>(
                 Resolved::Vacuous => {}
                 Resolved::AnyHeld => {
                     debug_assert!(false, "inquire cannot use AnyHeld");
+                    scratch.fail = Some((*prim, TokenIdent::NONE));
                     failed = true;
                     break 'prims;
                 }
                 Resolved::Ident(id) => {
-                    if !managers.get(manager).inquire(osm.id, id) {
+                    if !managers
+                        .try_get(manager)
+                        .is_some_and(|m| m.inquire(osm.id, id))
+                    {
                         if collect_waits {
-                            if let Some(owner) = managers.get(manager).owner_of(id) {
+                            let owner = managers.try_get(manager).and_then(|m| m.owner_of(id));
+                            if let Some(owner) = owner {
                                 if owner != osm.id {
                                     scratch.wait_edges.push((osm.id, owner));
                                 }
                             }
                         }
+                        scratch.fail = Some((*prim, id));
                         failed = true;
                         break 'prims;
                     }
@@ -214,12 +240,15 @@ fn try_condition<S>(
                 let found = osm.buffer.iter().enumerate().position(|(i, held)| {
                     !scratch.used.contains(&i)
                         && held.token.manager == manager
-                        && target.map_or(true, |id| held.ident == id)
+                        && target.is_none_or(|id| held.ident == id)
                 });
                 match found {
                     Some(i) => {
                         let token = osm.buffer[i].token;
-                        if managers.get_mut(manager).prepare_release(osm.id, token) {
+                        let accepted = managers
+                            .try_get_mut(manager)
+                            .is_some_and(|m| m.prepare_release(osm.id, token));
+                        if accepted {
                             scratch.used.push(i);
                             scratch.ops.push(PreparedOp::Release {
                                 manager,
@@ -227,6 +256,7 @@ fn try_condition<S>(
                                 token,
                             });
                         } else {
+                            scratch.fail = Some((*prim, osm.buffer[i].ident));
                             failed = true;
                             break 'prims;
                         }
@@ -234,6 +264,7 @@ fn try_condition<S>(
                     None => {
                         // Releasing a token the OSM does not hold is a model
                         // inconsistency; treat as an unsatisfied condition.
+                        scratch.fail = Some((*prim, target.unwrap_or(TokenIdent::NONE)));
                         failed = true;
                         break 'prims;
                     }
@@ -254,6 +285,7 @@ fn try_condition<S>(
     }
 
     if failed {
+        // Manager ids here are in range: each op's prepare succeeded above.
         for op in scratch.ops.iter().rev() {
             match *op {
                 PreparedOp::Alloc { manager, token, .. } => {
@@ -357,6 +389,7 @@ pub(crate) fn control_step<S: 'static>(
     let mut list = std::mem::take(&mut scratch.list);
 
     let mut transitions: u32 = 0;
+    let mut completions: u32 = 0;
 
     let mut i = 0;
     while i < list.len() {
@@ -382,6 +415,7 @@ pub(crate) fn control_step<S: 'static>(
                         *age_counter += 1;
                     } else if edge.dst == initial {
                         osm.age = IDLE_AGE;
+                        completions += 1;
                         debug_assert!(
                             osm.buffer.is_empty(),
                             "OSM {} returned to initial state still holding tokens: {:?}",
@@ -389,6 +423,7 @@ pub(crate) fn control_step<S: 'static>(
                             osm.buffer
                         );
                     }
+                    osm.last_move_cycle = cycle;
                     let mut ctx = TransitionCtx {
                         osm: osm.id,
                         from,
@@ -481,7 +516,91 @@ pub(crate) fn control_step<S: 'static>(
 
     scratch.list = list;
     scratch.list.clear();
-    Ok(StepOutcome { transitions })
+    Ok(StepOutcome {
+        transitions,
+        completions,
+    })
+}
+
+/// Probes `edge` for `osm` and reports why it cannot fire right now, or
+/// `None` if it is momentarily satisfiable. Every tentative transaction is
+/// aborted before returning, so the probe is side-effect free on managers
+/// honoring the two-phase protocol.
+fn probe_edge<S>(
+    osm: &Osm<S>,
+    edge: &Edge,
+    managers: &mut ManagerTable,
+    scratch: &mut Scratch,
+) -> Option<WaitCause> {
+    if try_condition(osm, edge, managers, scratch, false) {
+        // Satisfiable: roll the tentative transactions back (this is only a
+        // probe, not a scheduling pass).
+        for op in scratch.ops.iter().rev() {
+            match *op {
+                PreparedOp::Alloc { manager, token, .. } => {
+                    managers.get_mut(manager).abort_allocate(osm.id, token);
+                }
+                PreparedOp::Release { manager, token, .. } => {
+                    managers.get_mut(manager).abort_release(osm.id, token);
+                }
+            }
+        }
+        return None;
+    }
+    let (prim, ident) = scratch.fail.take()?;
+    let manager = prim.manager()?;
+    let manager_name = managers
+        .try_get(manager)
+        .map(|m| m.name().to_owned())
+        .unwrap_or_else(|| format!("<unknown {manager}>"));
+    let owner = managers
+        .try_get(manager)
+        .and_then(|m| m.owner_of(ident))
+        .filter(|&o| o != osm.id);
+    Some(WaitCause {
+        manager,
+        manager_name,
+        primitive: prim.to_string(),
+        owner,
+    })
+}
+
+/// Builds the [`BlockedOsm`] diagnostics of a stall report: for every OSM
+/// accepted by `include`, probes each enabled outgoing edge and records the
+/// first failing primitive. Side-effect free (probing prepares then aborts).
+pub(crate) fn diagnose_blocked<S: 'static>(
+    osms: &[Osm<S>],
+    specs: &[Arc<StateMachineSpec>],
+    managers: &mut ManagerTable,
+    shared: &S,
+    scratch: &mut Scratch,
+    include: &mut dyn FnMut(&Osm<S>) -> bool,
+) -> Vec<BlockedOsm> {
+    let mut blocked = Vec::new();
+    for osm in osms {
+        if !include(osm) {
+            continue;
+        }
+        let spec = &specs[osm.spec_idx as usize];
+        let mut waiting_on = Vec::new();
+        for &eid in spec.out_edges(osm.state) {
+            let edge = spec.edge(eid);
+            if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+                continue;
+            }
+            if let Some(cause) = probe_edge(osm, edge, managers, scratch) {
+                waiting_on.push(cause);
+            }
+        }
+        blocked.push(BlockedOsm {
+            osm: osm.id,
+            spec: spec.name().to_owned(),
+            state: spec.state_name(osm.state).to_owned(),
+            held: osm.buffer.iter().map(|h| h.token).collect(),
+            waiting_on,
+        });
+    }
+    blocked
 }
 
 /// Finds a cycle in the wait-for graph, if any, returning its nodes.

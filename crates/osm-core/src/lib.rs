@@ -70,12 +70,14 @@
 mod director;
 mod error;
 mod extract;
+mod fault;
 mod ids;
 mod kernel;
 mod machine;
 mod manager;
 mod osm;
 mod pools;
+mod snapshot;
 mod spec;
 mod stats;
 mod token;
@@ -83,7 +85,8 @@ mod trace;
 mod verify;
 
 pub use director::{AgeRanker, FnRanker, Ranker, RestartPolicy, StepOutcome};
-pub use error::{ModelError, SpecError};
+pub use error::{BlockedOsm, ModelError, SpecError, StallKind, StallReport, WaitCause};
+pub use fault::{FaultHandle, FaultInjector, FaultKind, FaultPlan, FaultRule, FaultStats};
 pub use extract::{
     enumerate_paths, inquire_step, release_step, reservation_table, OperationPath,
     ReservationTable,
@@ -94,6 +97,7 @@ pub use machine::{HardwareLayer, Machine};
 pub use manager::{ManagerTable, TokenManager};
 pub use osm::{set_slot, Behavior, InertBehavior, Osm, OsmView, TransitionCtx, IDLE_AGE};
 pub use pools::{CountingPool, ExclusivePool, RegScoreboard, ResetManager};
+pub use snapshot::{BehaviorSnapshot, Checkpoint, ManagerSnapshot, Snapshot};
 pub use spec::{Edge, EdgeHandle, SpecBuilder, StateMachineSpec};
 pub use stats::Stats;
 pub use token::{HeldToken, IdentExpr, Primitive, Token, TokenIdent};

@@ -1,10 +1,11 @@
 //! The machine: managers + OSMs + director configuration + shared hardware state.
 
 use crate::director::{self, AgeRanker, Ranker, RestartPolicy, Scratch, StepOutcome};
-use crate::error::ModelError;
+use crate::error::{ModelError, StallKind, StallReport};
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::{ManagerTable, TokenManager};
 use crate::osm::{Behavior, Osm};
+use crate::snapshot::{Checkpoint, OsmCheckpoint};
 use crate::spec::StateMachineSpec;
 use crate::stats::Stats;
 use crate::trace::Trace;
@@ -65,6 +66,11 @@ pub struct Machine<S> {
     deadlock_check: bool,
     cycle: u64,
     age_counter: u64,
+    /// Stall watchdog bound (`None` = off); see [`Machine::set_stall_limit`].
+    stall_limit: Option<u64>,
+    last_transition_cycle: u64,
+    last_completion_cycle: u64,
+    leak_audit: bool,
     /// Scheduler statistics.
     pub stats: Stats,
     trace: Option<Trace>,
@@ -86,6 +92,10 @@ impl<S: 'static> Machine<S> {
             deadlock_check: true,
             cycle: 0,
             age_counter: 0,
+            stall_limit: None,
+            last_transition_cycle: 0,
+            last_completion_cycle: 0,
+            leak_audit: true,
             stats: Stats::new(),
             trace: None,
             scratch: Scratch::default(),
@@ -144,6 +154,11 @@ impl<S: 'static> Machine<S> {
         &self.osms[id.index()]
     }
 
+    /// Borrows an OSM, or `None` if `id` is out of range.
+    pub fn try_osm(&self, id: OsmId) -> Option<&Osm<S>> {
+        self.osms.get(id.index())
+    }
+
     /// Number of OSM instances.
     pub fn osm_count(&self) -> usize {
         self.osms.len()
@@ -173,6 +188,38 @@ impl<S: 'static> Machine<S> {
     /// Enables or disables wait-for-cycle deadlock detection.
     pub fn set_deadlock_check(&mut self, on: bool) {
         self.deadlock_check = on;
+    }
+
+    /// Arms (or with `None` disarms) the stall watchdog: if no qualifying
+    /// progress happens for `limit` consecutive cycles while at least one
+    /// OSM is in flight, [`Machine::step`] returns
+    /// [`ModelError::Stalled`] with a structured [`StallReport`] naming the
+    /// blocked OSMs and the primitives/managers they wait on.
+    ///
+    /// The watchdog distinguishes three conditions, checked in this order:
+    /// no transition at all for `limit` cycles ([`StallKind::Wedged`] — the
+    /// stalls the wait-for-graph deadlock detector cannot prove); no OSM
+    /// returning to its initial state for `limit` cycles
+    /// ([`StallKind::Livelock`]); and an individual in-flight OSM pinned in
+    /// one state for `limit` cycles while others keep moving
+    /// ([`StallKind::Starvation`]).
+    ///
+    /// Pick `limit` comfortably above the worst-case natural latency of one
+    /// operation (cache-miss chains included), or healthy long-latency runs
+    /// will be reported as stalls.
+    pub fn set_stall_limit(&mut self, limit: Option<u64>) {
+        self.stall_limit = limit.filter(|&l| l > 0);
+    }
+
+    /// The armed stall bound, if any.
+    pub fn stall_limit(&self) -> Option<u64> {
+        self.stall_limit
+    }
+
+    /// Enables or disables the end-of-run token-leak audit (debug builds
+    /// only; on by default). See [`Machine::run`].
+    pub fn set_leak_audit(&mut self, on: bool) {
+        self.leak_audit = on;
     }
 
     /// Starts recording a transition trace.
@@ -274,6 +321,186 @@ impl<S: 'static> Machine<S> {
             &mut self.scratch,
         )
     }
+
+    /// Feeds one step's outcome into the watchdog trackers and, if armed,
+    /// checks the stall bound. `now` is the cycle the step ran at.
+    fn watchdog_check(&mut self, outcome: StepOutcome, now: u64) -> Result<(), ModelError> {
+        if outcome.transitions > 0 {
+            self.last_transition_cycle = now;
+        }
+        if outcome.completions > 0 {
+            self.last_completion_cycle = now;
+        }
+        let Some(limit) = self.stall_limit else {
+            return Ok(());
+        };
+        // With every OSM idle the machine is merely out of work, not stuck.
+        if self.osms.iter().all(|o| o.is_idle()) {
+            return Ok(());
+        }
+        let idle_for = now.saturating_sub(self.last_transition_cycle);
+        let no_completion_for = now.saturating_sub(self.last_completion_cycle);
+        let (kind, stalled_for) = if idle_for >= limit {
+            (StallKind::Wedged, idle_for)
+        } else if no_completion_for >= limit {
+            (StallKind::Livelock, no_completion_for)
+        } else {
+            let worst_pin = self
+                .osms
+                .iter()
+                .filter(|o| !o.is_idle())
+                .map(|o| now.saturating_sub(o.last_move_cycle()))
+                .max()
+                .unwrap_or(0);
+            if worst_pin < limit {
+                return Ok(());
+            }
+            (StallKind::Starvation, worst_pin)
+        };
+        let blocked = director::diagnose_blocked(
+            &self.osms,
+            &self.specs,
+            &mut self.managers,
+            &self.shared,
+            &mut self.scratch,
+            &mut |o: &Osm<S>| match kind {
+                // Starvation singles out the pinned OSMs; the other kinds
+                // report every in-flight OSM.
+                StallKind::Starvation => {
+                    !o.is_idle() && now.saturating_sub(o.last_move_cycle()) >= limit
+                }
+                StallKind::Wedged | StallKind::Livelock => !o.is_idle(),
+            },
+        );
+        Err(ModelError::Stalled(Box::new(StallReport {
+            kind,
+            cycle: now,
+            stalled_for,
+            blocked,
+        })))
+    }
+
+    /// Debug-build token-conservation check run at the end of
+    /// [`Machine::run`]/[`Machine::run_until`].
+    fn leak_check(&self) -> Result<(), ModelError> {
+        if cfg!(debug_assertions) && self.leak_audit {
+            let problems = self.audit_tokens();
+            if !problems.is_empty() {
+                return Err(ModelError::TokenLeak {
+                    cycle: self.cycle,
+                    problems,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<S: Clone + 'static> Machine<S> {
+    /// Captures a cycle-accurate checkpoint of the whole machine: OSM
+    /// states, ages, token buffers and identifier slots, behavior state,
+    /// manager state, shared hardware-layer state, statistics and scheduler
+    /// counters. The transition trace is not captured.
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotUnsupported`] if any installed manager does not
+    /// implement [`TokenManager::snapshot_state`].
+    pub fn checkpoint(&self) -> Result<Checkpoint<S>, ModelError> {
+        let mut managers = Vec::with_capacity(self.managers.len());
+        for (id, m) in self.managers.iter() {
+            match m.snapshot_state() {
+                Some(snap) => managers.push(snap),
+                None => {
+                    return Err(ModelError::SnapshotUnsupported {
+                        manager: format!("{} ({id})", m.name()),
+                    })
+                }
+            }
+        }
+        let osms = self
+            .osms
+            .iter()
+            .map(|o| OsmCheckpoint {
+                state: o.state,
+                age: o.age,
+                tag: o.tag,
+                buffer: o.buffer.clone(),
+                slots: o.slots.clone(),
+                behavior: o.behavior.snapshot(),
+                last_move_cycle: o.last_move_cycle,
+            })
+            .collect();
+        Ok(Checkpoint {
+            cycle: self.cycle,
+            age_counter: self.age_counter,
+            last_transition_cycle: self.last_transition_cycle,
+            last_completion_cycle: self.last_completion_cycle,
+            stats: self.stats.clone(),
+            shared: self.shared.clone(),
+            osms,
+            managers,
+        })
+    }
+
+    /// Rewinds the machine to a [`Checkpoint`] previously taken from it.
+    /// Re-running from the restored state reproduces the original
+    /// continuation transition-for-transition. A checkpoint can be restored
+    /// any number of times. The transition trace is not rewound.
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotMismatch`] if the checkpoint's shape does not
+    /// match the machine or a manager/behavior rejects its snapshot. The
+    /// machine may then be partially restored; restoring a matching
+    /// checkpoint recovers it.
+    pub fn restore(&mut self, ckpt: &Checkpoint<S>) -> Result<(), ModelError> {
+        if ckpt.osms.len() != self.osms.len() {
+            return Err(ModelError::SnapshotMismatch {
+                what: format!(
+                    "checkpoint has {} OSMs, machine has {}",
+                    ckpt.osms.len(),
+                    self.osms.len()
+                ),
+            });
+        }
+        if ckpt.managers.len() != self.managers.len() {
+            return Err(ModelError::SnapshotMismatch {
+                what: format!(
+                    "checkpoint has {} managers, machine has {}",
+                    ckpt.managers.len(),
+                    self.managers.len()
+                ),
+            });
+        }
+        for (i, snap) in ckpt.managers.iter().enumerate() {
+            let id = ManagerId(i as u32);
+            let manager = self.managers.get_mut(id);
+            if !manager.restore_state(snap) {
+                return Err(ModelError::SnapshotMismatch {
+                    what: format!("manager {} ({id}) rejected its snapshot", manager.name()),
+                });
+            }
+        }
+        for (osm, snap) in self.osms.iter_mut().zip(&ckpt.osms) {
+            if !osm.behavior.restore(&snap.behavior) {
+                return Err(ModelError::SnapshotMismatch {
+                    what: format!("behavior of {} rejected its snapshot", osm.id),
+                });
+            }
+            osm.state = snap.state;
+            osm.age = snap.age;
+            osm.tag = snap.tag;
+            osm.buffer.clone_from(&snap.buffer);
+            osm.slots.clone_from(&snap.slots);
+            osm.last_move_cycle = snap.last_move_cycle;
+        }
+        self.cycle = ckpt.cycle;
+        self.age_counter = ckpt.age_counter;
+        self.last_transition_cycle = ckpt.last_transition_cycle;
+        self.last_completion_cycle = ckpt.last_completion_cycle;
+        self.stats = ckpt.stats.clone();
+        self.shared = ckpt.shared.clone();
+        Ok(())
+    }
 }
 
 impl<S: HardwareLayer + 'static> Machine<S> {
@@ -286,12 +513,15 @@ impl<S: HardwareLayer + 'static> Machine<S> {
         self.shared.clock(self.cycle, &mut self.managers);
         self.managers.clock_all(self.cycle);
         let outcome = self.control_step()?;
+        self.watchdog_check(outcome, self.cycle)?;
         self.cycle += 1;
         self.stats.cycles += 1;
         Ok(outcome)
     }
 
-    /// Runs `n` cycles.
+    /// Runs `n` cycles. In debug builds a token-conservation audit runs at
+    /// the end and surfaces any inconsistency as [`ModelError::TokenLeak`]
+    /// (disable with [`Machine::set_leak_audit`]).
     ///
     /// # Errors
     /// Propagates the first [`ModelError`].
@@ -299,11 +529,12 @@ impl<S: HardwareLayer + 'static> Machine<S> {
         for _ in 0..n {
             self.step()?;
         }
-        Ok(())
+        self.leak_check()
     }
 
     /// Runs until `stop` returns true or `max_cycles` elapse; returns the
-    /// number of cycles executed.
+    /// number of cycles executed. Ends with the same debug-build leak audit
+    /// as [`Machine::run`].
     ///
     /// # Errors
     /// Propagates the first [`ModelError`].
@@ -318,6 +549,7 @@ impl<S: HardwareLayer + 'static> Machine<S> {
             }
             self.step()?;
         }
+        self.leak_check()?;
         Ok(self.cycle - start)
     }
 }
@@ -450,6 +682,7 @@ mod tests {
         let err = m.step().unwrap_err();
         match err {
             ModelError::Deadlock { osms, .. } => assert_eq!(osms.len(), 2),
+            other => panic!("expected deadlock, got {other:?}"),
         }
     }
 
@@ -550,5 +783,286 @@ mod tests {
             .unwrap();
         assert_eq!(ran, 2);
         assert_eq!(m.osm(op).state_name(), "B");
+    }
+
+    #[test]
+    fn watchdog_reports_wedged_stall_with_diagnosis() {
+        use crate::error::StallKind;
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        // Capacity-0 pool: allocation can never succeed and there is no
+        // owner, so the wait-for-graph deadlock detector stays silent.
+        let broken = m.add_manager(ExclusivePool::new("broken", 0));
+        let spec = {
+            let mut b = SpecBuilder::new("op");
+            let i = b.state("I");
+            let a = b.state("A");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(ma, IdentExpr::Const(0));
+            b.edge(a, z).allocate(broken, IdentExpr::ANY);
+            b.build().unwrap()
+        };
+        let op = m.add_osm(&spec, InertBehavior);
+        m.set_stall_limit(Some(5));
+        let err = m.run(100).unwrap_err();
+        match err {
+            ModelError::Stalled(report) => {
+                assert_eq!(report.kind, StallKind::Wedged);
+                assert!(report.stalled_for >= 5);
+                assert_eq!(report.blocked.len(), 1);
+                let b = &report.blocked[0];
+                assert_eq!(b.osm, op);
+                assert_eq!(b.state, "A");
+                assert_eq!(b.held.len(), 1);
+                assert_eq!(b.waiting_on.len(), 1);
+                assert_eq!(b.waiting_on[0].manager_name, "broken");
+                assert!(b.waiting_on[0].primitive.starts_with("alloc"));
+            }
+            other => panic!("expected stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_livelock_when_nothing_completes() {
+        use crate::error::StallKind;
+        let mut m: Machine<()> = Machine::new(());
+        // Condition-free A<->B bounce: transitions every cycle, but the OSM
+        // never returns to its initial state.
+        let spec = {
+            let mut b = SpecBuilder::new("bounce");
+            let i = b.state("I");
+            let a = b.state("A");
+            let bb = b.state("B");
+            b.initial(i);
+            b.edge(i, a);
+            b.edge(a, bb);
+            b.edge(bb, a);
+            b.build().unwrap()
+        };
+        m.add_osm(&spec, InertBehavior);
+        m.set_stall_limit(Some(6));
+        let err = m.run(100).unwrap_err();
+        match err {
+            ModelError::Stalled(report) => {
+                assert_eq!(report.kind, StallKind::Livelock);
+                // The bouncing OSM is in flight, but each probed edge is
+                // momentarily satisfiable, so it reports no wait causes.
+                assert_eq!(report.blocked.len(), 1);
+                assert!(report.blocked[0].waiting_on.is_empty());
+            }
+            other => panic!("expected livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_starvation_of_pinned_osm() {
+        use crate::error::StallKind;
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let hold_spec = {
+            let mut b = SpecBuilder::new("hold");
+            let i = b.state("I");
+            let h = b.state("H");
+            b.initial(i);
+            b.edge(i, h).allocate(ma, IdentExpr::Const(0));
+            b.edge(h, i).release(ma, IdentExpr::AnyHeld);
+            b.build().unwrap()
+        };
+        let loop_spec = {
+            let mut b = SpecBuilder::new("loop");
+            let i = b.state("I");
+            let l = b.state("L");
+            b.initial(i);
+            b.edge(i, l).allocate(mb, IdentExpr::Const(0));
+            b.edge(l, i).release(mb, IdentExpr::AnyHeld);
+            b.build().unwrap()
+        };
+        let pinned = m.add_osm(&hold_spec, InertBehavior);
+        m.add_osm(&loop_spec, InertBehavior);
+        m.set_stall_limit(Some(8));
+        m.step().unwrap(); // both enter their stage
+        // Pin the holder: its release is refused from now on (a completion
+        // signal that never arrives), while the looper keeps retiring.
+        m.managers
+            .downcast_mut::<ExclusivePool>(ma)
+            .block_release(0, true);
+        let err = m.run(100).unwrap_err();
+        match err {
+            ModelError::Stalled(report) => {
+                assert_eq!(report.kind, StallKind::Starvation);
+                assert_eq!(report.blocked.len(), 1);
+                let b = &report.blocked[0];
+                assert_eq!(b.osm, pinned);
+                assert_eq!(b.state, "H");
+                assert_eq!(b.waiting_on.len(), 1);
+                assert_eq!(b.waiting_on[0].manager_name, "A");
+                assert!(b.waiting_on[0].primitive.starts_with("rel"));
+                assert_eq!(b.waiting_on[0].owner, None); // own token, filtered
+            }
+            other => panic!("expected starvation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_silent_on_healthy_and_idle_machines() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        m.add_osm(&spec, InertBehavior);
+        m.set_stall_limit(Some(4));
+        // The operation loops I->A->B->I forever: completions keep coming.
+        m.run(50).unwrap();
+        // An all-idle machine (no OSMs at all) never trips the watchdog.
+        let mut empty: Machine<()> = Machine::new(());
+        empty.set_stall_limit(Some(1));
+        empty.run(10).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_identically() {
+        let build = |m: &mut Machine<()>| {
+            let ma = m.add_manager(ExclusivePool::new("A", 1));
+            let mb = m.add_manager(ExclusivePool::new("B", 1));
+            let spec = pipeline_spec(ma, mb);
+            let o0 = m.add_osm(&spec, InertBehavior);
+            let o1 = m.add_osm(&spec, InertBehavior);
+            (o0, o1)
+        };
+        let mut m: Machine<()> = Machine::new(());
+        let (o0, o1) = build(&mut m);
+        m.run(2).unwrap();
+        let ckpt = m.checkpoint().unwrap();
+        assert_eq!(ckpt.cycle(), 2);
+        assert_eq!(ckpt.osm_count(), 2);
+        assert_eq!(ckpt.manager_count(), 2);
+        let observe = |m: &mut Machine<()>| {
+            let mut log = Vec::new();
+            for _ in 0..4 {
+                m.step().unwrap();
+                log.push((
+                    m.osm(o0).state_name().to_owned(),
+                    m.osm(o1).state_name().to_owned(),
+                    m.stats.transitions,
+                ));
+            }
+            log
+        };
+        let first = observe(&mut m);
+        m.restore(&ckpt).unwrap();
+        assert_eq!(m.cycle(), 2);
+        let second = observe(&mut m);
+        assert_eq!(first, second);
+        // A checkpoint survives multiple restores.
+        m.restore(&ckpt).unwrap();
+        assert_eq!(observe(&mut m), first);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape() {
+        let mut a: Machine<()> = Machine::new(());
+        let ma = a.add_manager(ExclusivePool::new("A", 1));
+        let mb = a.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        a.add_osm(&spec, InertBehavior);
+        let ckpt = a.checkpoint().unwrap();
+
+        let mut b: Machine<()> = Machine::new(());
+        let ba = b.add_manager(ExclusivePool::new("A", 1));
+        let bb = b.add_manager(ExclusivePool::new("B", 1));
+        let spec2 = pipeline_spec(ba, bb);
+        b.add_osm(&spec2, InertBehavior);
+        b.add_osm(&spec2, InertBehavior);
+        match b.restore(&ckpt) {
+            Err(ModelError::SnapshotMismatch { .. }) => {}
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_fails_on_unsnapshotable_manager() {
+        struct Opaque;
+        impl TokenManager for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn prepare_allocate(&mut self, _: OsmId, _: TokenIdent) -> Option<crate::token::Token> {
+                None
+            }
+            fn inquire(&self, _: OsmId, _: TokenIdent) -> bool {
+                false
+            }
+            fn prepare_release(&mut self, _: OsmId, _: crate::token::Token) -> bool {
+                false
+            }
+            fn commit_allocate(&mut self, _: OsmId, _: crate::token::Token) {}
+            fn abort_allocate(&mut self, _: OsmId, _: crate::token::Token) {}
+            fn commit_release(&mut self, _: OsmId, _: crate::token::Token) {}
+            fn abort_release(&mut self, _: OsmId, _: crate::token::Token) {}
+            fn discard(&mut self, _: OsmId, _: crate::token::Token) {}
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut m: Machine<()> = Machine::new(());
+        m.add_manager(Opaque);
+        match m.checkpoint() {
+            Err(ModelError::SnapshotUnsupported { manager }) => {
+                assert!(manager.contains("opaque"));
+            }
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn run_surfaces_token_leak_in_debug_builds() {
+        use crate::token::Token;
+        // A manager that claims an ownership no OSM's buffer backs up.
+        struct Liar;
+        impl TokenManager for Liar {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn prepare_allocate(&mut self, _: OsmId, _: TokenIdent) -> Option<Token> {
+                None
+            }
+            fn inquire(&self, _: OsmId, _: TokenIdent) -> bool {
+                false
+            }
+            fn prepare_release(&mut self, _: OsmId, _: Token) -> bool {
+                false
+            }
+            fn commit_allocate(&mut self, _: OsmId, _: Token) {}
+            fn abort_allocate(&mut self, _: OsmId, _: Token) {}
+            fn commit_release(&mut self, _: OsmId, _: Token) {}
+            fn abort_release(&mut self, _: OsmId, _: Token) {}
+            fn discard(&mut self, _: OsmId, _: Token) {}
+            fn owned_tokens(&self) -> Option<Vec<(Token, OsmId)>> {
+                Some(vec![(Token::new(ManagerId(0), 0), OsmId(0))])
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        let mut m: Machine<()> = Machine::new(());
+        m.add_manager(Liar);
+        match m.run(1) {
+            Err(ModelError::TokenLeak { problems, .. }) => {
+                assert!(!problems.is_empty());
+            }
+            other => panic!("expected token leak, got {other:?}"),
+        }
+        // The audit can be turned off.
+        m.set_leak_audit(false);
+        m.run(1).unwrap();
     }
 }

@@ -9,6 +9,7 @@
 //! prepared transaction of the condition atomically.
 
 use crate::ids::{ManagerId, OsmId};
+use crate::snapshot::ManagerSnapshot;
 use crate::token::{Token, TokenIdent};
 use std::any::Any;
 
@@ -93,6 +94,24 @@ pub trait TokenManager: Any {
         None
     }
 
+    /// Captures the manager's mutable state for
+    /// [`crate::Machine::checkpoint`]. The default `None` declares the
+    /// manager non-checkpointable, making `checkpoint()` fail with
+    /// [`crate::ModelError::SnapshotUnsupported`]. Implementors typically
+    /// delegate to [`crate::Snapshot::snapshot`].
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`TokenManager::snapshot_state`]. Returns `false` (leaving the
+    /// manager unchanged) if the snapshot is incompatible; the default
+    /// refuses everything.
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        let _ = snap;
+        false
+    }
+
     /// Upcast for concrete-type access from behaviors.
     fn as_any(&self) -> &dyn Any;
 
@@ -150,6 +169,36 @@ impl ManagerTable {
         self.managers[id.index()].as_mut()
     }
 
+    /// Borrows a manager, or `None` if `id` is out of range (for callers
+    /// evaluating untrusted specs, where a dangling id must surface as a
+    /// failed condition rather than a panic).
+    #[inline]
+    pub fn try_get(&self, id: ManagerId) -> Option<&dyn TokenManager> {
+        self.managers.get(id.index()).map(|m| m.as_ref())
+    }
+
+    /// Mutably borrows a manager, or `None` if `id` is out of range.
+    #[inline]
+    pub fn try_get_mut(&mut self, id: ManagerId) -> Option<&mut dyn TokenManager> {
+        self.managers.get_mut(id.index()).map(|m| m.as_mut())
+    }
+
+    /// Replaces the manager registered under `id` with whatever `wrapper`
+    /// builds around it — the installation point for decorators such as
+    /// [`crate::FaultInjector`]. The wrapper receives the currently
+    /// installed (already attached) manager and must return its replacement.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn wrap<F>(&mut self, id: ManagerId, wrapper: F)
+    where
+        F: FnOnce(Box<dyn TokenManager>) -> Box<dyn TokenManager>,
+    {
+        let slot = &mut self.managers[id.index()];
+        let inner = std::mem::replace(slot, Box::new(NullManager));
+        *slot = wrapper(inner);
+    }
+
     /// Borrows a manager downcast to its concrete type.
     ///
     /// # Panics
@@ -187,6 +236,37 @@ impl ManagerTable {
             .iter()
             .enumerate()
             .map(|(i, m)| (ManagerId(i as u32), m.as_ref()))
+    }
+}
+
+/// Placeholder briefly occupying a [`ManagerTable`] slot while
+/// [`ManagerTable::wrap`] hands the real manager to its wrapper. Never
+/// observable by callers; denies everything just in case.
+struct NullManager;
+
+impl TokenManager for NullManager {
+    fn name(&self) -> &str {
+        "<null>"
+    }
+    fn prepare_allocate(&mut self, _: OsmId, _: TokenIdent) -> Option<Token> {
+        None
+    }
+    fn inquire(&self, _: OsmId, _: TokenIdent) -> bool {
+        false
+    }
+    fn prepare_release(&mut self, _: OsmId, _: Token) -> bool {
+        false
+    }
+    fn commit_allocate(&mut self, _: OsmId, _: Token) {}
+    fn abort_allocate(&mut self, _: OsmId, _: Token) {}
+    fn commit_release(&mut self, _: OsmId, _: Token) {}
+    fn abort_release(&mut self, _: OsmId, _: Token) {}
+    fn discard(&mut self, _: OsmId, _: Token) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -258,6 +338,28 @@ mod tests {
         let mut table = ManagerTable::new();
         let id = table.add(Other);
         let _: &ExclusivePool = table.downcast(id);
+    }
+
+    #[test]
+    fn try_get_is_total() {
+        let mut table = ManagerTable::new();
+        let a = table.add(ExclusivePool::new("fetch", 1));
+        assert!(table.try_get(a).is_some());
+        assert!(table.try_get(ManagerId(7)).is_none());
+        assert!(table.try_get_mut(ManagerId(7)).is_none());
+    }
+
+    #[test]
+    fn wrap_replaces_in_place_and_preserves_downcast() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let mut table = ManagerTable::new();
+        let a = table.add(ExclusivePool::new("fetch", 2));
+        table.wrap(a, |inner| {
+            Box::new(FaultInjector::new(inner, FaultPlan::new(1)))
+        });
+        // Transparent downcast still reaches the wrapped pool.
+        assert_eq!(table.downcast::<ExclusivePool>(a).capacity(), 2);
+        assert_eq!(table.get(a).name(), "fetch");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::ids::{OsmId, SlotId, StateId};
 use crate::manager::ManagerTable;
+use crate::snapshot::BehaviorSnapshot;
 use crate::spec::{Edge, StateMachineSpec};
 use crate::token::{HeldToken, TokenIdent};
 use std::sync::Arc;
@@ -32,6 +33,22 @@ pub trait Behavior<S>: 'static {
     /// committed, the state was updated). This is where operations decode,
     /// compute, write results into managers, arm the reset manager, etc.
     fn on_transition(&mut self, edge: &Edge, ctx: &mut TransitionCtx<'_, S>);
+
+    /// Captures the behavior's mutable state for
+    /// [`crate::Machine::checkpoint`]. The default declares the behavior
+    /// stateless; behaviors carrying per-operation state (decoded
+    /// instruction, computed address, ...) MUST override this and
+    /// [`Behavior::restore`], or a restored run will silently diverge.
+    fn snapshot(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::Stateless
+    }
+
+    /// Restores state captured by [`Behavior::snapshot`]. Returns `false`
+    /// if the snapshot is incompatible. The stateless default accepts only
+    /// [`BehaviorSnapshot::Stateless`].
+    fn restore(&mut self, snap: &BehaviorSnapshot) -> bool {
+        matches!(snap, BehaviorSnapshot::Stateless)
+    }
 }
 
 /// A no-op behavior, useful for pure-structure models and tests.
@@ -128,6 +145,9 @@ pub struct Osm<S> {
     pub(crate) age: u64,
     pub(crate) tag: u64,
     pub(crate) behavior: Box<dyn Behavior<S>>,
+    /// Control step of this OSM's most recent committed transition
+    /// (watchdog input; 0 until the first move).
+    pub(crate) last_move_cycle: u64,
 }
 
 impl<S> Osm<S> {
@@ -149,6 +169,7 @@ impl<S> Osm<S> {
             age: IDLE_AGE,
             tag,
             behavior,
+            last_move_cycle: 0,
         }
     }
 
@@ -186,6 +207,11 @@ impl<S> Osm<S> {
     /// Thread tag.
     pub fn tag(&self) -> u64 {
         self.tag
+    }
+
+    /// Control step of the most recent committed transition (0 if none yet).
+    pub fn last_move_cycle(&self) -> u64 {
+        self.last_move_cycle
     }
 
     /// Currently held tokens.

@@ -17,6 +17,7 @@
 
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::TokenManager;
+use crate::snapshot::{ManagerSnapshot, Snapshot};
 use crate::token::{Token, TokenIdent};
 use std::any::Any;
 
@@ -121,18 +122,21 @@ impl TokenManager for ExclusivePool {
 
     fn inquire(&self, _osm: OsmId, ident: TokenIdent) -> bool {
         if ident.is_any() {
-            self.slots.iter().any(|s| *s == SlotState::Free)
+            self.slots.contains(&SlotState::Free)
         } else {
             matches!(self.slots.get(ident.0 as usize), Some(SlotState::Free))
         }
     }
 
     fn prepare_release(&mut self, osm: OsmId, token: Token) -> bool {
+        // Token raws arrive from OSM buffers and may be damaged (fault
+        // injection): an out-of-range raw is an unreleasable token, never a
+        // panic.
         let idx = token.raw as usize;
-        if self.release_blocked[idx] {
+        if self.release_blocked.get(idx).copied().unwrap_or(false) {
             return false;
         }
-        if self.slots[idx] == SlotState::Owned(osm) {
+        if self.slots.get(idx) == Some(&SlotState::Owned(osm)) {
             self.slots[idx] = SlotState::Releasing(osm);
             true
         } else {
@@ -141,36 +145,55 @@ impl TokenManager for ExclusivePool {
     }
 
     fn commit_allocate(&mut self, osm: OsmId, token: Token) {
-        let idx = token.raw as usize;
-        debug_assert_eq!(self.slots[idx], SlotState::Pending(osm));
-        self.slots[idx] = SlotState::Owned(osm);
+        // Commit/abort raws were validated by the matching prepare; an
+        // out-of-range raw here is a protocol violation by a caller or a
+        // buggy decorator — scream in debug builds, no-op in release.
+        let Some(slot) = self.slots.get_mut(token.raw as usize) else {
+            debug_assert!(false, "commit_allocate of foreign token {token}");
+            return;
+        };
+        debug_assert_eq!(*slot, SlotState::Pending(osm));
+        *slot = SlotState::Owned(osm);
     }
 
     fn abort_allocate(&mut self, osm: OsmId, token: Token) {
-        let idx = token.raw as usize;
-        debug_assert_eq!(self.slots[idx], SlotState::Pending(osm));
-        self.slots[idx] = SlotState::Free;
+        let Some(slot) = self.slots.get_mut(token.raw as usize) else {
+            debug_assert!(false, "abort_allocate of foreign token {token}");
+            return;
+        };
+        debug_assert_eq!(*slot, SlotState::Pending(osm));
+        *slot = SlotState::Free;
     }
 
     fn commit_release(&mut self, osm: OsmId, token: Token) {
-        let idx = token.raw as usize;
-        debug_assert_eq!(self.slots[idx], SlotState::Releasing(osm));
-        self.slots[idx] = SlotState::Free;
+        let Some(slot) = self.slots.get_mut(token.raw as usize) else {
+            debug_assert!(false, "commit_release of foreign token {token}");
+            return;
+        };
+        debug_assert_eq!(*slot, SlotState::Releasing(osm));
+        *slot = SlotState::Free;
     }
 
     fn abort_release(&mut self, osm: OsmId, token: Token) {
-        let idx = token.raw as usize;
-        debug_assert_eq!(self.slots[idx], SlotState::Releasing(osm));
-        self.slots[idx] = SlotState::Owned(osm);
+        let Some(slot) = self.slots.get_mut(token.raw as usize) else {
+            debug_assert!(false, "abort_release of foreign token {token}");
+            return;
+        };
+        debug_assert_eq!(*slot, SlotState::Releasing(osm));
+        *slot = SlotState::Owned(osm);
     }
 
     fn discard(&mut self, osm: OsmId, token: Token) {
-        let idx = token.raw as usize;
-        debug_assert!(matches!(
-            self.slots[idx],
-            SlotState::Owned(o) | SlotState::Releasing(o) if o == osm
-        ));
-        self.slots[idx] = SlotState::Free;
+        // Discards must always succeed (squash path) even for damaged
+        // tokens; an unknown raw is silently ignored.
+        let _ = osm;
+        if let Some(slot) = self.slots.get_mut(token.raw as usize) {
+            debug_assert!(matches!(
+                *slot,
+                SlotState::Owned(o) | SlotState::Releasing(o) if o == osm
+            ));
+            *slot = SlotState::Free;
+        }
     }
 
     fn owner_of(&self, ident: TokenIdent) -> Option<OsmId> {
@@ -196,12 +219,47 @@ impl TokenManager for ExclusivePool {
         )
     }
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload of an [`ExclusivePool`].
+struct ExclusivePoolState {
+    slots: Vec<SlotState>,
+    release_blocked: Vec<bool>,
+}
+
+impl Snapshot for ExclusivePool {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(ExclusivePoolState {
+            slots: self.slots.clone(),
+            release_blocked: self.release_blocked.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<ExclusivePoolState>() else {
+            return false;
+        };
+        if state.slots.len() != self.slots.len() {
+            return false;
+        }
+        self.slots.clone_from(&state.slots);
+        self.release_blocked.clone_from(&state.release_blocked);
+        true
     }
 }
 
@@ -308,12 +366,48 @@ impl TokenManager for CountingPool {
         }
     }
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload of a [`CountingPool`].
+struct CountingPoolState {
+    capacity: u64,
+    available: u64,
+    refill_each_cycle: bool,
+}
+
+impl Snapshot for CountingPool {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(CountingPoolState {
+            capacity: self.capacity,
+            available: self.available,
+            refill_each_cycle: self.refill_each_cycle,
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<CountingPoolState>() else {
+            return false;
+        };
+        if state.capacity != self.capacity || state.refill_each_cycle != self.refill_each_cycle {
+            return false;
+        }
+        self.available = state.available;
+        true
     }
 }
 
@@ -443,10 +537,12 @@ impl TokenManager for RegScoreboard {
     }
 
     fn prepare_release(&mut self, osm: OsmId, token: Token) -> bool {
+        // Raw may be damaged (fault injection): out-of-range registers are
+        // simply unreleasable, never a panic.
         let Some((update, r)) = Self::split(TokenIdent(token.raw)) else {
             return false;
         };
-        if update && self.writer[r] == SlotState::Owned(osm) {
+        if update && self.writer.get(r) == Some(&SlotState::Owned(osm)) {
             self.writer[r] = SlotState::Releasing(osm);
             true
         } else {
@@ -456,35 +552,56 @@ impl TokenManager for RegScoreboard {
 
     fn commit_allocate(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writer[r], SlotState::Pending(osm));
-            self.writer[r] = SlotState::Owned(osm);
+            // Raw validated by the matching prepare; out-of-range here is a
+            // protocol violation — scream in debug, no-op in release.
+            let Some(slot) = self.writer.get_mut(r) else {
+                debug_assert!(false, "commit_allocate of foreign token {token}");
+                return;
+            };
+            debug_assert_eq!(*slot, SlotState::Pending(osm));
+            *slot = SlotState::Owned(osm);
         }
     }
 
     fn abort_allocate(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writer[r], SlotState::Pending(osm));
-            self.writer[r] = SlotState::Free;
+            let Some(slot) = self.writer.get_mut(r) else {
+                debug_assert!(false, "abort_allocate of foreign token {token}");
+                return;
+            };
+            debug_assert_eq!(*slot, SlotState::Pending(osm));
+            *slot = SlotState::Free;
         }
     }
 
     fn commit_release(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writer[r], SlotState::Releasing(osm));
-            self.writer[r] = SlotState::Free;
+            let Some(slot) = self.writer.get_mut(r) else {
+                debug_assert!(false, "commit_release of foreign token {token}");
+                return;
+            };
+            debug_assert_eq!(*slot, SlotState::Releasing(osm));
+            *slot = SlotState::Free;
         }
     }
 
     fn abort_release(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writer[r], SlotState::Releasing(osm));
-            self.writer[r] = SlotState::Owned(osm);
+            let Some(slot) = self.writer.get_mut(r) else {
+                debug_assert!(false, "abort_release of foreign token {token}");
+                return;
+            };
+            debug_assert_eq!(*slot, SlotState::Releasing(osm));
+            *slot = SlotState::Owned(osm);
         }
     }
 
     fn discard(&mut self, _osm: OsmId, token: Token) {
+        // Discards always succeed, even for damaged raws (squash path).
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            self.writer[r] = SlotState::Free;
+            if let Some(slot) = self.writer.get_mut(r) {
+                *slot = SlotState::Free;
+            }
         }
     }
 
@@ -497,12 +614,47 @@ impl TokenManager for RegScoreboard {
         }
     }
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload of a [`RegScoreboard`].
+struct ScoreboardState {
+    values: Vec<u64>,
+    writer: Vec<SlotState>,
+}
+
+impl Snapshot for RegScoreboard {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(ScoreboardState {
+            values: self.values.clone(),
+            writer: self.writer.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<ScoreboardState>() else {
+            return false;
+        };
+        if state.values.len() != self.values.len() {
+            return false;
+        }
+        self.values.clone_from(&state.values);
+        self.writer.clone_from(&state.writer);
+        true
     }
 }
 
@@ -579,12 +731,41 @@ impl TokenManager for ResetManager {
     fn abort_release(&mut self, _osm: OsmId, _token: Token) {}
     fn discard(&mut self, _osm: OsmId, _token: Token) {}
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload of a [`ResetManager`].
+struct ResetState {
+    armed: Vec<OsmId>,
+}
+
+impl Snapshot for ResetManager {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(ResetState {
+            armed: self.armed.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<ResetState>() else {
+            return false;
+        };
+        self.armed.clone_from(&state.armed);
+        true
     }
 }
 
@@ -786,6 +967,83 @@ mod tests {
         rf.commit_allocate(OsmId(7), t);
         assert_eq!(rf.owner_of(RegScoreboard::update_ident(1)), Some(OsmId(7)));
         assert_eq!(rf.owner_of(RegScoreboard::value_ident(1)), Some(OsmId(7)));
+    }
+
+    #[test]
+    fn exclusive_release_of_damaged_raw_is_refused_not_panic() {
+        let mut p = attach(ExclusivePool::new("fetch", 1), 0);
+        let damaged = Token::new(ManagerId(0), (1 << 63) | 5);
+        assert!(!p.prepare_release(OsmId(1), damaged));
+        p.discard(OsmId(1), damaged); // squash of damaged token: no-op
+        assert_eq!(p.free_count(), 1);
+    }
+
+    #[test]
+    fn scoreboard_release_of_damaged_raw_is_refused_not_panic() {
+        let mut rf = attach(RegScoreboard::new("regs", 4), 0);
+        let damaged = Token::new(ManagerId(0), UPDATE_KIND_BIT | (1 << 40));
+        assert!(!rf.prepare_release(OsmId(1), damaged));
+        rf.discard(OsmId(1), damaged);
+    }
+
+    #[test]
+    fn exclusive_snapshot_roundtrip() {
+        let mut p = attach(ExclusivePool::new("stage", 2), 0);
+        let t = p.prepare_allocate(OsmId(3), TokenIdent(1)).unwrap();
+        p.commit_allocate(OsmId(3), t);
+        p.block_release(1, true);
+        let snap = p.snapshot_state().unwrap();
+        p.block_release(1, false);
+        assert!(p.prepare_release(OsmId(3), t));
+        p.commit_release(OsmId(3), t);
+        assert_eq!(p.owner(1), None);
+        assert!(p.restore_state(&snap));
+        assert_eq!(p.owner(1), Some(OsmId(3)));
+        assert!(p.is_release_blocked(1));
+        // Wrong-shape snapshot refused.
+        let other = attach(ExclusivePool::new("stage", 5), 0).snapshot_state().unwrap();
+        assert!(!p.restore_state(&other));
+    }
+
+    #[test]
+    fn counting_snapshot_roundtrip() {
+        let mut p = attach(CountingPool::new("ports", 3), 0);
+        let t = p.prepare_allocate(OsmId(1), TokenIdent::ANY).unwrap();
+        p.commit_allocate(OsmId(1), t);
+        let snap = p.snapshot_state().unwrap();
+        p.commit_release(OsmId(1), t);
+        assert_eq!(p.available(), 3);
+        assert!(p.restore_state(&snap));
+        assert_eq!(p.available(), 2);
+        // A per-cycle pool's snapshot does not fit an explicit-return pool.
+        let other = attach(CountingPool::per_cycle("bw", 3), 0).snapshot_state().unwrap();
+        assert!(!p.restore_state(&other));
+    }
+
+    #[test]
+    fn scoreboard_snapshot_roundtrip() {
+        let mut rf = attach(RegScoreboard::new("regs", 4), 0);
+        let t = rf
+            .prepare_allocate(OsmId(1), RegScoreboard::update_ident(2))
+            .unwrap();
+        rf.commit_allocate(OsmId(1), t);
+        rf.write(2, 99);
+        let snap = rf.snapshot_state().unwrap();
+        rf.write(2, 7);
+        rf.discard(OsmId(1), t);
+        assert!(rf.restore_state(&snap));
+        assert_eq!(rf.read(2), 99);
+        assert_eq!(rf.writer_of(2), Some(OsmId(1)));
+    }
+
+    #[test]
+    fn reset_snapshot_roundtrip() {
+        let mut m = ResetManager::new("reset");
+        m.arm(OsmId(2));
+        let snap = m.snapshot_state().unwrap();
+        m.disarm_all();
+        assert!(m.restore_state(&snap));
+        assert!(m.is_armed(OsmId(2)));
     }
 
     #[test]

@@ -196,7 +196,7 @@ fn alloc_into_initial(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
         let returned = |m: ManagerId| {
             e.condition.iter().any(|p| match *p {
                 Primitive::Release { manager, .. } => manager == m,
-                Primitive::Discard { manager, .. } => manager.map_or(true, |x| x == m),
+                Primitive::Discard { manager, .. } => manager.is_none_or(|x| x == m),
                 _ => false,
             })
         };
@@ -221,14 +221,14 @@ fn token_balance(spec: &StateMachineSpec, issues: &mut Vec<SpecIssue>) {
     fn dfs(
         spec: &StateMachineSpec,
         state: StateId,
-        held: &mut Vec<ManagerId>,
+        held: &mut [ManagerId],
         path: &mut Vec<EdgeId>,
         visited: &mut Vec<StateId>,
         issues: &mut Vec<SpecIssue>,
     ) {
         for &eid in spec.out_edges(state) {
             let edge = spec.edge(eid);
-            let mut now = held.clone();
+            let mut now = held.to_vec();
             for prim in &edge.condition {
                 match *prim {
                     Primitive::Allocate { manager, ident } => {

@@ -24,9 +24,9 @@ fn op() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// Drives an [`ExclusivePool`] with a random transaction stream, modeling
-/// the director's discipline (each prepare is either committed or aborted
-/// before the next), and checks conservation after every step.
+// Drives an `ExclusivePool` with a random transaction stream, modeling
+// the director's discipline (each prepare is either committed or aborted
+// before the next), and checks conservation after every step.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
 
@@ -77,13 +77,11 @@ proptest! {
                         }
                     }
                 }
-                Op::Discard { osm } => {
-                    if pending.is_none() {
-                        let osm = OsmId(osm);
-                        if let Some(&(_, token)) = owned.iter().find(|(o2, _)| *o2 == osm) {
-                            pool.discard(osm, token);
-                            owned.retain(|(_, t)| *t != token);
-                        }
+                Op::Discard { osm } if pending.is_none() => {
+                    let osm = OsmId(osm);
+                    if let Some(&(_, token)) = owned.iter().find(|(o2, _)| *o2 == osm) {
+                        pool.discard(osm, token);
+                        owned.retain(|(_, t)| *t != token);
                     }
                 }
                 _ => {} // prepare while another is pending: skipped

@@ -270,14 +270,14 @@ impl Module for Dispatcher {
             std::array::from_fn(|u| signals.read(self.w.unit_free[u]));
         let mut rs_free: [bool; 6] = std::array::from_fn(|u| signals.read(self.w.rs_free[u]));
 
-        let mut expected = self.next_dispatch_seq;
         let mut grants: [Option<DispGrant>; 2] = [None, None];
         // Intra-cycle rename overlay: the second dispatch of a cycle must
         // see the first one's destination as an in-flight (unready) write,
         // exactly as the OSM director's age-ordered service provides.
         let mut overlay: Option<(usize, u64)> = None;
 
-        for k in 0..2 {
+        for (k, grant) in grants.iter_mut().enumerate() {
+            let expected = self.next_dispatch_seq + k as u64;
             let Some(op) = signals.read(self.w.fq_head[k]) else {
                 break;
             };
@@ -291,7 +291,7 @@ impl Module for Dispatcher {
             }
             let sources = op.instr.sources();
             let operands_ready = sources.iter().all(|r| {
-                reg_ready[r.flat_index()] && overlay.map_or(true, |(d, _)| d != r.flat_index())
+                reg_ready[r.flat_index()] && overlay.is_none_or(|(d, _)| d != r.flat_index())
             });
             let mut route = None;
             // Direct dispatch into a unit: operands ready, unit free, its
@@ -339,14 +339,13 @@ impl Module for Dispatcher {
             if fdest {
                 fren -= 1;
             }
-            grants[k] = Some(DispGrant {
+            *grant = Some(DispGrant {
                 op,
                 route,
                 waits,
                 gdest,
                 fdest,
             });
-            expected += 1;
         }
         signals.write(self.w.disp[0], grants[0]);
         signals.write(self.w.disp[1], grants[1]);
@@ -664,8 +663,9 @@ impl Module for CompletionUnit {
     fn eval(&mut self, signals: &mut SignalStore) {
         // Retire up to retire_bw oldest completed ops, strictly in order.
         let mut retires: [Option<RetireInfo>; 2] = [None, None];
-        let mut seq = self.next_retire_seq;
-        for slot in retires.iter_mut().take(self.cfg.retire_bw as usize) {
+        for (seq, slot) in
+            (self.next_retire_seq..).zip(retires.iter_mut().take(self.cfg.retire_bw as usize))
+        {
             let Some(op) = self.buffer.iter().find(|o| o.seq == seq) else {
                 break;
             };
@@ -673,7 +673,6 @@ impl Module for CompletionUnit {
                 seq,
                 dest: dest_flat(&op.instr),
             });
-            seq += 1;
         }
         signals.write(self.w.retire[0], retires[0]);
         signals.write(self.w.retire[1], retires[1]);
@@ -953,8 +952,7 @@ mod tests {
     fn run_osm(src: &str) -> PpcResult {
         let p = assemble(src, 0x1000).expect("assembles");
         let mut sim = PpcOsmSim::new(PpcConfig::paper(), &p);
-        let r = sim.run_to_halt(1_000_000).expect("no deadlock");
-        r
+        sim.run_to_halt(1_000_000).expect("no deadlock")
     }
 
     const SUM_LOOP: &str = "

@@ -12,7 +12,7 @@
 //!   numbers of its unready producers at dispatch; its issue edge inquires
 //!   this manager until those producers have broadcast.
 
-use osm_core::{OsmId, Token, TokenIdent, TokenManager};
+use osm_core::{ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent, TokenManager};
 use std::any::Any;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
@@ -121,12 +121,45 @@ impl TokenManager for RenameFile {
             .map(|e| e.osm)
     }
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload for [`RenameFile`]: the per-register write stacks.
+#[derive(Debug, Clone)]
+struct RenameFileState {
+    writes: Vec<VecDeque<WriteEntry>>,
+}
+
+impl Snapshot for RenameFile {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(RenameFileState {
+            writes: self.writes.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<RenameFileState>() else {
+            return false;
+        };
+        if state.writes.len() != self.writes.len() {
+            return false;
+        }
+        self.writes.clone_from(&state.writes);
+        true
     }
 }
 
@@ -200,12 +233,45 @@ impl TokenManager for ResultBus {
     fn abort_release(&mut self, _osm: OsmId, _token: Token) {}
     fn discard(&mut self, _osm: OsmId, _token: Token) {}
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload for [`ResultBus`]: retirement floor plus live broadcasts.
+#[derive(Debug, Clone)]
+struct ResultBusState {
+    floor: u64,
+    done: BTreeSet<u64>,
+}
+
+impl Snapshot for ResultBus {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(ResultBusState {
+            floor: self.floor,
+            done: self.done.clone(),
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<ResultBusState>() else {
+            return false;
+        };
+        self.floor = state.floor;
+        self.done.clone_from(&state.done);
+        true
     }
 }
 
@@ -272,5 +338,39 @@ mod tests {
         bus.complete(3);
         assert!(bus.inquire(OsmId(0), ResultBus::seq_ident(3)));
         assert!(!bus.inquire(OsmId(0), ResultBus::seq_ident(9)));
+    }
+
+    #[test]
+    fn rename_snapshot_roundtrip() {
+        let mut rf = RenameFile::new("gpr", 8);
+        rf.begin_write(3, OsmId(1), 10);
+        rf.begin_write(3, OsmId(2), 11);
+        rf.complete_write(3, 11);
+        let snap = Snapshot::snapshot(&rf);
+        rf.retire_write(3, 10);
+        rf.abort_write(3, 11);
+        assert_eq!(rf.depth(3), 0);
+        assert!(Snapshot::restore(&mut rf, &snap));
+        assert_eq!(rf.depth(3), 2);
+        assert_eq!(rf.pending_producer(3), None); // 11 was complete
+        // Wrong register count is refused.
+        let mut other = RenameFile::new("gpr", 4);
+        assert!(!Snapshot::restore(&mut other, &snap));
+    }
+
+    #[test]
+    fn result_bus_snapshot_roundtrip() {
+        let mut bus = ResultBus::new("bus");
+        bus.complete(4);
+        bus.retire_up_to(3);
+        let snap = Snapshot::snapshot(&bus);
+        bus.complete(7);
+        bus.retire_up_to(8);
+        assert!(Snapshot::restore(&mut bus, &snap));
+        assert!(bus.is_done(2)); // below restored floor
+        assert!(bus.is_done(4));
+        assert!(!bus.is_done(7));
+        // Foreign snapshot type is refused.
+        assert!(!Snapshot::restore(&mut bus, &ManagerSnapshot::of(0u8)));
     }
 }

@@ -15,7 +15,7 @@
 //! index with [`UPDATE_BIT`] set for update tokens (see
 //! [`RegForwardFile::value_ident`] / [`RegForwardFile::update_ident`]).
 
-use osm_core::{ManagerId, OsmId, Token, TokenIdent, TokenManager};
+use osm_core::{ManagerId, ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent, TokenManager};
 use std::any::Any;
 
 /// Identifier bit distinguishing update tokens from value tokens.
@@ -136,11 +136,16 @@ impl TokenManager for RegForwardFile {
     }
 
     fn prepare_release(&mut self, osm: OsmId, token: Token) -> bool {
+        // Fully graceful on out-of-range registers: a fault injector may
+        // hand an operation a corrupted token whose raw decodes past the
+        // file; refusing (rather than panicking) turns that fault into an
+        // observable stall.
         let Some((true, r)) = Self::split(TokenIdent(token.raw)) else {
             return false;
         };
-        match self.writers[r] {
-            WriterState::Busy { osm: o, ready } if o == osm => {
+        match self.writers.get(r) {
+            Some(WriterState::Busy { osm: o, ready }) if *o == osm => {
+                let ready = *ready;
                 self.writers[r] = WriterState::Releasing { osm, ready };
                 true
             }
@@ -150,35 +155,55 @@ impl TokenManager for RegForwardFile {
 
     fn commit_allocate(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writers[r], WriterState::Pending { osm });
-            self.writers[r] = WriterState::Busy { osm, ready: false };
+            let Some(slot) = self.writers.get_mut(r) else {
+                debug_assert!(false, "commit_allocate of foreign token r{r}");
+                return;
+            };
+            debug_assert_eq!(*slot, WriterState::Pending { osm });
+            *slot = WriterState::Busy { osm, ready: false };
         }
     }
 
     fn abort_allocate(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            debug_assert_eq!(self.writers[r], WriterState::Pending { osm });
-            self.writers[r] = WriterState::Free;
+            let Some(slot) = self.writers.get_mut(r) else {
+                debug_assert!(false, "abort_allocate of foreign token r{r}");
+                return;
+            };
+            debug_assert_eq!(*slot, WriterState::Pending { osm });
+            *slot = WriterState::Free;
         }
     }
 
     fn commit_release(&mut self, _osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            self.writers[r] = WriterState::Free;
+            let Some(slot) = self.writers.get_mut(r) else {
+                debug_assert!(false, "commit_release of foreign token r{r}");
+                return;
+            };
+            *slot = WriterState::Free;
         }
     }
 
     fn abort_release(&mut self, osm: OsmId, token: Token) {
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            if let WriterState::Releasing { ready, .. } = self.writers[r] {
-                self.writers[r] = WriterState::Busy { osm, ready };
+            let Some(slot) = self.writers.get_mut(r) else {
+                debug_assert!(false, "abort_release of foreign token r{r}");
+                return;
+            };
+            if let WriterState::Releasing { ready, .. } = *slot {
+                *slot = WriterState::Busy { osm, ready };
             }
         }
     }
 
     fn discard(&mut self, _osm: OsmId, token: Token) {
+        // Graceful like `prepare_release`: squashing an operation that holds
+        // a corrupted token must not bring the simulator down.
         if let Some((true, r)) = Self::split(TokenIdent(token.raw)) {
-            self.writers[r] = WriterState::Free;
+            if let Some(slot) = self.writers.get_mut(r) {
+                *slot = WriterState::Free;
+            }
         }
     }
 
@@ -192,12 +217,49 @@ impl TokenManager for RegForwardFile {
         }
     }
 
+    fn snapshot_state(&self) -> Option<ManagerSnapshot> {
+        Some(Snapshot::snapshot(self))
+    }
+
+    fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
+        Snapshot::restore(self, snap)
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+}
+
+/// Snapshot payload for [`RegForwardFile`]: per-register writer states plus
+/// the forwarding flag (captured so a restore onto a differently-configured
+/// file is refused instead of silently changing hazard semantics).
+#[derive(Debug, Clone)]
+struct RegForwardFileState {
+    writers: Vec<WriterState>,
+    forwarding: bool,
+}
+
+impl Snapshot for RegForwardFile {
+    fn snapshot(&self) -> ManagerSnapshot {
+        ManagerSnapshot::of(RegForwardFileState {
+            writers: self.writers.clone(),
+            forwarding: self.forwarding,
+        })
+    }
+
+    fn restore(&mut self, snap: &ManagerSnapshot) -> bool {
+        let Some(state) = snap.downcast::<RegForwardFileState>() else {
+            return false;
+        };
+        if state.writers.len() != self.writers.len() || state.forwarding != self.forwarding {
+            return false;
+        }
+        self.writers.clone_from(&state.writers);
+        true
     }
 }
 
@@ -283,5 +345,37 @@ mod tests {
         let mut f = file(true);
         assert!(!f.inquire(OsmId(1), RegForwardFile::update_ident(1)));
         assert!(f.prepare_allocate(OsmId(1), RegForwardFile::value_ident(1)).is_none());
+    }
+
+    #[test]
+    fn damaged_raw_is_refused_not_panicking() {
+        let mut f = file(true);
+        // A corrupted raw decoding far past the register file.
+        let bogus = Token::new(ManagerId(0), (1 << 63) | UPDATE_BIT | 999_999);
+        assert!(!f.prepare_release(OsmId(1), bogus));
+        f.discard(OsmId(1), bogus); // must be a no-op, not an OOB panic
+        assert!(f.inquire(OsmId(1), RegForwardFile::value_ident(0)));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_writer_states() {
+        let mut f = file(true);
+        let w = OsmId(1);
+        let t = f.prepare_allocate(w, RegForwardFile::update_ident(3)).unwrap();
+        f.commit_allocate(w, t);
+        f.mark_ready(3);
+        let snap = Snapshot::snapshot(&f);
+        f.commit_release(w, t);
+        assert!(!f.is_busy(3));
+        assert!(Snapshot::restore(&mut f, &snap));
+        assert!(f.is_busy(3));
+        assert!(f.inquire(OsmId(2), RegForwardFile::value_ident(3))); // ready survived
+        // Shape/config mismatches are refused.
+        let mut other = RegForwardFile::new("rf2", 4, true);
+        other.attach(ManagerId(1));
+        assert!(!Snapshot::restore(&mut other, &snap));
+        let mut noforward = RegForwardFile::new("rf3", 8, false);
+        noforward.attach(ManagerId(2));
+        assert!(!Snapshot::restore(&mut noforward, &snap));
     }
 }

@@ -23,9 +23,9 @@ use minirisc::{
 };
 use memsys::MemSystem;
 use osm_core::{
-    Behavior, Edge, ExclusivePool, HardwareLayer, IdentExpr, Machine, ManagerId, ManagerTable,
-    ModelError, OsmView, ResetManager, RestartPolicy, SlotId, SpecBuilder, StateMachineSpec,
-    TokenIdent, TransitionCtx,
+    Behavior, BehaviorSnapshot, Checkpoint, Edge, ExclusivePool, FaultHandle, FaultInjector,
+    FaultPlan, HardwareLayer, IdentExpr, Machine, ManagerId, ManagerTable, ModelError, OsmView,
+    ResetManager, RestartPolicy, SlotId, SpecBuilder, StateMachineSpec, TokenIdent, TransitionCtx,
 };
 use std::sync::Arc;
 
@@ -90,7 +90,10 @@ enum SaEdgeKind {
 }
 
 /// Shared hardware-layer state of the StrongARM model.
-#[derive(Debug)]
+///
+/// `Clone` exists so [`osm_core::Machine::checkpoint`] can capture the whole
+/// hardware layer (CPU state, memories, timers) by value.
+#[derive(Debug, Clone)]
 pub struct SaShared {
     /// Architectural register state (values live here; the token manager
     /// tracks only in-flight-writer status — a representation choice with
@@ -231,7 +234,7 @@ pub fn build_spec(ids: SaManagers) -> Arc<StateMachineSpec> {
 
 /// Per-operation behavior: decodes, initializes token identifiers, executes
 /// semantics at E, and drives the hazard idioms.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct SaOp {
     pc: u32,
     instr: Instr,
@@ -303,6 +306,20 @@ fn classify_edges(spec: &StateMachineSpec) -> Vec<SaEdgeKind> {
 }
 
 impl Behavior<SaShared> for SaOp {
+    fn snapshot(&self) -> BehaviorSnapshot {
+        BehaviorSnapshot::of(self.clone())
+    }
+
+    fn restore(&mut self, snap: &BehaviorSnapshot) -> bool {
+        match snap.downcast::<SaOp>() {
+            Some(state) => {
+                self.clone_from(state);
+                true
+            }
+            None => false,
+        }
+    }
+
     fn edge_enabled(&self, edge: &Edge, _view: &OsmView<'_>, shared: &SaShared) -> bool {
         // Fetch stops once the halting operation has executed.
         shared.edge_kinds[edge.id.index()] != SaEdgeKind::Fetch || !shared.stop_fetch
@@ -492,6 +509,41 @@ impl SaOsmSim {
             self.machine.step()?;
         }
         Ok(self.result())
+    }
+
+    /// Captures a full checkpoint of the simulator (OSM states, token
+    /// managers, CPU/memory state, timers). Restoring it with
+    /// [`SaOsmSim::restore`] replays the continuation cycle-for-cycle.
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotUnsupported`] if a manager without snapshot
+    /// support was installed.
+    pub fn checkpoint(&self) -> Result<Checkpoint<SaShared>, ModelError> {
+        self.machine.checkpoint()
+    }
+
+    /// Rewinds the simulator to `ckpt` (which must come from this
+    /// simulator's own [`SaOsmSim::checkpoint`]).
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotMismatch`] if the checkpoint shape does not
+    /// match this machine.
+    pub fn restore(&mut self, ckpt: &Checkpoint<SaShared>) -> Result<(), ModelError> {
+        self.machine.restore(ckpt)
+    }
+
+    /// Installs a deterministic fault injector in front of manager
+    /// `target` (any of the handles in [`SaOsmSim::ids`]) and returns the
+    /// operator handle for it.
+    pub fn inject_faults(&mut self, target: ManagerId, plan: FaultPlan) -> FaultHandle {
+        FaultInjector::install(&mut self.machine.managers, target, plan)
+    }
+
+    /// Arms the stall watchdog: if no OSM makes progress for `cycles`
+    /// consecutive cycles (see [`osm_core::Machine::set_stall_limit`]),
+    /// stepping fails with a diagnosed [`ModelError::Stalled`].
+    pub fn set_stall_limit(&mut self, cycles: Option<u64>) {
+        self.machine.set_stall_limit(cycles);
     }
 
     /// Snapshot of the current result counters.
@@ -740,6 +792,62 @@ mod tests {
         // Reset edge first (higher priority).
         let out = spec.out_edges(f);
         assert_eq!(spec.edge(out[0]).name, "reset_f");
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_pipeline_exactly() {
+        let p = assemble(SUM_LOOP, 0x1000).unwrap();
+        let mut sim = SaOsmSim::new(SaConfig::paper(), &p);
+        // Run into the middle of the loop, checkpoint with operations in
+        // flight in every stage, then finish.
+        for _ in 0..12 {
+            sim.step().unwrap();
+        }
+        let ckpt = sim.checkpoint().unwrap();
+        let reference = sim.run_to_halt(100_000).unwrap();
+        assert_eq!(reference.exit_code, 55);
+        // Rewind and re-run: bit-identical result, including timing.
+        sim.restore(&ckpt).unwrap();
+        assert_eq!(sim.machine().cycle(), 12);
+        assert!(!sim.machine().shared.halted);
+        let replay = sim.run_to_halt(100_000).unwrap();
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
+    fn injected_cache_port_faults_stall_then_recover() {
+        let p = assemble(SUM_LOOP, 0x1000).unwrap();
+        let mut clean = SaOsmSim::new(SaConfig::paper(), &p);
+        let reference = clean.run_to_halt(100_000).unwrap();
+
+        let mut sim = SaOsmSim::new(SaConfig::paper(), &p);
+        // Must exceed the worst-case natural stall (cold TLB walk + cache
+        // miss + bus is ~60 cycles in the paper configuration).
+        sim.set_stall_limit(Some(200));
+        // Permanently deny the buffer stage (the D-cache port) from cycle 5:
+        // the pipeline wedges and the watchdog must catch it.
+        let handle = sim.inject_faults(
+            sim.ids.mb,
+            FaultPlan::new(0xBAD_5EED).blackhole(5, u64::MAX),
+        );
+        let ckpt = sim.checkpoint().unwrap(); // last known-good state
+        let err = sim.run_to_halt(100_000).unwrap_err();
+        let ModelError::Stalled(report) = err else {
+            panic!("expected stall, got other error");
+        };
+        assert!(!report.blocked.is_empty());
+        assert!(report
+            .blocked
+            .iter()
+            .any(|b| b.waiting_on.iter().any(|w| w.manager_name == "buffer")));
+        // Operator repairs the fault and rewinds to the checkpoint.
+        handle.disable();
+        assert!(handle.stats().total() > 0);
+        sim.restore(&ckpt).unwrap();
+        let recovered = sim.run_to_halt(100_000).unwrap();
+        assert_eq!(recovered.exit_code, reference.exit_code);
+        assert_eq!(recovered.retired, reference.retired);
+        assert_eq!(recovered.output, reference.output);
     }
 
     #[test]

@@ -152,7 +152,7 @@ impl RefSim {
                 self.squash_front();
                 if self.cfg.hw_branch_stall_every > 0 {
                     self.taken_count += 1;
-                    if self.taken_count % self.cfg.hw_branch_stall_every == 0 {
+                    if self.taken_count.is_multiple_of(self.cfg.hw_branch_stall_every) {
                         self.branch_stall = 1;
                     }
                 }
@@ -206,7 +206,7 @@ impl RefSim {
     pub fn step(&mut self) {
         self.cycle += 1;
         // The "hardware proxy" refresh stall: the whole core freezes.
-        if self.cfg.refresh_interval > 0 && self.cycle % self.cfg.refresh_interval == 0 {
+        if self.cfg.refresh_interval > 0 && self.cycle.is_multiple_of(self.cfg.refresh_interval) {
             return;
         }
 
@@ -259,7 +259,7 @@ impl RefSim {
                 && op
                     .instr
                     .dest()
-                    .map_or(true, |r| !self.busy[r.flat_index()].busy)
+                    .is_none_or(|r| !self.busy[r.flat_index()].busy)
             {
                 let mut op = self.d.take().expect("checked");
                 op.dest = op.instr.dest().map(|r| r.flat_index());

@@ -197,7 +197,7 @@ proptest! {
         while !sim.machine().shared.halted && cycles < 200_000 {
             sim.step().expect("no deadlock");
             cycles += 1;
-            if cycles % 7 == 0 {
+            if cycles.is_multiple_of(7) {
                 let problems = sim.machine().audit_tokens();
                 prop_assert!(problems.is_empty(), "cycle {}: {:?}", cycles, problems);
             }

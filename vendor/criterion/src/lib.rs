@@ -1,0 +1,165 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! crate provides just enough of the criterion 0.5 API for the workspace's
+//! `harness = false` benches to compile and run: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement is intentionally simple (wall-clock mean over a fixed
+//! iteration budget, printed to stdout). When invoked by `cargo test`
+//! (which passes `--test` to `harness = false` bench binaries), each
+//! benchmark body runs exactly once as a smoke test, mirroring upstream.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            test_mode: self.test_mode,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(id, f, 10, test_mode);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id);
+        run_one(&id, f, self.sample_size, self.test_mode);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F, samples: usize, test_mode: bool) {
+    let mut b = Bencher {
+        iters: if test_mode { 1 } else { samples as u64 },
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("bench {id}: smoke-tested 1 iteration");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed / b.iters as u32;
+        println!("bench {id}: {per_iter:?}/iter over {} iters", b.iters);
+    }
+}
+
+/// Handed to each benchmark body; call [`Bencher::iter`] with the hot code.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over this bencher's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects benchmark functions into one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(calls, 1); // test mode: exactly one iteration
+    }
+
+    #[test]
+    fn bencher_budget_respected() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,641 @@
+//! Offline drop-in subset of the `proptest` property-testing crate.
+//!
+//! The build environment has no network access to crates.io, so this local
+//! crate implements the slice of the proptest API this workspace uses:
+//!
+//! * the [`proptest!`] macro (including `#![proptest_config(..)]`);
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` combinators,
+//!   integer and float range strategies, tuple strategies (arity 1–8),
+//!   [`Just`], [`prop_oneof!`] unions, `prop::sample::select`,
+//!   `prop::collection::vec` and `prop::option::of`;
+//! * `any::<T>()` for the primitive types;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from upstream: no shrinking (a failing case is reported with
+//! its seed and full `Debug` value instead of a minimized one) and cases are
+//! generated from a deterministic per-test seed, so failures always
+//! reproduce. `.proptest-regressions` files are ignored.
+
+pub use strategy::Just;
+
+/// Strategies: how values are generated.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A source of generated values. Object safe; combinators live on
+    /// [`StrategyExt`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// A boxed, type-erased strategy (what [`crate::prop_oneof!`] builds on).
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Combinators over [`Strategy`] (upstream has these on `Strategy`
+    /// itself; they are split out here to keep the core trait object safe).
+    pub trait StrategyExt: Strategy + Sized {
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values for which `f` returns false, retrying. `reason` is
+        /// reported if the filter rejects too persistently.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: impl Into<String>,
+            f: F,
+        ) -> Filter<Self, F> {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                f,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<S: Strategy> StrategyExt for S {}
+
+    /// See [`StrategyExt::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`StrategyExt::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 candidates in a row", self.reason)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by [`crate::prop_oneof!`]).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> std::fmt::Debug for Union<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Union({} arms)", self.arms.len())
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let k = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[k].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    ((self.start as $wide).wrapping_add((rng.next_u64() % span) as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 uniform mantissa bits scaled into [start, end).
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `any::<T>()` — the canonical strategy for a type.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// `prop::sample` — choosing among fixed values.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly selects one of `values` (cloned out of the slice).
+    pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+        assert!(!values.is_empty(), "select of empty slice");
+        Select {
+            values: values.to_vec(),
+        }
+    }
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let k = (rng.next_u64() % self.values.len() as u64) as usize;
+            self.values[k].clone()
+        }
+    }
+}
+
+/// `prop::collection` — container strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// `prop::option` — optional-value strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Yields `None` half the time and `Some` of the inner strategy's value
+    /// otherwise (upstream's default weighting).
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    /// Strategy returned by [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.element.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Test-case execution: configuration, RNG and the runner.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::fmt::Debug;
+
+    /// Per-test configuration (subset: only `cases` is honored).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate and run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+        /// The case asked to be skipped (unused here, kept for API shape).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Result of one test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic splitmix64 RNG driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runs a strategy against a test body `cases` times.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed default seed.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, seed: 0 }
+        }
+
+        /// Creates a runner whose case stream is derived from `seed`
+        /// (the `proptest!` macro hashes the test name into this).
+        pub fn new_seeded(config: ProptestConfig, seed: u64) -> Self {
+            TestRunner { config, seed }
+        }
+
+        /// Generates and runs every case; panics (like `#[test]` expects) on
+        /// the first failure, reporting the case number, seed and input.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F)
+        where
+            S: Strategy,
+            S::Value: Debug,
+            F: Fn(S::Value) -> TestCaseResult,
+        {
+            for case in 0..self.config.cases {
+                let mut rng = TestRng::new(self.seed ^ (case as u64).wrapping_mul(0x9E37_79B9));
+                let value = strategy.new_value(&mut rng);
+                let repr = format!("{value:?}");
+                match test(value) {
+                    Ok(()) => {}
+                    Err(TestCaseError::Reject(_)) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest case {case}/{} failed: {msg}\n  seed: {:#x}\n  input: {repr}",
+                        self.config.cases, self.seed
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{
+        any, Arbitrary, BoxedStrategy, Just, Strategy, StrategyExt, Union,
+    };
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias so `prop::sample::select` / `prop::collection::vec` resolve
+    /// after a glob import (mirrors upstream's `pub use crate as prop`).
+    pub use crate as prop;
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test item of a [`proptest!`] invocation.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            // Stable per-test seed: failures reproduce across runs.
+            let seed = {
+                let name = concat!(module_path!(), "::", stringify!($name));
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in name.bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                h
+            };
+            let mut runner = $crate::test_runner::TestRunner::new_seeded($cfg, seed);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice among several strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::StrategyExt::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts inside a proptest body; failures return a
+/// [`test_runner::TestCaseError`] rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{:?}` == `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{:?}` != `{:?}`", a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 0u32..10, y in -5i32..5) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn map_and_filter_compose(v in (0u32..100).prop_map(|x| x * 2).prop_filter("nonzero", |x| *x != 0)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert_ne!(v, 0);
+        }
+
+        #[test]
+        fn oneof_selects_each_arm(v in prop_oneof![Just(1u32), Just(2u32), 10u32..20]) {
+            prop_assert!(v == 1 || v == 2 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u8..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn select_clones_members(v in prop::sample::select(&[3u8, 5, 7][..])) {
+            prop_assert!(v == 3 || v == 5 || v == 7);
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in 0.25f64..4.0, y in -1.0f32..1.0) {
+            prop_assert!((0.25..4.0).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn option_of_covers_both_arms(v in prop::option::of(0u32..10)) {
+            if let Some(x) = v {
+                prop_assert!(x < 10);
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = TestRng::new(42);
+        let mut r2 = TestRng::new(42);
+        assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failure_reports_case_and_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(_x in 0u32..4) {
+                prop_assert!(false, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}
