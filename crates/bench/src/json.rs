@@ -1,0 +1,374 @@
+//! A minimal JSON parser and schema checker for the trace-smoke harness.
+//!
+//! The repository vendors no serde, so the smoke binary that validates the
+//! observability exporters carries its own strict recursive-descent JSON
+//! parser plus a checker for the small JSON-Schema subset used by the
+//! checked-in schemas under `schemas/` (`type`, `properties`, `required`,
+//! `items`, `enum`, `additionalProperties: false`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64; JSON has one number type).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order normalized).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The JSON type name (for error messages and schema checks).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "boolean",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// A parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+/// Returns a [`ParseError`] with byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let b = text.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.i != b.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.i,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn lit(&mut self, s: &str, v: Json) -> Result<Json, ParseError> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{s}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.i + 4 > self.b.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let n = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.i += 4;
+                            // Surrogate pairs are not needed by our exporters.
+                            out.push(char::from_u32(n).ok_or_else(|| self.err("bad codepoint"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                c if c < 0x20 => return Err(self.err("raw control character in string")),
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let start = self.i - 1;
+                    let s = std::str::from_utf8(&self.b[start..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.i = start + ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let s = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+/// Validates `value` against a schema expressed in the JSON-Schema subset
+/// used under `schemas/`. Returns every violation as a `path: problem` line.
+pub fn check_schema(value: &Json, schema: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    check(value, schema, "$", &mut problems);
+    problems
+}
+
+fn check(value: &Json, schema: &Json, path: &str, problems: &mut Vec<String>) {
+    if let Some(types) = schema.get("type") {
+        let allowed: Vec<&str> = match types {
+            Json::Str(s) => vec![s.as_str()],
+            Json::Arr(v) => v.iter().filter_map(Json::as_str).collect(),
+            _ => vec![],
+        };
+        // JSON-Schema treats integers as a refinement of number.
+        let actual = value.type_name();
+        let ok = allowed.iter().any(|&t| {
+            t == actual || (t == "integer" && matches!(value, Json::Num(n) if n.fract() == 0.0))
+        });
+        if !ok {
+            problems.push(format!("{path}: expected type {allowed:?}, got {actual}"));
+            return;
+        }
+    }
+    if let Some(allowed) = schema.get("enum").and_then(Json::as_arr) {
+        if !allowed.contains(value) {
+            problems.push(format!("{path}: value not in enum"));
+        }
+    }
+    if let (Json::Obj(map), Some(Json::Obj(props))) = (value, schema.get("properties")) {
+        if let Some(required) = schema.get("required").and_then(Json::as_arr) {
+            for key in required.iter().filter_map(Json::as_str) {
+                if !map.contains_key(key) {
+                    problems.push(format!("{path}: missing required member `{key}`"));
+                }
+            }
+        }
+        let closed = matches!(schema.get("additionalProperties"), Some(Json::Bool(false)));
+        for (key, member) in map {
+            match props.get(key) {
+                Some(sub) => check(member, sub, &format!("{path}.{key}"), problems),
+                None if closed => {
+                    problems.push(format!("{path}: unexpected member `{key}`"));
+                }
+                None => {}
+            }
+        }
+    }
+    if let (Json::Arr(items), Some(item_schema)) = (value, schema.get("items")) {
+        for (i, item) in items.iter().enumerate() {
+            check(item, item_schema, &format!("{path}[{i}]"), problems);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_round_trip_shapes() {
+        let v = parse(r#"{"a":[1,2.5,-3e2],"b":"x\ny","c":null,"d":true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Null));
+        assert_eq!(v.get("d"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(-300.0));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} x").is_err());
+        assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn schema_subset_checks() {
+        let schema = parse(
+            r#"{"type":"object","required":["n"],"additionalProperties":false,
+                "properties":{"n":{"type":"integer"},"s":{"type":"string"}}}"#,
+        )
+        .unwrap();
+        assert!(check_schema(&parse(r#"{"n":3,"s":"ok"}"#).unwrap(), &schema).is_empty());
+        let bad = check_schema(&parse(r#"{"n":3.5,"x":1}"#).unwrap(), &schema);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+    }
+}

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use ppc750::{PpcConfig, PpcOsmSim, PpcPortSim, PpcResult};
 use sa1100::{RefSim, SaConfig, SaOsmSim, SimResult};
 use std::time::{Duration, Instant};

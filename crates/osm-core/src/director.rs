@@ -11,13 +11,15 @@
 //! behaviour).
 
 use crate::error::{BlockedOsm, ModelError, WaitCause};
-use crate::ids::{ManagerId, OsmId};
+use crate::ids::{EdgeId, ManagerId, OsmId};
 use crate::manager::ManagerTable;
+use crate::observe::{
+    Observer, StallEvent, StallTracker, TokenEvent, TokenOpKind, TokenOutcome, TransitionEvent,
+};
 use crate::osm::{Osm, OsmView, TransitionCtx, IDLE_AGE};
 use crate::spec::{Edge, StateMachineSpec};
 use crate::stats::Stats;
 use crate::token::{HeldToken, IdentExpr, Primitive, Token, TokenIdent};
-use crate::trace::{Trace, TraceEvent};
 use std::sync::Arc;
 
 /// Whether the director restarts its outer loop after a transition (Fig. 3).
@@ -121,6 +123,18 @@ pub(crate) struct Scratch {
     /// First failing primitive of the most recent failed `try_condition`,
     /// with its resolved identifier (stall diagnostics).
     fail: Option<(Primitive, TokenIdent)>,
+    /// Per-OSM first failing primitive of the OSM's most recent edge scan
+    /// this step (stall-cause attribution; maintained only when observers or
+    /// a [`StallTracker`] are active).
+    first_fail: Vec<Option<(Primitive, TokenIdent)>>,
+}
+
+/// Emits one token event to every observer.
+#[inline]
+fn emit_token(observers: &mut [Box<dyn Observer>], ev: TokenEvent) {
+    for o in observers.iter_mut() {
+        o.on_token_op(&ev);
+    }
 }
 
 /// Resolution of an [`IdentExpr`] against an OSM's slots.
@@ -152,18 +166,39 @@ fn resolve(expr: IdentExpr, slots: &[TokenIdent]) -> Resolved {
 /// transactions into `scratch` (cleared on entry). Returns true when the
 /// condition is satisfied; on failure every prepared transaction is aborted
 /// and the blocking owners are appended to `scratch.wait_edges`.
-fn try_condition<S>(
+///
+/// Monomorphized over `OBS` so the no-observer instantiation carries zero
+/// event-emission code in the per-primitive loop — the disabled path is
+/// byte-for-byte the pre-observability hot loop. Callers must pass
+/// `OBS = !observers.is_empty()` (an `OBS = false` call ignores `observers`).
+fn try_condition<S, const OBS: bool>(
     osm: &Osm<S>,
     edge: &Edge,
     managers: &mut ManagerTable,
     scratch: &mut Scratch,
     collect_waits: bool,
+    observers: &mut [Box<dyn Observer>],
+    cycle: u64,
 ) -> bool {
     scratch.ops.clear();
     scratch.discards.clear();
     scratch.used.clear();
     scratch.fail = None;
     let mut failed = false;
+    let observing = OBS;
+    // One TokenEvent per manager contact; every failure path below emits
+    // exactly one Denied event, so denied-event counts reconcile with
+    // `Stats::condition_failures`.
+    let token_ev = |op, ident, token, outcome| TokenEvent {
+        cycle,
+        osm: osm.id,
+        edge: edge.id,
+        manager: ManagerId(0), // overwritten by every caller
+        op,
+        ident,
+        token,
+        outcome,
+    };
 
     'prims: for prim in &edge.condition {
         match *prim {
@@ -171,6 +206,20 @@ fn try_condition<S>(
                 Resolved::Vacuous => {}
                 Resolved::AnyHeld => {
                     debug_assert!(false, "allocate cannot use AnyHeld");
+                    if observing {
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(
+                                    TokenOpKind::Allocate,
+                                    TokenIdent::NONE,
+                                    None,
+                                    TokenOutcome::Denied,
+                                )
+                            },
+                        );
+                    }
                     scratch.fail = Some((*prim, TokenIdent::NONE));
                     failed = true;
                     break 'prims;
@@ -181,6 +230,20 @@ fn try_condition<S>(
                     let granted = managers
                         .try_get_mut(manager)
                         .and_then(|m| m.prepare_allocate(osm.id, id));
+                    if observing {
+                        let outcome = if granted.is_some() {
+                            TokenOutcome::Granted
+                        } else {
+                            TokenOutcome::Denied
+                        };
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(TokenOpKind::Allocate, id, granted, outcome)
+                            },
+                        );
+                    }
                     match granted {
                         Some(token) => scratch.ops.push(PreparedOp::Alloc {
                             manager,
@@ -208,15 +271,43 @@ fn try_condition<S>(
                 Resolved::Vacuous => {}
                 Resolved::AnyHeld => {
                     debug_assert!(false, "inquire cannot use AnyHeld");
+                    if observing {
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(
+                                    TokenOpKind::Inquire,
+                                    TokenIdent::NONE,
+                                    None,
+                                    TokenOutcome::Denied,
+                                )
+                            },
+                        );
+                    }
                     scratch.fail = Some((*prim, TokenIdent::NONE));
                     failed = true;
                     break 'prims;
                 }
                 Resolved::Ident(id) => {
-                    if !managers
+                    let ok = managers
                         .try_get(manager)
-                        .is_some_and(|m| m.inquire(osm.id, id))
-                    {
+                        .is_some_and(|m| m.inquire(osm.id, id));
+                    if observing {
+                        let outcome = if ok {
+                            TokenOutcome::Granted
+                        } else {
+                            TokenOutcome::Denied
+                        };
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(TokenOpKind::Inquire, id, None, outcome)
+                            },
+                        );
+                    }
+                    if !ok {
                         if collect_waits {
                             let owner = managers.try_get(manager).and_then(|m| m.owner_of(id));
                             if let Some(owner) = owner {
@@ -248,6 +339,25 @@ fn try_condition<S>(
                         let accepted = managers
                             .try_get_mut(manager)
                             .is_some_and(|m| m.prepare_release(osm.id, token));
+                        if observing {
+                            let outcome = if accepted {
+                                TokenOutcome::Granted
+                            } else {
+                                TokenOutcome::Denied
+                            };
+                            emit_token(
+                                observers,
+                                TokenEvent {
+                                    manager,
+                                    ..token_ev(
+                                        TokenOpKind::Release,
+                                        osm.buffer[i].ident,
+                                        Some(token),
+                                        outcome,
+                                    )
+                                },
+                            );
+                        }
                         if accepted {
                             scratch.used.push(i);
                             scratch.ops.push(PreparedOp::Release {
@@ -264,7 +374,22 @@ fn try_condition<S>(
                     None => {
                         // Releasing a token the OSM does not hold is a model
                         // inconsistency; treat as an unsatisfied condition.
-                        scratch.fail = Some((*prim, target.unwrap_or(TokenIdent::NONE)));
+                        let ident = target.unwrap_or(TokenIdent::NONE);
+                        if observing {
+                            emit_token(
+                                observers,
+                                TokenEvent {
+                                    manager,
+                                    ..token_ev(
+                                        TokenOpKind::Release,
+                                        ident,
+                                        None,
+                                        TokenOutcome::Denied,
+                                    )
+                                },
+                            );
+                        }
+                        scratch.fail = Some((*prim, ident));
                         failed = true;
                         break 'prims;
                     }
@@ -288,11 +413,47 @@ fn try_condition<S>(
         // Manager ids here are in range: each op's prepare succeeded above.
         for op in scratch.ops.iter().rev() {
             match *op {
-                PreparedOp::Alloc { manager, token, .. } => {
+                PreparedOp::Alloc {
+                    manager,
+                    ident,
+                    token,
+                } => {
                     managers.get_mut(manager).abort_allocate(osm.id, token);
+                    if observing {
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(
+                                    TokenOpKind::Allocate,
+                                    ident,
+                                    Some(token),
+                                    TokenOutcome::Aborted,
+                                )
+                            },
+                        );
+                    }
                 }
-                PreparedOp::Release { manager, token, .. } => {
+                PreparedOp::Release {
+                    manager,
+                    buffer_index,
+                    token,
+                } => {
                     managers.get_mut(manager).abort_release(osm.id, token);
+                    if observing {
+                        emit_token(
+                            observers,
+                            TokenEvent {
+                                manager,
+                                ..token_ev(
+                                    TokenOpKind::Release,
+                                    osm.buffer[buffer_index].ident,
+                                    Some(token),
+                                    TokenOutcome::Aborted,
+                                )
+                            },
+                        );
+                    }
                 }
             }
         }
@@ -304,7 +465,15 @@ fn try_condition<S>(
 
 /// Commits the satisfied plan held in `scratch`: finalizes transactions and
 /// updates the buffer.
-fn commit_plan<S>(osm: &mut Osm<S>, scratch: &mut Scratch, managers: &mut ManagerTable) {
+fn commit_plan<S, const OBS: bool>(
+    osm: &mut Osm<S>,
+    scratch: &mut Scratch,
+    managers: &mut ManagerTable,
+    observers: &mut [Box<dyn Observer>],
+    cycle: u64,
+    edge: EdgeId,
+) {
+    let observing = OBS;
     scratch.removed.clear();
     for op in &scratch.ops {
         match *op {
@@ -343,6 +512,21 @@ fn commit_plan<S>(osm: &mut Osm<S>, scratch: &mut Scratch, managers: &mut Manage
                 managers
                     .get_mut(held.token.manager)
                     .discard(osm.id, held.token);
+                if observing {
+                    emit_token(
+                        observers,
+                        TokenEvent {
+                            cycle,
+                            osm: osm.id,
+                            edge,
+                            manager: held.token.manager,
+                            op: TokenOpKind::Discard,
+                            ident: held.ident,
+                            token: Some(held.token),
+                            outcome: TokenOutcome::Granted,
+                        },
+                    );
+                }
                 osm.buffer.remove(i);
             } else {
                 i += 1;
@@ -353,11 +537,18 @@ fn commit_plan<S>(osm: &mut Osm<S>, scratch: &mut Scratch, managers: &mut Manage
 
 /// Runs one control step over all OSMs (the Fig. 3 algorithm).
 ///
+/// Monomorphized over `TRACKING`: callers pass `TRACKING = true` exactly
+/// when observers are registered or a [`StallTracker`] is attached, and
+/// `TRACKING = false` otherwise. The false instantiation contains no
+/// event-emission or attribution code at all, so an uninstrumented machine
+/// runs the pre-observability hot loop (one branch per cycle picks the
+/// instantiation).
+///
 /// # Errors
 /// Returns [`ModelError::Deadlock`] if `deadlock_check` is on, no OSM
 /// transitioned, and the blocked OSMs form a wait-for cycle.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn control_step<S: 'static>(
+pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
     osms: &mut [Osm<S>],
     specs: &[std::sync::Arc<crate::spec::StateMachineSpec>],
     managers: &mut ManagerTable,
@@ -369,13 +560,23 @@ pub(crate) fn control_step<S: 'static>(
     cycle: u64,
     age_counter: &mut u64,
     stats: &mut Stats,
-    mut trace: Option<&mut Trace>,
+    observers: &mut [Box<dyn Observer>],
+    mut stalls: Option<&mut StallTracker>,
     scratch: &mut Scratch,
 ) -> Result<StepOutcome, ModelError> {
     // Rank all OSMs; stable order by (rank, id) guarantees determinism.
     // The paper's age policy is the common case and needs no view.
     scratch.list.clear();
     scratch.wait_edges.clear();
+    // Stall attribution needs the first failing primitive of the
+    // highest-priority enabled edge for every OSM still blocked at the end
+    // of the step; `first_fail` collects it during the scan so no second
+    // probe pass is needed.
+    debug_assert_eq!(TRACKING, stalls.is_some() || !observers.is_empty());
+    if TRACKING {
+        scratch.first_fail.clear();
+        scratch.first_fail.resize(osms.len(), None);
+    }
     if age_ranking {
         for osm in osms.iter() {
             scratch.list.push((osm.age, osm.id));
@@ -395,8 +596,12 @@ pub(crate) fn control_step<S: 'static>(
     while i < list.len() {
         let id = list[i].1;
         let osm = &mut osms[id.index()];
-        let spec = &specs[osm.spec_idx as usize];
+        let spec_idx = osm.spec_idx;
+        let spec = &specs[spec_idx as usize];
         let mut moved = false;
+        if TRACKING {
+            scratch.first_fail[id.index()] = None;
+        }
 
         for &eid in spec.out_edges(osm.state) {
             let edge = spec.edge(eid);
@@ -404,9 +609,18 @@ pub(crate) fn control_step<S: 'static>(
                 stats.vetoed_edges += 1;
                 continue;
             }
-            if try_condition(osm, edge, managers, scratch, false) {
+            let satisfied = if TRACKING && !observers.is_empty() {
+                try_condition::<S, true>(osm, edge, managers, scratch, false, observers, cycle)
+            } else {
+                try_condition::<S, false>(osm, edge, managers, scratch, false, &mut [], cycle)
+            };
+            if satisfied {
                 {
-                    commit_plan(osm, scratch, managers);
+                    if TRACKING && !observers.is_empty() {
+                        commit_plan::<S, true>(osm, scratch, managers, observers, cycle, eid);
+                    } else {
+                        commit_plan::<S, false>(osm, scratch, managers, &mut [], cycle, eid);
+                    }
                     let from = osm.state;
                     osm.state = edge.dst;
                     let initial = spec.initial();
@@ -436,14 +650,20 @@ pub(crate) fn control_step<S: 'static>(
                         shared,
                     };
                     osm.behavior.on_transition(edge, &mut ctx);
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push(TraceEvent {
+                    if TRACKING && !observers.is_empty() {
+                        let ev = TransitionEvent {
                             cycle,
-                            osm: osm.id,
+                            osm: id,
+                            spec: spec_idx,
                             edge: eid,
                             from,
                             to: edge.dst,
-                        });
+                            started: from == initial && edge.dst != initial,
+                            completed: edge.dst == initial,
+                        };
+                        for o in observers.iter_mut() {
+                            o.on_transition(&ev);
+                        }
                     }
                     stats.transitions += 1;
                     transitions += 1;
@@ -452,6 +672,9 @@ pub(crate) fn control_step<S: 'static>(
                 }
             } else {
                 stats.condition_failures += 1;
+                if TRACKING && scratch.first_fail[id.index()].is_none() {
+                    scratch.first_fail[id.index()] = scratch.fail;
+                }
             }
         }
 
@@ -473,8 +696,45 @@ pub(crate) fn control_step<S: 'static>(
         }
     }
 
+    // Everything still in `list` failed to leave its state this step; charge
+    // the first blocking (manager, primitive) pair recorded during the scan.
+    if TRACKING {
+        for &(_, id) in &list {
+            let Some((prim, ident)) = scratch.first_fail[id.index()] else {
+                continue;
+            };
+            let Some(manager) = prim.manager() else {
+                continue;
+            };
+            let op = prim.kind();
+            if let Some(t) = stalls.as_deref_mut() {
+                t.charge(id, manager, op);
+            }
+            if !observers.is_empty() {
+                let osm = &osms[id.index()];
+                let ev = StallEvent {
+                    cycle,
+                    osm: id,
+                    spec: osm.spec_idx,
+                    state: osm.state,
+                    manager,
+                    op,
+                    ident,
+                };
+                for o in observers.iter_mut() {
+                    o.on_stall(&ev);
+                }
+            }
+        }
+    }
+
     if transitions == 0 {
         stats.idle_steps += 1;
+        if TRACKING {
+            if let Some(t) = stalls {
+                t.global_stall_cycles += 1;
+            }
+        }
         if deadlock_check {
             // Lazy wait-for-graph construction: only on globally idle steps
             // is a second evaluation pass run, this time recording which
@@ -488,7 +748,11 @@ pub(crate) fn control_step<S: 'static>(
                     if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
                         continue;
                     }
-                    let satisfied = try_condition(osm, edge, managers, scratch, true);
+                    // Pass no observers: this re-evaluation is a diagnostic
+                    // pass, and emitting events here would break the
+                    // one-Denied-per-condition-failure reconciliation.
+                    let satisfied =
+                        try_condition::<S, false>(osm, edge, managers, scratch, true, &mut [], cycle);
                     debug_assert!(!satisfied, "idle step re-evaluation succeeded");
                     if satisfied {
                         // Roll back defensively in release builds.
@@ -514,6 +778,12 @@ pub(crate) fn control_step<S: 'static>(
         }
     }
 
+    if TRACKING {
+        for o in observers.iter_mut() {
+            o.on_cycle_end(cycle, transitions, completions);
+        }
+    }
+
     scratch.list = list;
     scratch.list.clear();
     Ok(StepOutcome {
@@ -532,7 +802,7 @@ fn probe_edge<S>(
     managers: &mut ManagerTable,
     scratch: &mut Scratch,
 ) -> Option<WaitCause> {
-    if try_condition(osm, edge, managers, scratch, false) {
+    if try_condition::<S, false>(osm, edge, managers, scratch, false, &mut [], 0) {
         // Satisfiable: roll the tentative transactions back (this is only a
         // probe, not a scheduling pass).
         for op in scratch.ops.iter().rev() {

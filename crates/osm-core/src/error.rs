@@ -1,6 +1,7 @@
 //! Error types for model construction and execution.
 
 use crate::ids::{ManagerId, OsmId, StateId};
+use crate::observe::StallHistogram;
 use crate::token::Token;
 use std::error::Error;
 use std::fmt;
@@ -135,6 +136,9 @@ pub struct StallReport {
     pub stalled_for: u64,
     /// The blocked OSMs, with the primitives and managers they wait on.
     pub blocked: Vec<BlockedOsm>,
+    /// The stall-cause histogram accumulated up to the stall, when
+    /// [`crate::Machine::enable_stall_attribution`] was on.
+    pub attribution: Option<StallHistogram>,
 }
 
 impl fmt::Display for StallReport {
@@ -146,6 +150,9 @@ impl fmt::Display for StallReport {
         )?;
         for b in &self.blocked {
             write!(f, "\n  {b}")?;
+        }
+        if let Some(attr) = &self.attribution {
+            write!(f, "\n{attr}")?;
         }
         Ok(())
     }
@@ -266,6 +273,7 @@ mod tests {
                     owner: Some(OsmId(5)),
                 }],
             }],
+            attribution: None,
         };
         let e = ModelError::Stalled(Box::new(report));
         let s = e.to_string();

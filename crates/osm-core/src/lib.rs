@@ -69,12 +69,14 @@
 
 mod director;
 mod error;
+pub mod export;
 mod extract;
 mod fault;
 mod ids;
 mod kernel;
 mod machine;
 mod manager;
+pub mod observe;
 mod osm;
 mod pools;
 mod snapshot;
@@ -95,11 +97,16 @@ pub use ids::{EdgeId, ManagerId, OsmId, SlotId, StateId};
 pub use kernel::{DeKernel, EventFn, EventScheduler};
 pub use machine::{HardwareLayer, Machine};
 pub use manager::{ManagerTable, TokenManager};
+pub use observe::{
+    EventLog, ManagerUtilization, MetricsCollector, MetricsReport, ObservedEvent, Observer,
+    OsmStallCause, StallCause, StallEvent, StallHistogram, StallTracker, StateOccupancy,
+    TokenEvent, TokenOpKind, TokenOutcome, TraceSink, TransitionEvent,
+};
 pub use osm::{set_slot, Behavior, InertBehavior, Osm, OsmView, TransitionCtx, IDLE_AGE};
 pub use pools::{CountingPool, ExclusivePool, RegScoreboard, ResetManager};
 pub use snapshot::{BehaviorSnapshot, Checkpoint, ManagerSnapshot, Snapshot};
 pub use spec::{Edge, EdgeHandle, SpecBuilder, StateMachineSpec};
 pub use stats::Stats;
 pub use token::{HeldToken, IdentExpr, Primitive, Token, TokenIdent};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceMode};
 pub use verify::{verify_spec, SpecIssue};

@@ -4,6 +4,9 @@ use crate::director::{self, AgeRanker, Ranker, RestartPolicy, Scratch, StepOutco
 use crate::error::{ModelError, StallKind, StallReport};
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::{ManagerTable, TokenManager};
+use crate::observe::{
+    EventLog, MetricsCollector, MetricsReport, Observer, StallTracker, TraceSink,
+};
 use crate::osm::{Behavior, Osm};
 use crate::snapshot::{Checkpoint, OsmCheckpoint};
 use crate::spec::StateMachineSpec;
@@ -73,7 +76,10 @@ pub struct Machine<S> {
     leak_audit: bool,
     /// Scheduler statistics.
     pub stats: Stats,
-    trace: Option<Trace>,
+    /// Installed observer sinks; empty = the zero-cost disabled path.
+    observers: Vec<Box<dyn Observer>>,
+    /// Machine-owned stall-cause attribution, when enabled.
+    stall_tracker: Option<StallTracker>,
     scratch: Scratch,
 }
 
@@ -97,7 +103,8 @@ impl<S: 'static> Machine<S> {
             last_completion_cycle: 0,
             leak_audit: true,
             stats: Stats::new(),
-            trace: None,
+            observers: Vec::new(),
+            stall_tracker: None,
             scratch: Scratch::default(),
         }
     }
@@ -222,21 +229,130 @@ impl<S: 'static> Machine<S> {
         self.leak_audit = on;
     }
 
-    /// Starts recording a transition trace.
+    /// Installs an observer sink; events flow to it from the next control
+    /// step on. Sinks are invoked in installation order.
+    pub fn add_observer<O: Observer>(&mut self, observer: O) {
+        self.observers.push(Box::new(observer));
+    }
+
+    /// Borrows the first installed observer of concrete type `O`.
+    pub fn observer<O: Observer>(&self) -> Option<&O> {
+        self.observers
+            .iter()
+            .find_map(|o| o.as_any().downcast_ref::<O>())
+    }
+
+    /// Mutably borrows the first installed observer of concrete type `O`.
+    pub fn observer_mut<O: Observer>(&mut self) -> Option<&mut O> {
+        self.observers
+            .iter_mut()
+            .find_map(|o| o.as_any_mut().downcast_mut::<O>())
+    }
+
+    /// Removes and returns the first installed observer of concrete type
+    /// `O`, uninstalling it.
+    pub fn take_observer<O: Observer>(&mut self) -> Option<O> {
+        let idx = self
+            .observers
+            .iter()
+            .position(|o| o.as_any().is::<O>())?;
+        let boxed = self.observers.remove(idx);
+        Some(*boxed.into_any().downcast::<O>().expect("type checked above"))
+    }
+
+    /// True if any observer sink is installed.
+    pub fn has_observers(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// Starts recording a transition trace (a [`TraceSink`] observer).
     pub fn enable_trace(&mut self) {
-        if self.trace.is_none() {
-            self.trace = Some(Trace::new());
+        self.enable_trace_with(Trace::new());
+    }
+
+    /// Starts recording transitions into the given (possibly ring- or
+    /// digest-mode) [`Trace`]. No-op if a trace sink is already installed.
+    pub fn enable_trace_with(&mut self, trace: Trace) {
+        if self.observer::<TraceSink>().is_none() {
+            self.add_observer(TraceSink::new(trace));
         }
     }
 
     /// The trace recorded so far, if tracing is enabled.
     pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+        self.observer::<TraceSink>().map(TraceSink::trace)
     }
 
     /// Takes the recorded trace, disabling tracing.
     pub fn take_trace(&mut self) -> Option<Trace> {
-        self.trace.take()
+        self.take_observer::<TraceSink>().map(TraceSink::into_trace)
+    }
+
+    /// Starts recording the full event stream into an unbounded [`EventLog`]
+    /// (feed for the [`crate::export`] exporters).
+    pub fn enable_event_log(&mut self) {
+        if self.observer::<EventLog>().is_none() {
+            self.add_observer(EventLog::new());
+        }
+    }
+
+    /// Starts recording the event stream into a ring [`EventLog`] retaining
+    /// only the most recent `capacity` events.
+    pub fn enable_event_log_ring(&mut self, capacity: usize) {
+        if self.observer::<EventLog>().is_none() {
+            self.add_observer(EventLog::with_capacity(capacity));
+        }
+    }
+
+    /// The event log recorded so far, if enabled.
+    pub fn event_log(&self) -> Option<&EventLog> {
+        self.observer::<EventLog>()
+    }
+
+    /// Takes the recorded event log, disabling it.
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        self.take_observer::<EventLog>()
+    }
+
+    /// Starts folding events into derived metrics (a [`MetricsCollector`]
+    /// observer with the default throughput window).
+    pub fn enable_metrics(&mut self) {
+        if self.observer::<MetricsCollector>().is_none() {
+            self.add_observer(MetricsCollector::default());
+        }
+    }
+
+    /// Renders the structured [`MetricsReport`], if metrics are enabled.
+    /// Includes the stall-cause histogram when attribution is also on.
+    pub fn metrics_report(&self) -> Option<MetricsReport> {
+        self.observer::<MetricsCollector>()
+            .map(|c| MetricsReport::build(c, self))
+    }
+
+    /// Starts machine-owned stall-cause attribution: every cycle an
+    /// in-flight OSM fails to leave its state, the blocking
+    /// `(manager, primitive)` pair is charged into the [`StallTracker`]
+    /// histograms and into the watchdog's [`StallReport`].
+    pub fn enable_stall_attribution(&mut self) {
+        if self.stall_tracker.is_none() {
+            self.stall_tracker = Some(StallTracker::new());
+        }
+    }
+
+    /// The stall-cause attribution collected so far, if enabled.
+    pub fn stall_attribution(&self) -> Option<&StallTracker> {
+        self.stall_tracker.as_ref()
+    }
+
+    /// Takes the collected stall attribution, disabling it.
+    pub fn take_stall_attribution(&mut self) -> Option<StallTracker> {
+        self.stall_tracker.take()
+    }
+
+    /// The machine's spec table, indexed by [`Osm::spec_index`] /
+    /// the `spec` field of observer events.
+    pub fn specs(&self) -> &[Arc<StateMachineSpec>] {
+        &self.specs
     }
 
     /// The current cycle (number of completed [`Machine::step`]s).
@@ -305,21 +421,43 @@ impl<S: 'static> Machine<S> {
     /// # Errors
     /// Returns [`ModelError::Deadlock`] on a detected wait-for cycle.
     pub fn control_step(&mut self) -> Result<StepOutcome, ModelError> {
-        director::control_step(
-            &mut self.osms,
-            &self.specs,
-            &mut self.managers,
-            &mut self.shared,
-            self.ranker.as_ref(),
-            self.age_ranking,
-            self.restart,
-            self.deadlock_check,
-            self.cycle,
-            &mut self.age_counter,
-            &mut self.stats,
-            self.trace.as_mut(),
-            &mut self.scratch,
-        )
+        // One branch per cycle picks the monomorphized director: the
+        // TRACKING=false instantiation carries no observability code at all.
+        if self.observers.is_empty() && self.stall_tracker.is_none() {
+            director::control_step::<S, false>(
+                &mut self.osms,
+                &self.specs,
+                &mut self.managers,
+                &mut self.shared,
+                self.ranker.as_ref(),
+                self.age_ranking,
+                self.restart,
+                self.deadlock_check,
+                self.cycle,
+                &mut self.age_counter,
+                &mut self.stats,
+                &mut self.observers,
+                None,
+                &mut self.scratch,
+            )
+        } else {
+            director::control_step::<S, true>(
+                &mut self.osms,
+                &self.specs,
+                &mut self.managers,
+                &mut self.shared,
+                self.ranker.as_ref(),
+                self.age_ranking,
+                self.restart,
+                self.deadlock_check,
+                self.cycle,
+                &mut self.age_counter,
+                &mut self.stats,
+                &mut self.observers,
+                self.stall_tracker.as_mut(),
+                &mut self.scratch,
+            )
+        }
     }
 
     /// Feeds one step's outcome into the watchdog trackers and, if armed,
@@ -377,6 +515,12 @@ impl<S: 'static> Machine<S> {
             cycle: now,
             stalled_for,
             blocked,
+            // When attribution is on, embed the stall-cause histogram that
+            // led up to the stall — no separate probe pass required.
+            attribution: self
+                .stall_tracker
+                .as_ref()
+                .map(|t| t.histogram(&self.managers)),
         })))
     }
 

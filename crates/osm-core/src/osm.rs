@@ -183,6 +183,12 @@ impl<S> Osm<S> {
         &self.spec
     }
 
+    /// Index of the spec in the machine's spec table (matches the `spec`
+    /// field of observer events).
+    pub fn spec_index(&self) -> u32 {
+        self.spec_idx
+    }
+
     /// Current state.
     pub fn state(&self) -> StateId {
         self.state

@@ -1,12 +1,17 @@
 //! Execution statistics for machines and processor models.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Counters collected while a [`crate::Machine`] runs.
 ///
 /// Besides the fixed scheduler counters, models register named counters
-/// (retired instructions, cache hits, ...) through [`Stats::incr`].
+/// (retired instructions, cache hits, ...) through [`Stats::incr`]. Counter
+/// names are interned `Cow<'static, str>` keys: the common case — a
+/// `&'static str` name incremented every cycle — never allocates, and a
+/// dynamically built name ([`Stats::incr_dyn`]) allocates only on the first
+/// increment.
 #[derive(Debug, Default, Clone)]
 pub struct Stats {
     /// Completed control steps.
@@ -21,7 +26,7 @@ pub struct Stats {
     pub idle_steps: u64,
     /// Director outer-loop restarts performed (Fig. 3 restart semantics).
     pub restarts: u64,
-    named: BTreeMap<String, u64>,
+    named: BTreeMap<Cow<'static, str>, u64>,
 }
 
 impl Stats {
@@ -31,8 +36,25 @@ impl Stats {
     }
 
     /// Adds `amount` to the named counter, creating it at zero if absent.
-    pub fn incr(&mut self, name: &str, amount: u64) {
-        *self.named.entry(name.to_owned()).or_insert(0) += amount;
+    /// Never allocates (the key is a `&'static str`).
+    pub fn incr(&mut self, name: &'static str, amount: u64) {
+        match self.named.get_mut(name) {
+            Some(v) => *v += amount,
+            None => {
+                self.named.insert(Cow::Borrowed(name), amount);
+            }
+        }
+    }
+
+    /// Adds `amount` to a dynamically named counter. Allocates only on the
+    /// counter's first increment; prefer [`Stats::incr`] on hot paths.
+    pub fn incr_dyn(&mut self, name: &str, amount: u64) {
+        match self.named.get_mut(name) {
+            Some(v) => *v += amount,
+            None => {
+                self.named.insert(Cow::Owned(name.to_owned()), amount);
+            }
+        }
     }
 
     /// Reads a named counter (0 if never incremented).
@@ -42,7 +64,7 @@ impl Stats {
 
     /// Iterates over named counters in name order.
     pub fn named(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.named.iter().map(|(k, v)| (k.as_str(), *v))
+        self.named.iter().map(|(k, v)| (k.as_ref(), *v))
     }
 
     /// Transitions per cycle (0 if no cycles ran).
@@ -88,6 +110,15 @@ mod tests {
         assert_eq!(s.get("retired"), 5);
         let all: Vec<_> = s.named().collect();
         assert_eq!(all, vec![("retired", 5)]);
+    }
+
+    #[test]
+    fn dynamic_and_static_keys_share_one_namespace() {
+        let mut s = Stats::new();
+        s.incr("cache.l1.miss", 1);
+        s.incr_dyn(&format!("cache.l{}.miss", 1), 2);
+        assert_eq!(s.get("cache.l1.miss"), 3);
+        assert_eq!(s.named().count(), 1);
     }
 
     #[test]

@@ -28,73 +28,164 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// What a [`Trace`] retains of the events pushed into it.
+///
+/// The digest covers *every* pushed event in all modes (it is maintained
+/// incrementally), so determinism tests comparing [`Trace::digest`] work
+/// identically whether the run kept all events, a recent window, or none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Keep every event (O(run-length) memory).
+    #[default]
+    Full,
+    /// Keep only the most recent N events (flight-recorder ring).
+    Ring(usize),
+    /// Keep no events, only the running digest and count.
+    DigestOnly,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
 /// An ordered record of every committed transition of a machine run.
 ///
 /// The order of events within one control step reflects the director's
 /// (deterministic) scheduling order, so two traces with equal digests imply
 /// behaviourally identical runs.
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+///
+/// By default all events are retained; [`Trace::with_capacity`] keeps only
+/// the most recent window and [`Trace::digest_only`] keeps none — both still
+/// maintain the same running [`Trace::digest`] as a full trace of the same
+/// run, so long-run determinism checks need O(1) memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    mode: TraceMode,
+    /// Ring write index (oldest retained event once the ring has wrapped).
+    next: usize,
+    /// Events ever pushed (retained + dropped).
+    total: u64,
+    /// Running FNV-1a over every pushed event.
+    hash: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::with_mode(TraceMode::Full)
+    }
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace retaining every event.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends an event.
+    /// Creates an empty trace with the given retention mode.
+    pub fn with_mode(mode: TraceMode) -> Self {
+        Trace {
+            events: Vec::new(),
+            mode: match mode {
+                TraceMode::Ring(cap) => TraceMode::Ring(cap.max(1)),
+                other => other,
+            },
+            next: 0,
+            total: 0,
+            hash: FNV_OFFSET,
+        }
+    }
+
+    /// Creates an empty ring trace retaining the most recent `capacity`
+    /// events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_mode(TraceMode::Ring(capacity))
+    }
+
+    /// Creates an empty digest-only trace (no events retained).
+    pub fn digest_only() -> Self {
+        Self::with_mode(TraceMode::DigestOnly)
+    }
+
+    /// The retention mode.
+    pub fn mode(&self) -> TraceMode {
+        self.mode
+    }
+
+    /// Appends an event (folding it into the running digest).
     pub fn push(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
+        self.total += 1;
+        let mut h = self.hash;
+        for v in [
+            ev.cycle,
+            ev.osm.0 as u64,
+            ev.edge.0 as u64,
+            ev.from.0 as u64,
+            ev.to.0 as u64,
+        ] {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.hash = h;
+        match self.mode {
+            TraceMode::Full => self.events.push(ev),
+            TraceMode::Ring(cap) => {
+                if self.events.len() == cap {
+                    self.events[self.next] = ev;
+                    self.next = (self.next + 1) % cap;
+                } else {
+                    self.events.push(ev);
+                }
+            }
+            TraceMode::DigestOnly => {}
+        }
     }
 
-    /// All recorded events, in commit order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Retained events in commit order (oldest first). In
+    /// [`TraceMode::DigestOnly`] this is always empty; in ring mode it is
+    /// the most recent window.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.events.split_at(self.next);
+        head.iter().chain(tail.iter())
     }
 
-    /// Number of recorded events.
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True if nothing was recorded.
+    /// True if no events are retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
-    /// FNV-1a digest over the full event stream; equal digests mean equal
-    /// traces (up to hash collision), handy for determinism property tests.
-    pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x1000_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        for e in &self.events {
-            mix(e.cycle);
-            mix(e.osm.0 as u64);
-            mix(e.edge.0 as u64);
-            mix(e.from.0 as u64);
-            mix(e.to.0 as u64);
-        }
-        h
+    /// Total number of events ever recorded (retained + dropped).
+    pub fn total(&self) -> u64 {
+        self.total
     }
 
-    /// Events of one control step.
+    /// Number of events dropped out of the retention window.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.events.len() as u64
+    }
+
+    /// FNV-1a digest over the *full* pushed event stream (independent of the
+    /// retention mode); equal digests mean equal traces (up to hash
+    /// collision), handy for determinism property tests.
+    pub fn digest(&self) -> u64 {
+        self.hash
+    }
+
+    /// Retained events of one control step.
     pub fn step(&self, cycle: u64) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.cycle == cycle)
+        self.events().filter(move |e| e.cycle == cycle)
     }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for e in &self.events {
+        for e in self.events() {
             writeln!(f, "{e}")?;
         }
         Ok(())
@@ -145,5 +236,37 @@ mod tests {
         let mut t = Trace::new();
         t.push(ev(3, 7));
         assert_eq!(t.to_string(), "@3 osm7 e0: s0 -> s1\n");
+    }
+
+    #[test]
+    fn ring_mode_keeps_recent_window_and_full_digest() {
+        let mut full = Trace::new();
+        let mut ring = Trace::with_capacity(3);
+        for c in 0..7 {
+            full.push(ev(c, c as u32));
+            ring.push(ev(c, c as u32));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 7);
+        assert_eq!(ring.dropped(), 4);
+        let cycles: Vec<u64> = ring.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![4, 5, 6]);
+        // The digest is over the full stream, not the retained window.
+        assert_eq!(ring.digest(), full.digest());
+    }
+
+    #[test]
+    fn digest_only_mode_retains_nothing_but_digests_everything() {
+        let mut full = Trace::new();
+        let mut d = Trace::digest_only();
+        for c in 0..5 {
+            full.push(ev(c, 1));
+            d.push(ev(c, 1));
+        }
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.total(), 5);
+        assert_eq!(d.digest(), full.digest());
+        assert_eq!(d.mode(), TraceMode::DigestOnly);
     }
 }

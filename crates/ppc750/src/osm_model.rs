@@ -22,9 +22,10 @@ use crate::rename::{RenameFile, ResultBus};
 use memsys::MemSystem;
 use minirisc::{decode, Instr, InstrClass, Memory, Program};
 use osm_core::{
-    Behavior, CountingPool, Edge, ExclusivePool, HardwareLayer, IdentExpr, Machine, ManagerId,
-    ManagerTable, ModelError, OsmId, OsmView, ResetManager, RestartPolicy, SlotId, SpecBuilder,
-    StateMachineSpec, TokenIdent, TransitionCtx,
+    export, Behavior, CountingPool, Edge, ExclusivePool, HardwareLayer, IdentExpr, Machine,
+    ManagerId, ManagerTable, MetricsReport, ModelError, OsmId, OsmView, ResetManager,
+    RestartPolicy, SlotId, SpecBuilder, StallHistogram, StateMachineSpec, TokenIdent,
+    TransitionCtx,
 };
 use std::sync::Arc;
 
@@ -681,6 +682,41 @@ impl PpcOsmSim {
             self.machine.step()?;
         }
         Ok(self.result())
+    }
+
+    /// Turns on the full observability stack: token-event log, derived
+    /// metrics, and stall-cause attribution. Call before the first step for
+    /// reports that reconcile exactly with [`osm_core::Stats`].
+    pub fn enable_observability(&mut self) {
+        self.machine.enable_event_log();
+        self.machine.enable_metrics();
+        self.machine.enable_stall_attribution();
+    }
+
+    /// Structured metrics (state occupancy, manager utilization, throughput
+    /// windows), if metrics are enabled.
+    pub fn metrics_report(&self) -> Option<MetricsReport> {
+        self.machine.metrics_report()
+    }
+
+    /// Stall-cause histogram (where the stall cycles went), if stall
+    /// attribution is enabled.
+    pub fn stall_histogram(&self) -> Option<StallHistogram> {
+        self.machine
+            .stall_attribution()
+            .map(|t| t.histogram(&self.machine.managers))
+    }
+
+    /// Chrome `chrome://tracing` / Perfetto JSON of the recorded event log,
+    /// if the event log is enabled.
+    pub fn chrome_trace(&self) -> Option<String> {
+        export::chrome_trace_for(&self.machine)
+    }
+
+    /// Textual per-cycle pipeline diagram of cycles `[from, to)`, if the
+    /// event log is enabled.
+    pub fn pipeline_diagram(&self, from: u64, to: u64) -> Option<String> {
+        export::pipeline_diagram_for(&self.machine, from, to)
     }
 
     /// One-line scheduler state dump (for model-diff debugging).

@@ -56,7 +56,7 @@ fn main() -> Result<(), ModelError> {
 
     let trace = machine.take_trace().expect("tracing enabled");
     println!("\n{} transitions committed; first five:", trace.len());
-    for ev in trace.events().iter().take(5) {
+    for ev in trace.events().take(5) {
         println!("  {ev}");
     }
     println!(

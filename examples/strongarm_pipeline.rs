@@ -3,11 +3,60 @@
 //! compare timing (the paper's Table 1 methodology in miniature).
 //!
 //! Run with: `cargo run --release --example strongarm_pipeline`
+//!
+//! Observability flags (all optional):
+//!   --kernel <name>        kernel to instrument (default: the first)
+//!   --trace-out <path>     write a Chrome `chrome://tracing`/Perfetto JSON
+//!                          trace of the instrumented kernel
+//!   --metrics-out <path>   write the machine-readable metrics JSON
+//!   --pipeview <cycles>    print a textual pipeline diagram of the first N
+//!                          cycles
+//!
+//! Example: `cargo run --release --example strongarm_pipeline -- \
+//!     --trace-out trace.json --pipeview 60`
 
 use osm_repro::sa1100::{RefSim, SaConfig, SaOsmSim};
 use osm_repro::workloads::mediabench;
 
+struct Args {
+    kernel: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    pipeview: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kernel: None,
+        trace_out: None,
+        metrics_out: None,
+        pipeview: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--kernel" => args.kernel = Some(value("--kernel")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--pipeview" => {
+                args.pipeview = Some(
+                    value("--pipeview")
+                        .parse()
+                        .expect("--pipeview takes a cycle count"),
+                )
+            }
+            other => panic!("unknown flag {other} (see the example's doc comment)"),
+        }
+    }
+    args
+}
+
 fn main() {
+    let args = parse_args();
     let cfg = SaConfig::paper();
     println!("StrongARM SA-1100: OSM model vs hand-sequenced reference\n");
     println!(
@@ -46,4 +95,53 @@ fn main() {
         "\nBoth simulators share only the functional ISA layer; matching cycle\n\
          counts validate the OSM model the way the paper's iPAQ comparison does."
     );
+
+    let observing =
+        args.trace_out.is_some() || args.metrics_out.is_some() || args.pipeview.is_some();
+    if !observing {
+        return;
+    }
+
+    // Re-run one kernel with the observability stack on and export.
+    let kernels = mediabench();
+    let w = match &args.kernel {
+        Some(name) => kernels
+            .iter()
+            .find(|w| w.name == *name)
+            .unwrap_or_else(|| panic!("unknown kernel `{name}`")),
+        None => &kernels[0],
+    };
+    println!("\ninstrumented run: {}", w.name);
+    let mut sim = SaOsmSim::new(cfg, &w.program());
+    sim.enable_observability();
+    sim.run_to_halt(100_000_000).expect("no deadlock");
+
+    let stats = &sim.machine().stats;
+    let hist = sim.stall_histogram().expect("attribution enabled");
+    println!(
+        "observed {} token events total; stall charges {}, idle steps {} (Stats::idle_steps {})",
+        sim.machine().event_log().map_or(0, |l| l.total()),
+        hist.charged,
+        hist.global_stall_cycles,
+        stats.idle_steps,
+    );
+    println!("{hist}");
+
+    if let Some(n) = args.pipeview {
+        match sim.pipeline_diagram(0, n) {
+            Some(d) => print!("{d}"),
+            None => println!("(no event log)"),
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        let json = sim.chrome_trace().expect("event log enabled");
+        std::fs::write(path, &json).expect("write trace file");
+        println!("wrote Chrome trace to {path} ({} bytes); load it in chrome://tracing or ui.perfetto.dev", json.len());
+    }
+    if let Some(path) = &args.metrics_out {
+        let report = sim.metrics_report().expect("metrics enabled");
+        let json = osm_core::export::metrics_json(&report);
+        std::fs::write(path, &json).expect("write metrics file");
+        println!("wrote metrics JSON to {path}");
+    }
 }

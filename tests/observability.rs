@@ -1,0 +1,186 @@
+//! Integration tests of the observability layer: golden-file exporter
+//! output on a small deterministic pipeline, a property test that the
+//! recorded token-event stream replays to the same `Stats` the director
+//! counted live, and proof that attaching observers never changes which
+//! transitions commit.
+//!
+//! Regenerate the golden files after an intentional exporter change with:
+//! `BLESS=1 cargo test --test observability`
+
+use osm_repro::osm_core::{
+    self, ExclusivePool, IdentExpr, InertBehavior, Machine, SpecBuilder, TokenOutcome,
+};
+use osm_repro::sa1100::{SaConfig, SaOsmSim};
+use osm_repro::workloads::random_program;
+use proptest::prelude::*;
+
+/// The quickstart's five-stage pipeline (paper Figs. 5/6): `osms`
+/// operations competing for one occupancy token per stage.
+fn pipeline_machine(osms: usize) -> Machine<()> {
+    let mut machine: Machine<()> = Machine::new(());
+    let stages: Vec<_> = ["IF", "ID", "EX", "BF", "WB"]
+        .iter()
+        .map(|name| machine.add_manager(ExclusivePool::new(*name, 1)))
+        .collect();
+    let mut b = SpecBuilder::new("op");
+    let states: Vec<_> = ["I", "F", "D", "E", "B", "W"]
+        .iter()
+        .map(|n| b.state(*n))
+        .collect();
+    b.initial(states[0]);
+    b.edge(states[0], states[1])
+        .named("e0")
+        .allocate(stages[0], IdentExpr::Const(0));
+    for k in 1..5 {
+        b.edge(states[k], states[k + 1])
+            .named(format!("e{k}"))
+            .release(stages[k - 1], IdentExpr::AnyHeld)
+            .allocate(stages[k], IdentExpr::Const(0));
+    }
+    b.edge(states[5], states[0])
+        .named("e5")
+        .release(stages[4], IdentExpr::AnyHeld);
+    let spec = b.build().expect("spec is valid");
+    for _ in 0..osms {
+        machine.add_osm(&spec, InertBehavior);
+    }
+    machine
+}
+
+/// Compares `actual` against the golden file, or rewrites the file when the
+/// `BLESS` environment variable is set.
+fn assert_golden(actual: &str, name: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with BLESS=1", name));
+    assert_eq!(actual, golden, "{name} drifted; re-bless if intentional");
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let mut machine = pipeline_machine(3);
+    machine.enable_event_log();
+    machine.enable_stall_attribution();
+    machine.run(12).expect("no deadlock");
+    let json = osm_core::export::chrome_trace_for(&machine).expect("event log enabled");
+    assert_golden(&json, "chrome_trace.json");
+}
+
+#[test]
+fn pipeline_diagram_matches_golden_file() {
+    let mut machine = pipeline_machine(3);
+    machine.enable_event_log();
+    machine.run(12).expect("no deadlock");
+    let diagram =
+        osm_core::export::pipeline_diagram_for(&machine, 0, 12).expect("event log enabled");
+    assert_golden(&diagram, "pipeline_diagram.txt");
+}
+
+#[test]
+fn metrics_json_matches_golden_file() {
+    let mut machine = pipeline_machine(3);
+    machine.enable_event_log();
+    machine.enable_metrics();
+    machine.enable_stall_attribution();
+    machine.run(12).expect("no deadlock");
+    let report = machine.metrics_report().expect("metrics enabled");
+    assert_golden(&osm_core::export::metrics_json(&report), "metrics.json");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The recorded token-event stream replays to the very numbers the
+    /// director counted live: one Denied event per condition failure, one
+    /// TransitionEvent per committed transition, one completion flag per
+    /// operation retirement, and the stall tracker's global counter equals
+    /// `Stats::idle_steps`.
+    #[test]
+    fn token_event_log_replays_to_stats(osms in 1usize..8, cycles in 1u64..48) {
+        let mut machine = pipeline_machine(osms);
+        machine.enable_event_log();
+        machine.enable_stall_attribution();
+        machine.run(cycles).expect("no deadlock");
+
+        let stats = &machine.stats;
+        let log = machine.event_log().expect("event log enabled");
+        let denied = log
+            .token_events()
+            .filter(|e| e.outcome == TokenOutcome::Denied)
+            .count() as u64;
+        prop_assert_eq!(denied, stats.condition_failures);
+
+        let transitions = log.transitions().count() as u64;
+        prop_assert_eq!(transitions, stats.transitions);
+
+        let completions = log.transitions().filter(|t| t.completed).count() as u64;
+        let idle: u64 = machine.osms().filter(|o| o.is_idle()).count() as u64;
+        // Every OSM idle at the end has completed exactly once more than it
+        // is mid-flight; completions counted from the log must agree with
+        // starts minus in-flight operations.
+        let starts = log.transitions().filter(|t| t.started).count() as u64;
+        prop_assert_eq!(starts - completions, osms as u64 - idle);
+
+        let tracker = machine.stall_attribution().expect("attribution enabled");
+        prop_assert_eq!(tracker.global_stall_cycles, stats.idle_steps);
+    }
+
+    /// Attaching the full observability stack must not change a single
+    /// committed transition: cycle counts, statistics, architectural result,
+    /// and the transition trace digest all match an unobserved run.
+    #[test]
+    fn observers_do_not_change_committed_transitions(seed in 0u64..200) {
+        let program = random_program(seed, 160).program();
+        let cfg = SaConfig::paper();
+
+        let mut plain = SaOsmSim::new(cfg, &program);
+        plain.machine_mut().enable_trace();
+        let plain_result = plain.run_to_halt(30_000).expect("no deadlock");
+
+        let mut observed = SaOsmSim::new(cfg, &program);
+        observed.machine_mut().enable_trace();
+        observed.enable_observability();
+        let observed_result = observed.run_to_halt(30_000).expect("no deadlock");
+
+        prop_assert_eq!(plain_result.cycles, observed_result.cycles);
+        prop_assert_eq!(plain_result.exit_code, observed_result.exit_code);
+        prop_assert_eq!(plain_result.squashed, observed_result.squashed);
+        prop_assert_eq!(
+            plain.machine().stats.transitions,
+            observed.machine().stats.transitions
+        );
+        prop_assert_eq!(
+            plain.machine().stats.condition_failures,
+            observed.machine().stats.condition_failures
+        );
+        let plain_trace = plain.machine_mut().take_trace().expect("trace enabled");
+        let observed_trace = observed.machine_mut().take_trace().expect("trace enabled");
+        prop_assert_eq!(plain_trace.digest(), observed_trace.digest());
+    }
+}
+
+#[test]
+fn ring_and_digest_trace_modes_agree_with_full_mode() {
+    use osm_repro::osm_core::{Trace, TraceMode};
+    let run = |trace: Trace| {
+        let mut machine = pipeline_machine(4);
+        machine.enable_trace_with(trace);
+        machine.run(20).expect("no deadlock");
+        machine.take_trace().expect("trace enabled")
+    };
+    let full = run(Trace::new());
+    let ring = run(Trace::with_mode(TraceMode::Ring(8)));
+    let digest = run(Trace::with_mode(TraceMode::DigestOnly));
+    assert_eq!(full.digest(), ring.digest());
+    assert_eq!(full.digest(), digest.digest());
+    assert_eq!(ring.len(), 8);
+    assert_eq!(digest.len(), 0);
+    assert_eq!(full.total(), ring.total());
+}
