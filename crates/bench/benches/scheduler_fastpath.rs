@@ -1,0 +1,110 @@
+//! Criterion benchmark for the sensitivity-driven scheduler fast path.
+//!
+//! Two regimes bracket the design space:
+//!
+//! * **sparse** — many OSMs blocked on a rarely-changing manager. The seed
+//!   scheduler re-evaluates every blocked OSM's out-edges (prepare/abort
+//!   probes against the manager) every control step; the fast path skips
+//!   them on a dirty-epoch check and also elides the idle-step deadlock
+//!   diagnostic scan while nothing changed. Acceptance: >= 1.5x.
+//! * **dense** — a real pipeline (SA-1100 on gsm/dec) where almost every
+//!   OSM moves almost every cycle, so skip records are invalidated as fast
+//!   as they are built. Acceptance: within +/- 2% of the seed scheduler
+//!   (the sensitivity bookkeeping must be free when it cannot help).
+//!
+//! The committed baseline lives in `BENCH_3.json`; `results/
+//! scheduler_fastpath.txt` records the methodology. CI re-checks both
+//! digest equality and the speedup ratio with
+//! `cargo run --release -p bench --bin scheduler_smoke`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osm_core::{
+    ExclusivePool, IdentExpr, InertBehavior, Machine, SchedulerMode, SpecBuilder,
+};
+use sa1100::{SaConfig, SaOsmSim};
+use std::hint::black_box;
+use workloads::mediabench_scaled;
+
+/// Builds the sparse-waiter machine: `n` OSMs all competing for one
+/// exclusive unit whose release is gated from outside the machine. Between
+/// gate openings every waiter is blocked and every manager is clean, so the
+/// fast path can skip the whole population.
+fn sparse_machine(n: usize) -> Machine<()> {
+    let mut m: Machine<()> = Machine::new(());
+    let unit = m.add_manager(ExclusivePool::new("unit", 1));
+    let spec = {
+        let mut b = SpecBuilder::new("waiter");
+        let i = b.state("I");
+        let h = b.state("H");
+        b.initial(i);
+        b.edge(i, h).allocate(unit, IdentExpr::Const(0));
+        b.edge(h, i).release(unit, IdentExpr::AnyHeld);
+        b.build().unwrap()
+    };
+    for _ in 0..n {
+        m.add_osm(&spec, InertBehavior);
+    }
+    m
+}
+
+/// Drives the sparse machine for `cycles` steps, opening the release gate
+/// one cycle in every `period`. Returns a value dependent on the run so the
+/// optimizer cannot discard it.
+fn run_sparse(mode: SchedulerMode, n: usize, cycles: u64, period: u64) -> u64 {
+    let mut m = sparse_machine(n);
+    m.set_scheduler_mode(mode);
+    let unit = osm_core::ManagerId(0);
+    // Start closed: the first holder grabs the unit, then everyone waits.
+    m.managers
+        .downcast_mut::<ExclusivePool>(unit)
+        .block_release(0, true);
+    for t in 0..cycles {
+        let open = t % period == period - 1;
+        if open {
+            m.managers
+                .downcast_mut::<ExclusivePool>(unit)
+                .block_release(0, false);
+        }
+        m.step().expect("no deadlock");
+        if open {
+            m.managers
+                .downcast_mut::<ExclusivePool>(unit)
+                .block_release(0, true);
+        }
+    }
+    m.stats.transitions + m.stats.idle_steps
+}
+
+fn scheduler_fastpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_fastpath");
+    group.sample_size(10);
+
+    // Sparse regime: 256 waiters, gate open 1 cycle in 16.
+    for mode in [SchedulerMode::Fast, SchedulerMode::Seed] {
+        let name = format!("sparse_256_waiters_{mode:?}").to_lowercase();
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(run_sparse(mode, 256, 10_000, 16)))
+        });
+    }
+
+    // Dense regime: the SA-1100 pipeline on gsm/dec (scale 2). Every OSM is
+    // in flight nearly every cycle, so this measures pure fast-path
+    // bookkeeping overhead.
+    let w = mediabench_scaled(2).remove(0);
+    let program = w.program();
+    for mode in [SchedulerMode::Fast, SchedulerMode::Seed] {
+        let name = format!("dense_sa1100_gsm_{mode:?}").to_lowercase();
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+                sim.machine_mut().set_scheduler_mode(mode);
+                let r = sim.run_to_halt(u64::MAX).expect("runs");
+                black_box(r.cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scheduler_fastpath);
+criterion_main!(benches);

@@ -37,6 +37,32 @@ pub enum RestartPolicy {
     NoRestart,
 }
 
+/// Which scheduling implementation the director runs
+/// ([`crate::Machine::set_scheduler_mode`]).
+///
+/// Both modes execute the same abstract algorithm (Fig. 3 under the
+/// configured [`RestartPolicy`]) and commit identical transitions in
+/// identical order — the transition trace digest is mode-invariant, which is
+/// how the fast path is validated. They differ only in how much work they do
+/// to discover the next transition, so effort counters
+/// ([`crate::Stats::condition_failures`], [`crate::Stats::vetoed_edges`])
+/// legitimately differ between modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Sensitivity-driven scheduling: OSMs blocked on managers whose dirty
+    /// epoch has not moved are skipped without re-evaluating their edge
+    /// conditions, and the per-step rank sort is replaced by an
+    /// incrementally maintained ready list. Requires age ranking (the
+    /// default policy); with a custom [`Ranker`] the director silently runs
+    /// the reference scheduler.
+    #[default]
+    Fast,
+    /// The literal Fig. 3 reference scheduler (full re-rank, sort and
+    /// re-evaluation every step) — the oracle the fast path is checked
+    /// against.
+    Seed,
+}
+
 /// Ranks OSMs at the beginning of each control step (paper §3.4).
 ///
 /// Smaller rank = served earlier. Ties are broken by [`OsmId`] so the
@@ -109,12 +135,61 @@ enum DiscardSpec {
     One(ManagerId, TokenIdent),
 }
 
+/// Maximum number of distinct blocking managers a [`SensEntry`] can track;
+/// an OSM blocked on more is simply re-evaluated every step.
+const MAX_SENS: usize = 4;
+
+/// Tombstone value in the fast scheduler's ready list (never a valid id:
+/// registration caps ids below `u32::MAX`).
+const TOMBSTONE: OsmId = OsmId(u32::MAX);
+
+/// Persistent per-OSM sensitivity record of the fast scheduler: everything
+/// needed to prove, without re-evaluating edge conditions, that a blocked
+/// OSM still cannot move.
+///
+/// The record is sound to skip on because a failed edge evaluation is a pure
+/// function of (a) the OSM's state, slots and buffer — which only change on
+/// the OSM's own transitions, invalidating the record, (b) the behavior veto
+/// mask — re-checked cheaply on every skip test, and (c) the internal state
+/// of the managers contacted up to the first failing primitive of each
+/// enabled edge — guarded by the recorded dirty epochs.
+#[derive(Debug, Clone, Copy, Default)]
+struct SensEntry {
+    /// Record reflects a real evaluation of the current residence in
+    /// `state`; cleared on every transition of the OSM.
+    valid: bool,
+    /// The OSM's previous evaluation also ended blocked in `state`.
+    /// Recording is deferred until the second consecutive blocked
+    /// evaluation: dense machines (whose blocked episodes last a cycle or
+    /// two) then never pay the recording bookkeeping, while sparse ones
+    /// amortize it over a long skip run anyway.
+    armed: bool,
+    /// False when the record cannot justify skipping (more than [`MAX_SENS`]
+    /// blocking managers, a manager-less failing primitive, >64 out-edges).
+    skippable: bool,
+    /// The state the OSM was blocked in when the record was taken.
+    state: crate::ids::StateId,
+    /// Behavior veto bitmap over the state's out-edges (bit k = edge k
+    /// enabled) at record time.
+    veto_mask: u64,
+    /// Number of live entries in `mgrs`/`epochs`.
+    n: u8,
+    /// Distinct managers whose denial blocked the enabled edges.
+    mgrs: [ManagerId; MAX_SENS],
+    /// Their dirty epochs at record time.
+    epochs: [u64; MAX_SENS],
+    /// First failing primitive of the highest-priority enabled edge at the
+    /// most recent real evaluation (stall-cause attribution for steps where
+    /// the OSM is skipped).
+    fail: Option<(Primitive, TokenIdent)>,
+}
+
 /// Reusable per-step scratch buffers: the director's hot loop runs without
 /// heap allocation in steady state (the paper's efficiency claim depends on
 /// the control step being cheap).
 #[derive(Debug, Default)]
 pub(crate) struct Scratch {
-    list: Vec<(u64, OsmId)>,
+    pub(crate) list: Vec<(u64, OsmId)>,
     ops: Vec<PreparedOp>,
     discards: Vec<DiscardSpec>,
     used: Vec<usize>,
@@ -127,6 +202,65 @@ pub(crate) struct Scratch {
     /// this step (stall-cause attribution; maintained only when observers or
     /// a [`StallTracker`] are active).
     first_fail: Vec<Option<(Primitive, TokenIdent)>>,
+    // --- persistent fast-scheduler state (SchedulerMode::Fast) ---
+    /// Monotonic step counter ("this step" watermark for `moved`); not the
+    /// machine cycle, which can rewind on checkpoint restore.
+    step_seq: u64,
+    /// True while `active` reflects the in-flight OSM population.
+    sched_valid: bool,
+    /// In-flight OSMs in age order (ages are assigned monotonically at
+    /// dispatch, so insertion keeps the list sorted); completed entries are
+    /// tombstoned and compacted lazily.
+    active: Vec<OsmId>,
+    /// Number of tombstones currently in `active`.
+    active_dead: usize,
+    /// Per-OSM `step_seq` of the OSM's most recent transition.
+    moved: Vec<u64>,
+    /// Per-OSM sensitivity records.
+    sens: Vec<SensEntry>,
+    /// `ManagerTable::generation()` at the last idle-step deadlock
+    /// diagnostic scan; lets the fast path prove the scan would find the
+    /// same (empty) wait-for graph again and skip it.
+    last_diag_generation: u64,
+    /// Skips granted by [`can_skip`] in the current adaptation window.
+    adapt_skips: u64,
+    /// Full OSM evaluations performed in the current adaptation window.
+    adapt_evals: u64,
+    /// Control steps elapsed in the current adaptation window.
+    adapt_steps: u32,
+    /// Steps left on the reference scheduler before the fast path is probed
+    /// again (see [`ADAPT_WINDOW`]); 0 = fast path active.
+    pub(crate) adapt_cooldown: u32,
+}
+
+/// Length (in control steps) of the fast path's self-observation window.
+/// At the end of each window, if the skips granted did not outnumber the
+/// full evaluations performed, the sensitivity machinery is not paying for
+/// its bookkeeping — the machine is dense — and scheduling falls back to
+/// the reference loop for [`ADAPT_COOLDOWN`] steps before probing again.
+/// Both schedulers are cycle-exact, so adaptation never changes a trace.
+const ADAPT_WINDOW: u32 = 128;
+/// Steps spent on the reference scheduler after an unproductive window;
+/// the fast path re-probes afterwards in case the workload turned sparse.
+/// Dense machines thus pay the fast-path overhead on ~3% of their steps.
+const ADAPT_COOLDOWN: u32 = 4096;
+
+impl Scratch {
+    /// Discards all persistent fast-scheduler state; the next fast control
+    /// step rebuilds it from the machine. Called on any machine mutation
+    /// that can invalidate it (checkpoint restore, ranker/mode changes).
+    pub(crate) fn invalidate_schedule(&mut self) {
+        self.sched_valid = false;
+        self.sens.clear();
+        self.moved.clear();
+        self.active.clear();
+        self.active_dead = 0;
+        self.last_diag_generation = u64::MAX;
+        self.adapt_skips = 0;
+        self.adapt_evals = 0;
+        self.adapt_steps = 0;
+        self.adapt_cooldown = 0;
+    }
 }
 
 /// Emits one token event to every observer.
@@ -228,7 +362,7 @@ fn try_condition<S, const OBS: bool>(
                     // A dangling manager id in the spec is a modeling error;
                     // it surfaces as a never-satisfied condition, not a panic.
                     let granted = managers
-                        .try_get_mut(manager)
+                        .try_probe_mut(manager)
                         .and_then(|m| m.prepare_allocate(osm.id, id));
                     if observing {
                         let outcome = if granted.is_some() {
@@ -337,7 +471,7 @@ fn try_condition<S, const OBS: bool>(
                     Some(i) => {
                         let token = osm.buffer[i].token;
                         let accepted = managers
-                            .try_get_mut(manager)
+                            .try_probe_mut(manager)
                             .is_some_and(|m| m.prepare_release(osm.id, token));
                         if observing {
                             let outcome = if accepted {
@@ -418,7 +552,7 @@ fn try_condition<S, const OBS: bool>(
                     ident,
                     token,
                 } => {
-                    managers.get_mut(manager).abort_allocate(osm.id, token);
+                    managers.probe_mut(manager).abort_allocate(osm.id, token);
                     if observing {
                         emit_token(
                             observers,
@@ -439,7 +573,7 @@ fn try_condition<S, const OBS: bool>(
                     buffer_index,
                     token,
                 } => {
-                    managers.get_mut(manager).abort_release(osm.id, token);
+                    managers.probe_mut(manager).abort_release(osm.id, token);
                     if observing {
                         emit_token(
                             observers,
@@ -591,6 +725,7 @@ pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
 
     let mut transitions: u32 = 0;
     let mut completions: u32 = 0;
+    let mut step_restarts: u32 = 0;
 
     let mut i = 0;
     while i < list.len() {
@@ -682,8 +817,14 @@ pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
             list.remove(i);
             match policy {
                 RestartPolicy::Restart => {
-                    if i != 0 {
+                    // Every committed transition re-enters the Fig. 3 outer
+                    // loop from the top; when OSMs remain unserved that
+                    // rescan actually happens and is counted — including
+                    // transitions at i == 0, which the counter previously
+                    // missed (`Stats::restarts` = rescans performed).
+                    if !list.is_empty() {
                         stats.restarts += 1;
+                        step_restarts += 1;
                     }
                     i = 0;
                 }
@@ -728,6 +869,7 @@ pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
         }
     }
 
+    let mut deadlock: Option<ModelError> = None;
     if transitions == 0 {
         stats.idle_steps += 1;
         if TRACKING {
@@ -736,41 +878,10 @@ pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
             }
         }
         if deadlock_check {
-            // Lazy wait-for-graph construction: only on globally idle steps
-            // is a second evaluation pass run, this time recording which
-            // OSMs own the blocking tokens. Conditions all failed above and
-            // nothing changed, so they fail again — the pass is side-effect
-            // free.
-            for osm in osms.iter_mut() {
-                let spec = &specs[osm.spec_idx as usize];
-                for &eid in spec.out_edges(osm.state) {
-                    let edge = spec.edge(eid);
-                    if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
-                        continue;
-                    }
-                    // Pass no observers: this re-evaluation is a diagnostic
-                    // pass, and emitting events here would break the
-                    // one-Denied-per-condition-failure reconciliation.
-                    let satisfied =
-                        try_condition::<S, false>(osm, edge, managers, scratch, true, &mut [], cycle);
-                    debug_assert!(!satisfied, "idle step re-evaluation succeeded");
-                    if satisfied {
-                        // Roll back defensively in release builds.
-                        for op in scratch.ops.iter().rev() {
-                            match *op {
-                                PreparedOp::Alloc { manager, token, .. } => {
-                                    managers.get_mut(manager).abort_allocate(osm.id, token)
-                                }
-                                PreparedOp::Release { manager, token, .. } => {
-                                    managers.get_mut(manager).abort_release(osm.id, token)
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            if let Some(cycle_osms) = find_wait_cycle(&scratch.wait_edges) {
-                return Err(ModelError::Deadlock {
+            if let Some(cycle_osms) =
+                deadlock_diagnostic_scan(osms, specs, managers, shared, scratch, cycle)
+            {
+                deadlock = Some(ModelError::Deadlock {
                     cycle,
                     osms: cycle_osms,
                 });
@@ -778,18 +889,619 @@ pub(crate) fn control_step<S: 'static, const TRACKING: bool>(
         }
     }
 
-    if TRACKING {
+    if TRACKING && deadlock.is_none() {
         for o in observers.iter_mut() {
-            o.on_cycle_end(cycle, transitions, completions);
+            o.on_cycle_end(cycle, transitions, completions, step_restarts);
         }
     }
 
+    // Restore the ranking buffer on *every* exit — previously the taken
+    // `list` was dropped on the deadlock return, silently losing the
+    // per-step allocation.
     scratch.list = list;
     scratch.list.clear();
-    Ok(StepOutcome {
-        transitions,
-        completions,
-    })
+    match deadlock {
+        Some(err) => Err(err),
+        None => Ok(StepOutcome {
+            transitions,
+            completions,
+        }),
+    }
+}
+
+/// Rebuilds the fast scheduler's persistent state from the machine: every
+/// sensitivity record is dropped and the in-flight ready list is re-derived
+/// from OSM ages. Runs after [`Scratch::invalidate_schedule`] or whenever the
+/// OSM population changed size.
+fn rebuild_schedule<S>(osms: &[Osm<S>], scratch: &mut Scratch) {
+    let n = osms.len();
+    scratch.moved.clear();
+    scratch.moved.resize(n, 0);
+    scratch.sens.clear();
+    scratch.sens.resize(n, SensEntry::default());
+    scratch.active.clear();
+    scratch.active_dead = 0;
+    scratch.last_diag_generation = u64::MAX;
+    // Reuse the ranking buffer to sort the in-flight population by
+    // (age, id); monotonic dispatch ages keep it sorted from here on.
+    scratch.list.clear();
+    for osm in osms {
+        if osm.age != IDLE_AGE {
+            scratch.list.push((osm.age, osm.id));
+        }
+    }
+    scratch.list.sort_unstable();
+    scratch.active.extend(scratch.list.iter().map(|&(_, id)| id));
+    scratch.list.clear();
+    scratch.sched_valid = true;
+}
+
+/// Decides whether a blocked OSM can be skipped without re-evaluating its
+/// edge conditions: its sensitivity record must still describe the current
+/// residence, the behavior veto mask must be unchanged (re-computed here —
+/// vetoes may read time-dependent shared state), and every recorded blocking
+/// manager must still be at its recorded dirty epoch.
+#[inline]
+fn can_skip<S: 'static>(
+    osm: &Osm<S>,
+    spec: &StateMachineSpec,
+    managers: &ManagerTable,
+    shared: &S,
+    sens: &SensEntry,
+) -> bool {
+    if !sens.valid || !sens.skippable || sens.state != osm.state {
+        return false;
+    }
+    // Epochs first: a handful of u64 compares. When the check fails it is
+    // almost always here (a recorded manager got dirtied), so rejecting
+    // before the veto-mask recompute saves its closure calls.
+    for j in 0..sens.n as usize {
+        if managers.epoch(sens.mgrs[j]) != sens.epochs[j] {
+            return false;
+        }
+    }
+    let out = spec.out_edges(osm.state);
+    if out.len() > 64 {
+        return false;
+    }
+    let mut mask: u64 = 0;
+    for (k, &eid) in out.iter().enumerate() {
+        let edge = spec.edge(eid);
+        if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+            mask |= 1 << k;
+        }
+    }
+    mask == sens.veto_mask
+}
+
+/// What [`serve_osm_fast`] did with one OSM.
+struct Served {
+    moved: bool,
+    completed: bool,
+    dispatched: bool,
+}
+
+/// Serves one OSM exactly as the reference scheduler's inner loop does —
+/// same edge order, same transition bookkeeping, same counters — and, when
+/// the OSM stays blocked, records its sensitivity entry so later steps can
+/// skip it.
+// Deliberately NOT inlined into the two fast-path call sites: the inlined
+// body bloats the stepping loop enough to wreck the codegen of the
+// (far hotter) skip checks — measured ~1.5x on the sparse benchmark. The
+// call overhead only shows on dense machines, and those fall back to the
+// reference scheduler via the adaptation window anyway.
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+fn serve_osm_fast<S: 'static, const TRACKING: bool>(
+    osms: &mut [Osm<S>],
+    id: OsmId,
+    specs: &[Arc<StateMachineSpec>],
+    managers: &mut ManagerTable,
+    shared: &mut S,
+    cycle: u64,
+    age_counter: &mut u64,
+    stats: &mut Stats,
+    observers: &mut [Box<dyn Observer>],
+    scratch: &mut Scratch,
+) -> Served {
+    let oi = id.index();
+    let osm = &mut osms[oi];
+    let spec_idx = osm.spec_idx;
+    let spec = &specs[spec_idx as usize];
+    if TRACKING {
+        scratch.first_fail[oi] = None;
+    }
+
+    // Record only on the second consecutive blocked evaluation in the same
+    // state (see [`SensEntry::armed`]); the first one just arms.
+    let record = {
+        let e = &scratch.sens[oi];
+        (e.valid || e.armed) && e.state == osm.state
+    };
+
+    let out = spec.out_edges(osm.state);
+    let mut veto_mask: u64 = 0;
+    let mut skippable = out.len() <= 64;
+    let mut mgrs = [ManagerId(0); MAX_SENS];
+    let mut nm: usize = 0;
+    let mut sens_fail: Option<(Primitive, TokenIdent)> = None;
+
+    for (k, &eid) in out.iter().enumerate() {
+        let edge = spec.edge(eid);
+        if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+            stats.vetoed_edges += 1;
+            if record && k < 64 {
+                veto_mask |= 1 << k;
+            }
+            continue;
+        }
+        let satisfied = if TRACKING && !observers.is_empty() {
+            try_condition::<S, true>(osm, edge, managers, scratch, false, observers, cycle)
+        } else {
+            try_condition::<S, false>(osm, edge, managers, scratch, false, &mut [], cycle)
+        };
+        if satisfied {
+            if TRACKING && !observers.is_empty() {
+                commit_plan::<S, true>(osm, scratch, managers, observers, cycle, eid);
+            } else {
+                commit_plan::<S, false>(osm, scratch, managers, &mut [], cycle, eid);
+            }
+            let from = osm.state;
+            osm.state = edge.dst;
+            let initial = spec.initial();
+            let dispatched = from == initial && edge.dst != initial;
+            let completed = edge.dst == initial;
+            if dispatched {
+                osm.age = *age_counter;
+                *age_counter += 1;
+            } else if completed {
+                osm.age = IDLE_AGE;
+                debug_assert!(
+                    osm.buffer.is_empty(),
+                    "OSM {} returned to initial state still holding tokens: {:?}",
+                    osm.id,
+                    osm.buffer
+                );
+            }
+            osm.last_move_cycle = cycle;
+            let mut ctx = TransitionCtx {
+                osm: osm.id,
+                from,
+                to: edge.dst,
+                cycle,
+                tag: osm.tag,
+                slots: &mut osm.slots,
+                buffer: &osm.buffer,
+                managers,
+                shared,
+            };
+            osm.behavior.on_transition(edge, &mut ctx);
+            if TRACKING && !observers.is_empty() {
+                let ev = TransitionEvent {
+                    cycle,
+                    osm: id,
+                    spec: spec_idx,
+                    edge: eid,
+                    from,
+                    to: edge.dst,
+                    started: dispatched,
+                    completed,
+                };
+                for o in observers.iter_mut() {
+                    o.on_transition(&ev);
+                }
+            }
+            stats.transitions += 1;
+            scratch.sens[oi].valid = false;
+            scratch.sens[oi].armed = false;
+            return Served {
+                moved: true,
+                completed,
+                dispatched,
+            };
+        }
+        stats.condition_failures += 1;
+        if TRACKING && scratch.first_fail[oi].is_none() {
+            scratch.first_fail[oi] = scratch.fail;
+        }
+        if record {
+            if sens_fail.is_none() {
+                sens_fail = scratch.fail;
+            }
+            match scratch.fail.and_then(|(p, _)| p.manager()) {
+                Some(m) => {
+                    if !mgrs[..nm].contains(&m) {
+                        if nm < MAX_SENS {
+                            mgrs[nm] = m;
+                            nm += 1;
+                        } else {
+                            skippable = false;
+                        }
+                    }
+                }
+                None => skippable = false,
+            }
+        }
+    }
+
+    // Blocked. First time in this state: arm only — the record is taken on
+    // the next blocked evaluation, so one-cycle stalls never pay for it.
+    let entry = &mut scratch.sens[oi];
+    if !record {
+        entry.valid = false;
+        entry.armed = true;
+        entry.state = osm.state;
+        return Served {
+            moved: false,
+            completed: false,
+            dispatched: false,
+        };
+    }
+    // Persist the sensitivity record. Epochs are read after the scan — the
+    // scan itself only probes (prepare/abort), which never bumps an epoch,
+    // so they reflect exactly the state just evaluated.
+    entry.valid = true;
+    entry.armed = true;
+    entry.skippable = skippable;
+    entry.state = osm.state;
+    entry.veto_mask = veto_mask;
+    entry.n = nm as u8;
+    entry.mgrs = mgrs;
+    for (j, &m) in mgrs.iter().enumerate().take(nm) {
+        entry.epochs[j] = managers.epoch(m);
+    }
+    entry.fail = sens_fail;
+    Served {
+        moved: false,
+        completed: false,
+        dispatched: false,
+    }
+}
+
+/// Charges one end-of-step blocked OSM to its first failing (manager,
+/// primitive) pair — the fast path's equivalent of the reference scheduler's
+/// residual-list attribution pass.
+fn charge_blocked<S>(
+    osms: &[Osm<S>],
+    oi: usize,
+    first_fail: &[Option<(Primitive, TokenIdent)>],
+    stalls: &mut Option<&mut StallTracker>,
+    observers: &mut [Box<dyn Observer>],
+    cycle: u64,
+) {
+    let Some((prim, ident)) = first_fail[oi] else {
+        return;
+    };
+    let Some(manager) = prim.manager() else {
+        return;
+    };
+    let op = prim.kind();
+    let osm = &osms[oi];
+    if let Some(t) = stalls.as_deref_mut() {
+        t.charge(osm.id, manager, op);
+    }
+    if !observers.is_empty() {
+        let ev = StallEvent {
+            cycle,
+            osm: osm.id,
+            spec: osm.spec_idx,
+            state: osm.state,
+            manager,
+            op,
+            ident,
+        };
+        for o in observers.iter_mut() {
+            o.on_stall(&ev);
+        }
+    }
+}
+
+/// Runs one control step with the sensitivity-driven fast scheduler
+/// ([`SchedulerMode::Fast`]); requires age ranking.
+///
+/// Serves OSMs in the same total order as [`control_step`] under age
+/// ranking — in-flight OSMs seniors-first (the incrementally maintained
+/// `active` list), then idle OSMs by id — but skips, without touching their
+/// edge conditions, every blocked OSM whose sensitivity record still proves
+/// it cannot move (see [`SensEntry`]). A skipped OSM contributes no token
+/// events and no effort counters (`condition_failures`, `vetoed_edges`), so
+/// the one-Denied-per-condition-failure reconciliation is preserved; its
+/// stall attribution is charged from the persisted record instead.
+///
+/// # Errors
+/// Returns [`ModelError::Deadlock`] exactly as the reference scheduler does;
+/// the idle-step diagnostic scan is elided only when nothing was evaluated
+/// this step and no manager epoch moved since the last scan — conditions
+/// under which the scan would provably rebuild the same (acyclic) wait-for
+/// graph.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn control_step_fast<S: 'static, const TRACKING: bool>(
+    osms: &mut [Osm<S>],
+    specs: &[std::sync::Arc<crate::spec::StateMachineSpec>],
+    managers: &mut ManagerTable,
+    shared: &mut S,
+    policy: RestartPolicy,
+    deadlock_check: bool,
+    cycle: u64,
+    age_counter: &mut u64,
+    stats: &mut Stats,
+    observers: &mut [Box<dyn Observer>],
+    mut stalls: Option<&mut StallTracker>,
+    scratch: &mut Scratch,
+) -> Result<StepOutcome, ModelError> {
+    let n = osms.len();
+    scratch.wait_edges.clear();
+    debug_assert_eq!(TRACKING, stalls.is_some() || !observers.is_empty());
+    if TRACKING {
+        scratch.first_fail.clear();
+        scratch.first_fail.resize(n, None);
+    }
+
+    if !scratch.sched_valid || scratch.moved.len() != n {
+        rebuild_schedule(osms, scratch);
+    }
+    scratch.step_seq += 1;
+    let seq = scratch.step_seq;
+
+    if scratch.active_dead * 2 > scratch.active.len() {
+        scratch.active.retain(|&id| id != TOMBSTONE);
+        scratch.active_dead = 0;
+    }
+
+    let mut transitions: u32 = 0;
+    let mut completions: u32 = 0;
+    let mut step_restarts: u32 = 0;
+    let mut moved_count: usize = 0;
+    let mut any_evaluated = false;
+    let mut step_skips: u64 = 0;
+    let mut step_evals: u64 = 0;
+
+    let mut active = std::mem::take(&mut scratch.active);
+    'outer: loop {
+        // Phase 1: in-flight OSMs, seniors first (== the reference list's
+        // age-ranked prefix).
+        let mut ai = 0;
+        while ai < active.len() {
+            let id = active[ai];
+            if id == TOMBSTONE {
+                ai += 1;
+                continue;
+            }
+            let oi = id.index();
+            if scratch.moved[oi] == seq {
+                ai += 1;
+                continue;
+            }
+            let spec = &specs[osms[oi].spec_idx as usize];
+            if can_skip(&osms[oi], spec, managers, shared, &scratch.sens[oi]) {
+                if TRACKING {
+                    scratch.first_fail[oi] = scratch.sens[oi].fail;
+                }
+                step_skips += 1;
+                ai += 1;
+                continue;
+            }
+            any_evaluated = true;
+            step_evals += 1;
+            let served = serve_osm_fast::<S, TRACKING>(
+                osms,
+                id,
+                specs,
+                managers,
+                shared,
+                cycle,
+                age_counter,
+                stats,
+                observers,
+                scratch,
+            );
+            if served.moved {
+                scratch.moved[oi] = seq;
+                moved_count += 1;
+                transitions += 1;
+                debug_assert!(!served.dispatched, "in-flight OSM cannot dispatch");
+                if served.completed {
+                    completions += 1;
+                    active[ai] = TOMBSTONE;
+                    scratch.active_dead += 1;
+                }
+                if policy == RestartPolicy::Restart {
+                    if moved_count < n {
+                        stats.restarts += 1;
+                        step_restarts += 1;
+                    }
+                    continue 'outer;
+                }
+            }
+            ai += 1;
+        }
+        // Phase 2: idle OSMs in id order (== the reference list's IDLE_AGE
+        // tail, where ties break by id).
+        let mut oi = 0;
+        while oi < n {
+            if osms[oi].age != IDLE_AGE || scratch.moved[oi] == seq {
+                oi += 1;
+                continue;
+            }
+            let id = osms[oi].id;
+            let spec = &specs[osms[oi].spec_idx as usize];
+            if can_skip(&osms[oi], spec, managers, shared, &scratch.sens[oi]) {
+                if TRACKING {
+                    scratch.first_fail[oi] = scratch.sens[oi].fail;
+                }
+                step_skips += 1;
+                oi += 1;
+                continue;
+            }
+            any_evaluated = true;
+            step_evals += 1;
+            let served = serve_osm_fast::<S, TRACKING>(
+                osms,
+                id,
+                specs,
+                managers,
+                shared,
+                cycle,
+                age_counter,
+                stats,
+                observers,
+                scratch,
+            );
+            if served.moved {
+                scratch.moved[oi] = seq;
+                moved_count += 1;
+                transitions += 1;
+                if served.dispatched {
+                    // Freshly dispatched: joins the in-flight list. Its age
+                    // is the largest assigned so far, so pushing keeps the
+                    // list sorted.
+                    active.push(id);
+                } else if served.completed {
+                    // Initial-state self-loop: completes without ever
+                    // becoming in-flight.
+                    completions += 1;
+                }
+                if policy == RestartPolicy::Restart {
+                    if moved_count < n {
+                        stats.restarts += 1;
+                        step_restarts += 1;
+                    }
+                    continue 'outer;
+                }
+            }
+            oi += 1;
+        }
+        break;
+    }
+
+    // Everything unmoved is blocked; charge its first blocking (manager,
+    // primitive) pair — for skipped OSMs, from the persisted record — in the
+    // same residual order the reference scheduler charges.
+    if TRACKING {
+        for &id in active.iter() {
+            if id == TOMBSTONE {
+                continue;
+            }
+            let oi = id.index();
+            if scratch.moved[oi] == seq {
+                continue;
+            }
+            charge_blocked(osms, oi, &scratch.first_fail, &mut stalls, observers, cycle);
+        }
+        for oi in 0..n {
+            if osms[oi].age != IDLE_AGE || scratch.moved[oi] == seq {
+                continue;
+            }
+            charge_blocked(osms, oi, &scratch.first_fail, &mut stalls, observers, cycle);
+        }
+    }
+
+    let mut deadlock: Option<ModelError> = None;
+    if transitions == 0 {
+        stats.idle_steps += 1;
+        if TRACKING {
+            if let Some(t) = stalls {
+                t.global_stall_cycles += 1;
+            }
+        }
+        if deadlock_check {
+            let generation = managers.generation();
+            // When every OSM was skipped and no manager epoch has moved
+            // since the last diagnostic scan, that scan would rebuild the
+            // exact same wait-for graph it already proved acyclic — elide it.
+            if any_evaluated || generation != scratch.last_diag_generation {
+                if let Some(cycle_osms) =
+                    deadlock_diagnostic_scan(osms, specs, managers, shared, scratch, cycle)
+                {
+                    deadlock = Some(ModelError::Deadlock {
+                        cycle,
+                        osms: cycle_osms,
+                    });
+                } else {
+                    scratch.last_diag_generation = generation;
+                }
+            }
+        }
+    }
+
+    if TRACKING && deadlock.is_none() {
+        for o in observers.iter_mut() {
+            o.on_cycle_end(cycle, transitions, completions, step_restarts);
+        }
+    }
+
+    scratch.active = active;
+
+    // Adaptation: if a whole window of steps produced fewer skips than full
+    // evaluations, the sensitivity bookkeeping costs more than it saves —
+    // fall back to the reference scheduler and re-probe later. Cycle
+    // behavior is unaffected (both schedulers are exact); only effort
+    // counters can differ.
+    scratch.adapt_skips += step_skips;
+    scratch.adapt_evals += step_evals;
+    scratch.adapt_steps += 1;
+    if scratch.adapt_steps >= ADAPT_WINDOW {
+        let fall_back = scratch.adapt_skips < scratch.adapt_evals;
+        scratch.adapt_skips = 0;
+        scratch.adapt_evals = 0;
+        scratch.adapt_steps = 0;
+        if fall_back {
+            scratch.invalidate_schedule();
+            scratch.adapt_cooldown = ADAPT_COOLDOWN;
+        }
+    }
+
+    match deadlock {
+        Some(err) => Err(err),
+        None => Ok(StepOutcome {
+            transitions,
+            completions,
+        }),
+    }
+}
+
+/// Second evaluation pass over every OSM on a globally idle step, this time
+/// recording which OSMs own the blocking tokens (lazy wait-for-graph
+/// construction); returns the OSMs of a wait-for cycle if one exists.
+///
+/// Conditions all failed in the scheduling pass and nothing has changed, so
+/// they fail again — the pass is side-effect free (with a defensive rollback
+/// for release builds). Runs with no observers: emitting events here would
+/// break the one-Denied-per-condition-failure reconciliation.
+fn deadlock_diagnostic_scan<S: 'static>(
+    osms: &mut [Osm<S>],
+    specs: &[Arc<StateMachineSpec>],
+    managers: &mut ManagerTable,
+    shared: &S,
+    scratch: &mut Scratch,
+    cycle: u64,
+) -> Option<Vec<OsmId>> {
+    for osm in osms.iter_mut() {
+        let spec = &specs[osm.spec_idx as usize];
+        for &eid in spec.out_edges(osm.state) {
+            let edge = spec.edge(eid);
+            if !osm.behavior.edge_enabled(edge, &osm.view(), shared) {
+                continue;
+            }
+            let satisfied =
+                try_condition::<S, false>(osm, edge, managers, scratch, true, &mut [], cycle);
+            debug_assert!(!satisfied, "idle step re-evaluation succeeded");
+            if satisfied {
+                // Roll back defensively in release builds.
+                for op in scratch.ops.iter().rev() {
+                    match *op {
+                        PreparedOp::Alloc { manager, token, .. } => {
+                            managers.probe_mut(manager).abort_allocate(osm.id, token)
+                        }
+                        PreparedOp::Release { manager, token, .. } => {
+                            managers.probe_mut(manager).abort_release(osm.id, token)
+                        }
+                    }
+                }
+            }
+        }
+    }
+    find_wait_cycle(&scratch.wait_edges)
 }
 
 /// Probes `edge` for `osm` and reports why it cannot fire right now, or
@@ -808,10 +1520,10 @@ fn probe_edge<S>(
         for op in scratch.ops.iter().rev() {
             match *op {
                 PreparedOp::Alloc { manager, token, .. } => {
-                    managers.get_mut(manager).abort_allocate(osm.id, token);
+                    managers.probe_mut(manager).abort_allocate(osm.id, token);
                 }
                 PreparedOp::Release { manager, token, .. } => {
-                    managers.get_mut(manager).abort_release(osm.id, token);
+                    managers.probe_mut(manager).abort_release(osm.id, token);
                 }
             }
         }

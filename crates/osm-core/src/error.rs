@@ -194,6 +194,16 @@ pub enum ModelError {
         /// What failed to match.
         what: String,
     },
+    /// Registering another entity would exhaust its 32-bit id space
+    /// (previously the id silently truncated past `u32::MAX`). Returned by
+    /// the `try_add*` registration APIs; the infallible ones panic with this
+    /// message instead.
+    CapacityExceeded {
+        /// The kind of entity being registered ("OSM", "token manager", ...).
+        what: &'static str,
+        /// The maximum number of instances the id space admits.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -222,6 +232,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::SnapshotMismatch { what } => {
                 write!(f, "checkpoint does not match this machine: {what}")
+            }
+            ModelError::CapacityExceeded { what, limit } => {
+                write!(
+                    f,
+                    "cannot register another {what}: the id space admits at most {limit}"
+                )
             }
         }
     }

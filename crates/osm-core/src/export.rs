@@ -281,9 +281,9 @@ pub fn metrics_json(report: &MetricsReport) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"cycles\":{},\"transitions\":{},\"completions\":{},\"token_grants\":{},\"token_denials\":{},",
+        "\"cycles\":{},\"transitions\":{},\"completions\":{},\"token_grants\":{},\"token_denials\":{},\"restarts\":{},",
         report.cycles, report.transitions, report.completions, report.token_grants,
-        report.token_denials
+        report.token_denials, report.restarts
     );
     out.push_str("\"states\":[");
     for (i, s) in report.states.iter().enumerate() {

@@ -442,9 +442,14 @@ impl TokenManager for FaultInjector {
         self.inner.owner_of(ident)
     }
 
-    fn clock(&mut self, cycle: u64) {
+    fn clock(&mut self, cycle: u64) -> bool {
         self.cycle = cycle;
-        self.inner.clock(cycle);
+        let _ = self.inner.clock(cycle);
+        // Fault decisions are a function of the cycle, so the injector's
+        // observable behavior can change on every clock edge regardless of
+        // the wrapped manager: always dirty, or sensitivity scheduling would
+        // let blocked OSMs sleep through an injected grant/deny flip.
+        true
     }
 
     fn owned_tokens(&self) -> Option<Vec<(Token, OsmId)>> {

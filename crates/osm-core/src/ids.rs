@@ -68,9 +68,40 @@ id_newtype!(
     "slot"
 );
 
+/// Converts a registration count into the next 32-bit id value, reporting
+/// id-space exhaustion as [`crate::ModelError::CapacityExceeded`] instead of
+/// silently truncating (`len as u32`). The largest usable id is
+/// `u32::MAX - 1`: the all-ones value is reserved as a sentinel (idle /
+/// tombstone markers in the director).
+pub(crate) fn checked_id(len: usize, what: &'static str) -> Result<u32, crate::ModelError> {
+    if len >= u32::MAX as usize {
+        Err(crate::ModelError::CapacityExceeded {
+            what,
+            limit: u32::MAX as u64,
+        })
+    } else {
+        Ok(len as u32)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checked_id_accepts_small_and_rejects_exhausted() {
+        assert_eq!(checked_id(0, "OSM").unwrap(), 0);
+        assert_eq!(checked_id(41, "OSM").unwrap(), 41);
+        assert_eq!(checked_id(u32::MAX as usize - 1, "OSM").unwrap(), u32::MAX - 1);
+        match checked_id(u32::MAX as usize, "OSM") {
+            Err(crate::ModelError::CapacityExceeded { what, limit }) => {
+                assert_eq!(what, "OSM");
+                assert_eq!(limit, u32::MAX as u64);
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        assert!(checked_id(usize::MAX, "spec").is_err());
+    }
 
     #[test]
     fn display_uses_prefix() {

@@ -1,6 +1,6 @@
 //! The machine: managers + OSMs + director configuration + shared hardware state.
 
-use crate::director::{self, AgeRanker, Ranker, RestartPolicy, Scratch, StepOutcome};
+use crate::director::{self, AgeRanker, Ranker, RestartPolicy, SchedulerMode, Scratch, StepOutcome};
 use crate::error::{ModelError, StallKind, StallReport};
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::{ManagerTable, TokenManager};
@@ -65,6 +65,7 @@ pub struct Machine<S> {
     pub shared: S,
     ranker: Box<dyn Ranker<S>>,
     age_ranking: bool,
+    sched_mode: SchedulerMode,
     restart: RestartPolicy,
     deadlock_check: bool,
     cycle: u64,
@@ -94,6 +95,7 @@ impl<S: 'static> Machine<S> {
             shared,
             ranker: Box::new(AgeRanker),
             age_ranking: true,
+            sched_mode: SchedulerMode::default(),
             restart: RestartPolicy::Restart,
             deadlock_check: true,
             cycle: 0,
@@ -110,33 +112,79 @@ impl<S: 'static> Machine<S> {
     }
 
     /// Installs a token manager.
+    ///
+    /// # Panics
+    /// Panics if the 32-bit manager id space is exhausted; use
+    /// [`Machine::try_add_manager`] to handle that as an error.
     pub fn add_manager<M: TokenManager>(&mut self, manager: M) -> ManagerId {
-        self.managers.add(manager)
+        match self.try_add_manager(manager) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Installs a token manager, reporting id-space exhaustion as
+    /// [`ModelError::CapacityExceeded`] instead of silently truncating the
+    /// id.
+    ///
+    /// # Errors
+    /// [`ModelError::CapacityExceeded`] when no further manager id exists.
+    pub fn try_add_manager<M: TokenManager>(&mut self, manager: M) -> Result<ManagerId, ModelError> {
+        self.managers.try_add(manager)
     }
 
     /// Instantiates one OSM of class `spec` with the given behavior.
+    ///
+    /// # Panics
+    /// Panics if the 32-bit OSM or spec id space is exhausted; use
+    /// [`Machine::try_add_osm_tagged`] to handle that as an error.
     pub fn add_osm<B: Behavior<S>>(&mut self, spec: &Arc<StateMachineSpec>, behavior: B) -> OsmId {
         self.add_osm_tagged(spec, behavior, 0)
     }
 
     /// Instantiates one OSM with a thread tag (§6 multithreading extension).
+    ///
+    /// # Panics
+    /// Panics if the 32-bit OSM or spec id space is exhausted; use
+    /// [`Machine::try_add_osm_tagged`] to handle that as an error.
     pub fn add_osm_tagged<B: Behavior<S>>(
         &mut self,
         spec: &Arc<StateMachineSpec>,
         behavior: B,
         tag: u64,
     ) -> OsmId {
-        let id = OsmId(self.osms.len() as u32);
+        match self.try_add_osm_tagged(spec, behavior, tag) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Instantiates one OSM with a thread tag, reporting id-space exhaustion
+    /// as [`ModelError::CapacityExceeded`] instead of silently truncating
+    /// the OSM or spec index (`len as u32` previously wrapped registrations
+    /// past `u32::MAX` onto existing ids).
+    ///
+    /// # Errors
+    /// [`ModelError::CapacityExceeded`] when no further OSM or spec id
+    /// exists.
+    pub fn try_add_osm_tagged<B: Behavior<S>>(
+        &mut self,
+        spec: &Arc<StateMachineSpec>,
+        behavior: B,
+        tag: u64,
+    ) -> Result<OsmId, ModelError> {
+        let id = OsmId(crate::ids::checked_id(self.osms.len(), "OSM")?);
         let spec_idx = match self.specs.iter().position(|s| Arc::ptr_eq(s, spec)) {
             Some(k) => k as u32,
             None => {
+                let idx = crate::ids::checked_id(self.specs.len(), "state-machine spec")?;
                 self.specs.push(spec.clone());
-                (self.specs.len() - 1) as u32
+                idx
             }
         };
         self.osms
             .push(Osm::new(id, spec.clone(), spec_idx, tag, Box::new(behavior)));
-        id
+        Ok(id)
     }
 
     /// Instantiates `count` OSMs of the same class, one behavior each.
@@ -177,9 +225,14 @@ impl<S: 'static> Machine<S> {
     }
 
     /// Replaces the ranking policy.
+    ///
+    /// A non-[`AgeRanker`] policy makes the director fall back to the
+    /// reference scheduler even under [`SchedulerMode::Fast`] — the fast
+    /// path's incremental ready list is only sound for age ranking.
     pub fn set_ranker<R: Ranker<S>>(&mut self, ranker: R) {
         self.age_ranking = std::any::TypeId::of::<R>() == std::any::TypeId::of::<AgeRanker>();
         self.ranker = Box::new(ranker);
+        self.scratch.invalidate_schedule();
     }
 
     /// Sets the director restart policy.
@@ -192,9 +245,27 @@ impl<S: 'static> Machine<S> {
         self.restart
     }
 
+    /// Selects the scheduling implementation (see [`SchedulerMode`]);
+    /// [`SchedulerMode::Fast`] is the default.
+    pub fn set_scheduler_mode(&mut self, mode: SchedulerMode) {
+        if self.sched_mode != mode {
+            self.sched_mode = mode;
+            self.scratch.invalidate_schedule();
+        }
+    }
+
+    /// The current scheduling implementation.
+    pub fn scheduler_mode(&self) -> SchedulerMode {
+        self.sched_mode
+    }
+
     /// Enables or disables wait-for-cycle deadlock detection.
     pub fn set_deadlock_check(&mut self, on: bool) {
         self.deadlock_check = on;
+        // The fast path's "diagnostic scan already proved this quiescent
+        // state acyclic" watermark is only meaningful while the check stays
+        // continuously enabled.
+        self.scratch.invalidate_schedule();
     }
 
     /// Arms (or with `None` disarms) the stall watchdog: if no qualifying
@@ -423,24 +494,50 @@ impl<S: 'static> Machine<S> {
     pub fn control_step(&mut self) -> Result<StepOutcome, ModelError> {
         // One branch per cycle picks the monomorphized director: the
         // TRACKING=false instantiation carries no observability code at all.
-        if self.observers.is_empty() && self.stall_tracker.is_none() {
-            director::control_step::<S, false>(
-                &mut self.osms,
-                &self.specs,
-                &mut self.managers,
-                &mut self.shared,
-                self.ranker.as_ref(),
-                self.age_ranking,
-                self.restart,
-                self.deadlock_check,
-                self.cycle,
-                &mut self.age_counter,
-                &mut self.stats,
-                &mut self.observers,
-                None,
-                &mut self.scratch,
-            )
-        } else {
+        // The fast scheduler requires age ranking; under a custom ranker the
+        // reference scheduler runs regardless of the configured mode.
+        let tracking = !self.observers.is_empty() || self.stall_tracker.is_some();
+        // Adaptive fallback: after an unproductive skip window the fast
+        // path parks itself on the reference scheduler for a while (see
+        // `ADAPT_COOLDOWN` in director.rs). Identical cycle behavior either
+        // way — the cooldown only decides which exact scheduler runs.
+        let cooling = self.scratch.adapt_cooldown > 0;
+        if cooling {
+            self.scratch.adapt_cooldown -= 1;
+        }
+        if self.sched_mode == SchedulerMode::Fast && self.age_ranking && !cooling {
+            if tracking {
+                director::control_step_fast::<S, true>(
+                    &mut self.osms,
+                    &self.specs,
+                    &mut self.managers,
+                    &mut self.shared,
+                    self.restart,
+                    self.deadlock_check,
+                    self.cycle,
+                    &mut self.age_counter,
+                    &mut self.stats,
+                    &mut self.observers,
+                    self.stall_tracker.as_mut(),
+                    &mut self.scratch,
+                )
+            } else {
+                director::control_step_fast::<S, false>(
+                    &mut self.osms,
+                    &self.specs,
+                    &mut self.managers,
+                    &mut self.shared,
+                    self.restart,
+                    self.deadlock_check,
+                    self.cycle,
+                    &mut self.age_counter,
+                    &mut self.stats,
+                    &mut self.observers,
+                    None,
+                    &mut self.scratch,
+                )
+            }
+        } else if tracking {
             director::control_step::<S, true>(
                 &mut self.osms,
                 &self.specs,
@@ -455,6 +552,23 @@ impl<S: 'static> Machine<S> {
                 &mut self.stats,
                 &mut self.observers,
                 self.stall_tracker.as_mut(),
+                &mut self.scratch,
+            )
+        } else {
+            director::control_step::<S, false>(
+                &mut self.osms,
+                &self.specs,
+                &mut self.managers,
+                &mut self.shared,
+                self.ranker.as_ref(),
+                self.age_ranking,
+                self.restart,
+                self.deadlock_check,
+                self.cycle,
+                &mut self.age_counter,
+                &mut self.stats,
+                &mut self.observers,
+                None,
                 &mut self.scratch,
             )
         }
@@ -616,7 +730,12 @@ impl<S: Clone + 'static> Machine<S> {
             });
         }
         for (i, snap) in ckpt.managers.iter().enumerate() {
-            let id = ManagerId(i as u32);
+            // In range: the count above matched the registration-checked
+            // manager table.
+            let id = ManagerId(
+                crate::ids::checked_id(i, "token manager")
+                    .expect("manager count was registration-checked"),
+            );
             let manager = self.managers.get_mut(id);
             if !manager.restore_state(snap) {
                 return Err(ModelError::SnapshotMismatch {
@@ -643,6 +762,9 @@ impl<S: Clone + 'static> Machine<S> {
         self.last_completion_cycle = ckpt.last_completion_cycle;
         self.stats = ckpt.stats.clone();
         self.shared = ckpt.shared.clone();
+        // Every OSM state and age just rewound; the fast scheduler's ready
+        // list and sensitivity records no longer describe the machine.
+        self.scratch.invalidate_schedule();
         Ok(())
     }
 }
@@ -1161,6 +1283,223 @@ mod tests {
             }
             other => panic!("expected unsupported, got {other:?}"),
         }
+    }
+
+    /// Builds the two-OSM cyclic-dependency machine used by the deadlock
+    /// tests above.
+    fn deadlock_machine() -> Machine<()> {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec_ab = {
+            let mut b = SpecBuilder::new("ab");
+            let i = b.state("I");
+            let a = b.state("A");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(ma, IdentExpr::Const(0));
+            b.edge(a, z).allocate(mb, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        let spec_ba = {
+            let mut b = SpecBuilder::new("ba");
+            let i = b.state("I");
+            let a = b.state("B");
+            let z = b.state("Z");
+            b.initial(i);
+            b.edge(i, a).allocate(mb, IdentExpr::Const(0));
+            b.edge(a, z).allocate(ma, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        m.add_osm(&spec_ab, InertBehavior);
+        m.add_osm(&spec_ba, InertBehavior);
+        m
+    }
+
+    #[test]
+    fn scratch_list_survives_deadlock_return() {
+        // Regression: the reference scheduler used to drop its taken ranking
+        // buffer on the early deadlock return, so every later step
+        // re-allocated it from scratch.
+        let mut m = deadlock_machine();
+        m.set_scheduler_mode(SchedulerMode::Seed);
+        m.step().unwrap();
+        assert!(matches!(m.step(), Err(ModelError::Deadlock { .. })));
+        assert!(
+            m.scratch.list.capacity() >= m.osm_count(),
+            "ranking buffer was dropped on the deadlock return"
+        );
+        assert!(m.scratch.list.is_empty());
+        // The machine stays usable: disabling the check lets it idle on.
+        m.set_deadlock_check(false);
+        m.run(3).unwrap();
+    }
+
+    /// Two-state loop with condition-free edges: every OSM transitions every
+    /// control step.
+    fn free_loop_spec() -> Arc<StateMachineSpec> {
+        let mut b = SpecBuilder::new("free");
+        let i = b.state("I");
+        let a = b.state("A");
+        b.initial(i);
+        b.edge(i, a);
+        b.edge(a, i);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn restarts_count_rescans_including_first_position() {
+        // Two always-moving OSMs under Restart: each step, the transition of
+        // the first-served OSM (position 0 — previously never counted)
+        // leaves one OSM unserved and rescans, the second empties the list
+        // and does not. Exactly one rescan per step, in both modes.
+        for mode in [SchedulerMode::Fast, SchedulerMode::Seed] {
+            let mut m: Machine<()> = Machine::new(());
+            let spec = free_loop_spec();
+            m.add_osm(&spec, InertBehavior);
+            m.add_osm(&spec, InertBehavior);
+            m.set_scheduler_mode(mode);
+            m.enable_metrics();
+            m.run(10).unwrap();
+            assert_eq!(m.stats.restarts, 10, "{mode:?}");
+            let report = m.metrics_report().unwrap();
+            assert_eq!(report.restarts, 10, "{mode:?} observer disagrees");
+        }
+        // NoRestart performs no rescans at all.
+        let mut m: Machine<()> = Machine::new(());
+        let spec = free_loop_spec();
+        m.add_osm(&spec, InertBehavior);
+        m.add_osm(&spec, InertBehavior);
+        m.set_restart_policy(RestartPolicy::NoRestart);
+        m.run(10).unwrap();
+        assert_eq!(m.stats.restarts, 0);
+    }
+
+    #[test]
+    fn fast_and_seed_schedulers_are_cycle_exact() {
+        let run = |mode: SchedulerMode| {
+            let mut m: Machine<()> = Machine::new(());
+            let ma = m.add_manager(ExclusivePool::new("A", 1));
+            let mb = m.add_manager(ExclusivePool::new("B", 1));
+            let spec = pipeline_spec(ma, mb);
+            for _ in 0..4 {
+                m.add_osm(&spec, InertBehavior);
+            }
+            m.set_scheduler_mode(mode);
+            m.enable_trace();
+            m.run(60).unwrap();
+            let digest = m.take_trace().unwrap().digest();
+            (
+                digest,
+                m.stats.transitions,
+                m.stats.restarts,
+                m.stats.idle_steps,
+            )
+        };
+        assert_eq!(run(SchedulerMode::Fast), run(SchedulerMode::Seed));
+    }
+
+    #[test]
+    fn scheduler_mode_can_switch_mid_run() {
+        let reference = {
+            let mut m: Machine<()> = Machine::new(());
+            let ma = m.add_manager(ExclusivePool::new("A", 1));
+            let mb = m.add_manager(ExclusivePool::new("B", 1));
+            let spec = pipeline_spec(ma, mb);
+            for _ in 0..3 {
+                m.add_osm(&spec, InertBehavior);
+            }
+            m.set_scheduler_mode(SchedulerMode::Seed);
+            m.enable_trace();
+            m.run(30).unwrap();
+            m.take_trace().unwrap().digest()
+        };
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        for _ in 0..3 {
+            m.add_osm(&spec, InertBehavior);
+        }
+        m.enable_trace();
+        m.run(10).unwrap();
+        m.set_scheduler_mode(SchedulerMode::Seed);
+        m.run(10).unwrap();
+        m.set_scheduler_mode(SchedulerMode::Fast);
+        m.run(10).unwrap();
+        assert_eq!(m.take_trace().unwrap().digest(), reference);
+    }
+
+    #[test]
+    fn fast_scheduler_wakes_on_manager_clock_refill() {
+        use crate::pools::CountingPool;
+        // A per-cycle bandwidth pool wakes blocked OSMs purely through its
+        // clock hook (the dirty-returning `TokenManager::clock` path): with
+        // one unit per cycle, the junior OSM is denied at cycle 0 and must
+        // be re-evaluated — not skipped — once the pool refills.
+        let mut m: Machine<()> = Machine::new(());
+        let bw = m.add_manager(CountingPool::per_cycle("bw", 1));
+        let spec = {
+            let mut b = SpecBuilder::new("op");
+            let i = b.state("I");
+            let a = b.state("A");
+            b.initial(i);
+            b.edge(i, a).allocate(bw, IdentExpr::Const(0));
+            b.build().unwrap()
+        };
+        let o0 = m.add_osm(&spec, InertBehavior);
+        let o1 = m.add_osm(&spec, InertBehavior);
+        m.set_leak_audit(false); // terminal state holds its token by design
+        m.step().unwrap();
+        assert_eq!(m.osm(o0).state_name(), "A");
+        assert_eq!(m.osm(o1).state_name(), "I");
+        m.step().unwrap();
+        assert_eq!(m.osm(o1).state_name(), "A", "refill did not wake the OSM");
+    }
+
+    #[test]
+    fn fast_scheduler_wakes_on_external_manager_mutation() {
+        // Mutating a manager from outside the control step (here through
+        // `downcast_mut`) must invalidate the skip records of OSMs blocked
+        // on it.
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let spec = {
+            let mut b = SpecBuilder::new("hold");
+            let i = b.state("I");
+            let h = b.state("H");
+            b.initial(i);
+            b.edge(i, h).allocate(ma, IdentExpr::Const(0));
+            b.edge(h, i).release(ma, IdentExpr::AnyHeld);
+            b.build().unwrap()
+        };
+        let op = m.add_osm(&spec, InertBehavior);
+        m.step().unwrap();
+        assert_eq!(m.osm(op).state_name(), "H");
+        m.managers
+            .downcast_mut::<ExclusivePool>(ma)
+            .block_release(0, true);
+        m.run(5).unwrap(); // blocked — and skipped after the first denial
+        assert_eq!(m.osm(op).state_name(), "H");
+        assert!(m.stats.idle_steps >= 5);
+        m.managers
+            .downcast_mut::<ExclusivePool>(ma)
+            .block_release(0, false);
+        m.step().unwrap();
+        assert_eq!(m.osm(op).state_name(), "I", "unblock did not wake the OSM");
+    }
+
+    #[test]
+    fn fallible_registration_reports_ok_ids() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.try_add_manager(ExclusivePool::new("A", 1)).unwrap();
+        let mb = m.try_add_manager(ExclusivePool::new("B", 1)).unwrap();
+        assert_eq!(ma, ManagerId(0));
+        assert_eq!(mb, ManagerId(1));
+        let spec = pipeline_spec(ma, mb);
+        let o0 = m.try_add_osm_tagged(&spec, InertBehavior, 7).unwrap();
+        assert_eq!(o0, OsmId(0));
+        assert_eq!(m.osm(o0).tag(), 7);
     }
 
     #[cfg(debug_assertions)]

@@ -8,6 +8,7 @@
 //! observe it), and the director then either `commit_*`s or `abort_*`s every
 //! prepared transaction of the condition atomically.
 
+use crate::error::ModelError;
 use crate::ids::{ManagerId, OsmId};
 use crate::snapshot::ManagerSnapshot;
 use crate::token::{Token, TokenIdent};
@@ -83,8 +84,18 @@ pub trait TokenManager: Any {
 
     /// Hardware-layer clock hook, invoked once per control step *before* the
     /// OSM scheduling pass (managers are hardware modules; paper §4).
-    fn clock(&mut self, cycle: u64) {
+    ///
+    /// Returns `true` when the clock edge changed (or may have changed) any
+    /// state that influences the manager's primitive decisions — the
+    /// sensitivity-scheduling dirty bit. The fast director
+    /// ([`crate::SchedulerMode::Fast`]) skips re-evaluating OSMs blocked on
+    /// managers that reported no change, so returning `false` after a
+    /// decision-relevant mutation makes blocked OSMs oversleep. The default
+    /// no-op returns `false`; when in doubt, return `true` (always correct,
+    /// merely slower).
+    fn clock(&mut self, cycle: u64) -> bool {
         let _ = cycle;
+        false
     }
 
     /// Every `(token, owner)` pair the manager believes is committed-owned.
@@ -120,9 +131,28 @@ pub trait TokenManager: Any {
 }
 
 /// Owning table of all token managers of a machine, indexed by [`ManagerId`].
+///
+/// # Dirty tracking
+///
+/// The table keeps one monotonic *epoch* per manager, the foundation of the
+/// director's sensitivity-driven fast path ([`crate::SchedulerMode::Fast`]):
+/// an OSM blocked on a manager need not be re-evaluated until that manager's
+/// epoch moves. Epochs are bumped conservatively on every path that can
+/// change decision-relevant state — every mutable borrow handed out by the
+/// public accessors ([`ManagerTable::get_mut`], [`ManagerTable::try_get_mut`],
+/// [`ManagerTable::downcast_mut`], [`ManagerTable::wrap`]), every clock hook
+/// that reports a change ([`TokenManager::clock`]), and explicitly by the
+/// director on every committed transaction. The two-phase `prepare`/`abort`
+/// traffic of failed edge evaluations is net state-neutral and deliberately
+/// does *not* bump (the director uses internal non-bumping accessors for it).
 #[derive(Default)]
 pub struct ManagerTable {
     managers: Vec<Box<dyn TokenManager>>,
+    /// Per-manager dirty epoch; parallel to `managers`.
+    epochs: Vec<u64>,
+    /// Bumped on every epoch bump of any manager: a cheap "anything changed
+    /// since ...?" watermark for whole-table consumers.
+    generation: u64,
 }
 
 impl ManagerTable {
@@ -133,12 +163,55 @@ impl ManagerTable {
 
     /// Installs a manager, informs it of its id via [`TokenManager::attach`],
     /// and returns the id.
+    ///
+    /// # Panics
+    /// Panics if the 32-bit manager id space is exhausted; use
+    /// [`ManagerTable::try_add`] to handle that as a typed error.
     pub fn add<M: TokenManager>(&mut self, manager: M) -> ManagerId {
-        let id = ManagerId(self.managers.len() as u32);
+        match self.try_add(manager) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Installs a manager like [`ManagerTable::add`], but reports id-space
+    /// exhaustion as [`ModelError::CapacityExceeded`] instead of panicking
+    /// (previously the id silently wrapped past `u32::MAX`).
+    pub fn try_add<M: TokenManager>(&mut self, manager: M) -> Result<ManagerId, ModelError> {
+        let id = ManagerId(crate::ids::checked_id(self.managers.len(), "token manager")?);
         let mut boxed = Box::new(manager);
         boxed.attach(id);
         self.managers.push(boxed);
-        id
+        self.epochs.push(1);
+        self.generation += 1;
+        Ok(id)
+    }
+
+    /// The dirty epoch of a manager: a counter that moves every time the
+    /// manager's decision-relevant state may have changed. Out-of-range ids
+    /// report a constant `0` (a dangling manager id never changes).
+    #[inline]
+    pub fn epoch(&self, id: ManagerId) -> u64 {
+        self.epochs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The table-wide change watermark: bumped whenever *any* manager's
+    /// epoch moves.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Marks a manager dirty: its state may have changed in a way that can
+    /// affect primitive decisions. Custom hardware layers mutating a manager
+    /// through interior mutability (rather than through the table's mutable
+    /// accessors, which mark automatically) must call this.
+    #[inline]
+    pub fn mark_dirty(&mut self, id: ManagerId) {
+        if let Some(e) = self.epochs.get_mut(id.index()) {
+            *e += 1;
+            self.generation += 1;
+        }
     }
 
     /// Number of installed managers.
@@ -160,13 +233,30 @@ impl ManagerTable {
         self.managers[id.index()].as_ref()
     }
 
-    /// Mutably borrows a manager as the trait object.
+    /// Mutably borrows a manager as the trait object, conservatively marking
+    /// it dirty (the borrower may change decision-relevant state).
     ///
     /// # Panics
     /// Panics if `id` is out of range.
     #[inline]
     pub fn get_mut(&mut self, id: ManagerId) -> &mut dyn TokenManager {
+        self.mark_dirty(id);
         self.managers[id.index()].as_mut()
+    }
+
+    /// Mutably borrows a manager *without* marking it dirty. Reserved for
+    /// the director's two-phase `prepare`/`abort` traffic, which is net
+    /// state-neutral on managers honoring the protocol.
+    #[inline]
+    pub(crate) fn probe_mut(&mut self, id: ManagerId) -> &mut dyn TokenManager {
+        self.managers[id.index()].as_mut()
+    }
+
+    /// Non-panicking, non-dirtying counterpart of
+    /// [`ManagerTable::probe_mut`].
+    #[inline]
+    pub(crate) fn try_probe_mut(&mut self, id: ManagerId) -> Option<&mut dyn TokenManager> {
+        self.managers.get_mut(id.index()).map(|m| m.as_mut())
     }
 
     /// Borrows a manager, or `None` if `id` is out of range (for callers
@@ -177,9 +267,11 @@ impl ManagerTable {
         self.managers.get(id.index()).map(|m| m.as_ref())
     }
 
-    /// Mutably borrows a manager, or `None` if `id` is out of range.
+    /// Mutably borrows a manager (marking it dirty, like
+    /// [`ManagerTable::get_mut`]), or `None` if `id` is out of range.
     #[inline]
     pub fn try_get_mut(&mut self, id: ManagerId) -> Option<&mut dyn TokenManager> {
+        self.mark_dirty(id);
         self.managers.get_mut(id.index()).map(|m| m.as_mut())
     }
 
@@ -194,6 +286,7 @@ impl ManagerTable {
     where
         F: FnOnce(Box<dyn TokenManager>) -> Box<dyn TokenManager>,
     {
+        self.mark_dirty(id);
         let slot = &mut self.managers[id.index()];
         let inner = std::mem::replace(slot, Box::new(NullManager));
         *slot = wrapper(inner);
@@ -211,11 +304,13 @@ impl ManagerTable {
             .unwrap_or_else(|| panic!("manager {id} is not a {}", std::any::type_name::<M>()))
     }
 
-    /// Mutably borrows a manager downcast to its concrete type.
+    /// Mutably borrows a manager downcast to its concrete type, marking it
+    /// dirty like [`ManagerTable::get_mut`].
     ///
     /// # Panics
     /// Panics if `id` is out of range or the manager is not a `M`.
     pub fn downcast_mut<M: TokenManager>(&mut self, id: ManagerId) -> &mut M {
+        self.mark_dirty(id);
         self.managers[id.index()]
             .as_mut()
             .as_any_mut()
@@ -223,10 +318,14 @@ impl ManagerTable {
             .unwrap_or_else(|| panic!("manager {id} is not a {}", std::any::type_name::<M>()))
     }
 
-    /// Invokes every manager's [`TokenManager::clock`] hook.
+    /// Invokes every manager's [`TokenManager::clock`] hook, marking dirty
+    /// each manager whose hook reports a decision-relevant change.
     pub fn clock_all(&mut self, cycle: u64) {
-        for m in &mut self.managers {
-            m.clock(cycle);
+        for (i, m) in self.managers.iter_mut().enumerate() {
+            if m.clock(cycle) {
+                self.epochs[i] += 1;
+                self.generation += 1;
+            }
         }
     }
 

@@ -205,9 +205,12 @@ pub trait Observer: Any {
         let _ = ev;
     }
 
-    /// End of one control step.
-    fn on_cycle_end(&mut self, cycle: u64, transitions: u32, completions: u32) {
-        let _ = (cycle, transitions, completions);
+    /// End of one control step. `restarts` is the number of Fig. 3
+    /// outer-loop rescans the director performed this step (0 under
+    /// [`crate::RestartPolicy::NoRestart`]); summed over a run it equals
+    /// [`crate::Stats::restarts`].
+    fn on_cycle_end(&mut self, cycle: u64, transitions: u32, completions: u32, restarts: u32) {
+        let _ = (cycle, transitions, completions, restarts);
     }
 
     /// Upcast for typed retrieval via [`crate::Machine::observer`].
@@ -440,6 +443,7 @@ pub struct MetricsCollector {
     transitions: u64,
     completions: u64,
     stall_charges: u64,
+    restarts: u64,
 }
 
 /// Default [`MetricsCollector`] throughput-window length, in cycles.
@@ -464,6 +468,7 @@ impl MetricsCollector {
             transitions: 0,
             completions: 0,
             stall_charges: 0,
+            restarts: 0,
         }
     }
 
@@ -502,6 +507,12 @@ impl MetricsCollector {
     /// Stall charges observed (one per stalled OSM per cycle).
     pub fn stall_charges(&self) -> u64 {
         self.stall_charges
+    }
+
+    /// Director outer-loop rescans observed (equals
+    /// [`crate::Stats::restarts`] when installed for a whole run).
+    pub fn restarts(&self) -> u64 {
+        self.restarts
     }
 }
 
@@ -561,8 +572,9 @@ impl Observer for MetricsCollector {
         self.stall_charges += 1;
     }
 
-    fn on_cycle_end(&mut self, _cycle: u64, _transitions: u32, _completions: u32) {
+    fn on_cycle_end(&mut self, _cycle: u64, _transitions: u32, _completions: u32, restarts: u32) {
         self.cycles += 1;
+        self.restarts += u64::from(restarts);
         for a in self.managers.values_mut() {
             held_area_add(a);
         }
@@ -788,6 +800,8 @@ pub struct MetricsReport {
     /// Total token denials; reconciles with
     /// [`crate::Stats::condition_failures`].
     pub token_denials: u64,
+    /// Director outer-loop rescans (see [`crate::Stats::restarts`]).
+    pub restarts: u64,
     /// Per-state occupancy, in `(spec, state)` order.
     pub states: Vec<StateOccupancy>,
     /// Per-manager utilization, in manager-id order.
@@ -852,6 +866,7 @@ impl MetricsReport {
             completions: collector.completions,
             token_grants: collector.grants(),
             token_denials: collector.denials(),
+            restarts: collector.restarts,
             states,
             managers,
             window: collector.window,
@@ -953,7 +968,7 @@ mod tests {
         let mut m = MetricsCollector::new(16);
         m.on_token_op(&tok(0, TokenOpKind::Allocate, TokenOutcome::Granted));
         m.on_token_op(&tok(0, TokenOpKind::Inquire, TokenOutcome::Denied));
-        m.on_cycle_end(0, 0, 0);
+        m.on_cycle_end(0, 0, 0, 0);
         assert_eq!(m.grants(), 1);
         assert_eq!(m.denials(), 1);
         let a = m.managers[&ManagerId(0)];

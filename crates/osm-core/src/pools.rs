@@ -360,9 +360,14 @@ impl TokenManager for CountingPool {
         }
     }
 
-    fn clock(&mut self, _cycle: u64) {
+    fn clock(&mut self, _cycle: u64) -> bool {
         if self.refill_each_cycle {
+            // Report dirty even when already full: cheap, and conservatively
+            // correct for the sensitivity scheduler.
             self.available = self.capacity;
+            true
+        } else {
+            false
         }
     }
 

@@ -19,12 +19,24 @@ pub struct Stats {
     /// Committed state transitions across all OSMs.
     pub transitions: u64,
     /// Edge evaluations whose condition was not satisfied.
+    ///
+    /// An *effort* counter: it measures scheduling work done, not machine
+    /// behaviour, so it legitimately differs between
+    /// [`crate::SchedulerMode`]s (the fast path skips provably blocked
+    /// evaluations).
     pub condition_failures: u64,
-    /// Edge evaluations skipped by a behavior veto.
+    /// Edge evaluations skipped by a behavior veto (an effort counter, like
+    /// [`Stats::condition_failures`]).
     pub vetoed_edges: u64,
     /// Control steps in which no OSM transitioned (global stall steps).
     pub idle_steps: u64,
-    /// Director outer-loop restarts performed (Fig. 3 restart semantics).
+    /// Director outer-loop rescans actually performed: under
+    /// [`crate::RestartPolicy::Restart`], every committed transition after
+    /// which unserved OSMs remain re-enters the Fig. 3 outer loop from the
+    /// top, and exactly those re-entries are counted (a transition that
+    /// empties the list performs no rescan and counts nothing). Always 0
+    /// under [`crate::RestartPolicy::NoRestart`]. Mode-invariant across
+    /// [`crate::SchedulerMode`]s.
     pub restarts: u64,
     named: BTreeMap<Cow<'static, str>, u64>,
 }

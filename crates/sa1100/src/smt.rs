@@ -434,6 +434,12 @@ impl SmtSim {
         &self.machine
     }
 
+    /// Mutable access to the underlying machine (scheduler-mode selection,
+    /// observer installation, A/B experiments).
+    pub fn machine_mut(&mut self) -> &mut Machine<SmtShared> {
+        &mut self.machine
+    }
+
     /// Runs until both threads halt or `max_cycles` pass.
     ///
     /// # Errors

@@ -400,6 +400,12 @@ impl VliwSim {
         &self.machine
     }
 
+    /// Mutable access to the underlying machine (scheduler-mode selection,
+    /// observer installation, A/B experiments).
+    pub fn machine_mut(&mut self) -> &mut Machine<VliwShared> {
+        &mut self.machine
+    }
+
     /// Runs until the halting bundle retires or `max_cycles` pass.
     ///
     /// # Errors

@@ -11,8 +11,10 @@ use osm_repro::minirisc::{
     assemble, decode, encode, AluOp, BranchCond, FpCmpCond, FpuOp, FReg, Instr, Iss, MemWidth,
     MulOp, Reg, SparseMemory,
 };
+use osm_repro::osm_core::{RestartPolicy, SchedulerMode};
 use osm_repro::ppc750::{PpcConfig, PpcOsmSim, PpcPortSim};
 use osm_repro::sa1100::{RefSim, SaConfig, SaOsmSim};
+use osm_repro::vliw::{schedule, VliwConfig, VliwIr, VliwSim};
 use osm_repro::workloads::random_program;
 use proptest::prelude::*;
 
@@ -156,6 +158,42 @@ proptest! {
     }
 }
 
+/// A VLIW countdown loop with `body` independent adds per iteration (the
+/// same shape as the vliw crate's own `ilp_loop` fixture).
+fn vliw_ilp_loop(iters: i32, body: usize) -> VliwIr {
+    let addi = |rd: u8, rs1: u8, imm: i32| Instr::AluImm {
+        op: AluOp::Add,
+        rd: Reg(rd),
+        rs1: Reg(rs1),
+        imm,
+    };
+    let mut ir = VliwIr::new();
+    ir.push(addi(1, 0, iters));
+    let top = ir.instrs.len();
+    for k in 0..body {
+        ir.push(addi(2 + (k % 6) as u8, 0, k as i32));
+    }
+    ir.push(addi(1, 1, -1));
+    ir.branch(
+        Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            offset: 0,
+        },
+        top,
+    );
+    ir.push(addi(10, 0, 0));
+    ir.push(Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(11),
+        rs1: Reg(1),
+        rs2: Reg(0),
+    });
+    ir.push(Instr::Syscall);
+    ir
+}
+
 proptest! {
     // Full-simulator cases are expensive; fewer, bigger cases.
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -203,6 +241,78 @@ proptest! {
             }
         }
         prop_assert!(sim.machine().shared.halted);
+    }
+
+    #[test]
+    fn fast_scheduler_is_cycle_exact_on_random_programs(seed in 0u64..10_000, len in 10usize..50) {
+        // The sensitivity-driven fast path must be observationally identical
+        // to the seed scheduler: same transition trace (digest), same cycle
+        // count, same retirement, same restart count — on both case-study
+        // machines.
+        let w = random_program(seed, len);
+        let program = w.program();
+        let sa = |mode: SchedulerMode| {
+            let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+            sim.machine_mut().set_scheduler_mode(mode);
+            sim.machine_mut().enable_trace();
+            let r = sim.run_to_halt(50_000_000).expect("no deadlock");
+            let stats = sim.machine().stats.clone();
+            let digest = sim.machine_mut().take_trace().expect("trace on").digest();
+            (digest, r.cycles, r.retired, r.exit_code,
+             stats.transitions, stats.restarts, stats.idle_steps)
+        };
+        prop_assert_eq!(sa(SchedulerMode::Fast), sa(SchedulerMode::Seed));
+        let ppc = |mode: SchedulerMode| {
+            let mut sim = PpcOsmSim::new(PpcConfig::paper(), &program);
+            sim.machine_mut().set_scheduler_mode(mode);
+            sim.machine_mut().enable_trace();
+            let r = sim.run_to_halt(50_000_000).expect("no deadlock");
+            let stats = sim.machine().stats.clone();
+            let digest = sim.machine_mut().take_trace().expect("trace on").digest();
+            (digest, r.cycles, r.retired, r.exit_code,
+             stats.transitions, stats.restarts, stats.idle_steps)
+        };
+        prop_assert_eq!(ppc(SchedulerMode::Fast), ppc(SchedulerMode::Seed));
+    }
+
+    #[test]
+    fn restart_policy_is_neutral_under_age_ranking(seed in 0u64..10_000) {
+        // Paper §4: with seniority (age) ranking, a transition can only free
+        // resources wanted by *junior* operations that are still ahead in
+        // the current scan — so the post-transition rescan never finds new
+        // work and Restart ≡ NoRestart, transition for transition.
+        let w = random_program(seed, 25);
+        let program = w.program();
+        let run = |policy: RestartPolicy, mode: SchedulerMode| {
+            let mut sim = SaOsmSim::new(SaConfig::paper(), &program);
+            sim.machine_mut().set_restart_policy(policy);
+            sim.machine_mut().set_scheduler_mode(mode);
+            sim.machine_mut().enable_trace();
+            sim.run_to_halt(50_000_000).expect("no deadlock");
+            let restarts = sim.machine().stats.restarts;
+            (sim.machine_mut().take_trace().expect("trace on").digest(), restarts)
+        };
+        let (d_restart, _) = run(RestartPolicy::Restart, SchedulerMode::Fast);
+        let (d_norestart, n0) = run(RestartPolicy::NoRestart, SchedulerMode::Fast);
+        prop_assert_eq!(d_restart, d_norestart);
+        prop_assert_eq!(n0, 0);
+        let (d_seed, _) = run(RestartPolicy::Restart, SchedulerMode::Seed);
+        prop_assert_eq!(d_restart, d_seed);
+    }
+
+    #[test]
+    fn fast_scheduler_is_cycle_exact_on_vliw(iters in 3i32..25, body in 1usize..9) {
+        let ir = vliw_ilp_loop(iters, body);
+        let program = schedule(&ir, vec![]);
+        let run = |mode: SchedulerMode| {
+            let mut sim = VliwSim::new(VliwConfig::default(), &program);
+            sim.machine_mut().set_scheduler_mode(mode);
+            sim.machine_mut().enable_trace();
+            let r = sim.run_to_halt(1_000_000).expect("no deadlock");
+            let digest = sim.machine_mut().take_trace().expect("trace on").digest();
+            (digest, r)
+        };
+        prop_assert_eq!(run(SchedulerMode::Fast), run(SchedulerMode::Seed));
     }
 
     #[test]
