@@ -39,6 +39,15 @@ pub enum SynthError {
         /// The duplicated name.
         name: String,
     },
+    /// One `states` list names the same state twice. `osm-core`'s
+    /// `SpecBuilder` would silently deduplicate; in the declarative source
+    /// a repeated name is always a typo, so it is rejected here.
+    DuplicateState {
+        /// OSM class name.
+        osm: String,
+        /// The duplicated state.
+        state: String,
+    },
     /// The spec failed to build (propagated from `osm-core`).
     Spec(String),
 }
@@ -54,6 +63,9 @@ impl fmt::Display for SynthError {
             }
             SynthError::DuplicateManager { name } => {
                 write!(f, "manager `{name}` declared twice")
+            }
+            SynthError::DuplicateState { osm, state } => {
+                write!(f, "osm `{osm}` declares state `{state}` twice")
             }
             SynthError::Spec(msg) => write!(f, "spec error: {msg}"),
         }
@@ -166,7 +178,12 @@ pub fn synthesize(decl: &MachineDecl) -> Result<SynthesizedMachine, SynthError> 
         let mut b = SpecBuilder::new(osm.name.clone());
         let mut state_ids = BTreeMap::new();
         for s in &osm.states {
-            state_ids.insert(s.clone(), b.state(s.clone()));
+            if state_ids.insert(s.clone(), b.state(s.clone())).is_some() {
+                return Err(SynthError::DuplicateState {
+                    osm: osm.name.clone(),
+                    state: s.clone(),
+                });
+            }
         }
         let lookup_state = |name: &str| -> Result<osm_core::StateId, SynthError> {
             state_ids

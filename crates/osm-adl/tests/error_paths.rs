@@ -1,0 +1,164 @@
+//! Error-path coverage for the ADL front end: lexer rejections, parser
+//! rejections (malformed Λ guards, truncated input) and semantic rejections
+//! (duplicate names). Each case asserts both that the input is refused and
+//! that the diagnostic carries enough context (line number / offending
+//! name) to fix the source.
+
+use osm_adl::{lex, parse, synthesize, SynthError};
+
+/// A minimal valid machine the malformed cases are derived from.
+const VALID: &str = r#"
+    machine demo {
+        manager mf : exclusive(1);
+        osm ctl {
+            states I, F, D;
+            initial I;
+            edge fetch : I -> F { allocate mf[any]; }
+            edge done : F -> I { release mf[held]; }
+        }
+    }
+"#;
+
+#[test]
+fn the_reference_machine_is_accepted() {
+    let decl = parse(VALID).expect("reference source must parse");
+    synthesize(&decl).expect("reference source must synthesize");
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[test]
+fn lexer_rejects_unknown_characters_with_line_number() {
+    let err = lex("machine demo {\n    manager m : @exclusive(1);\n}").unwrap_err();
+    assert_eq!(err.line, 2);
+    assert!(err.to_string().contains('@'), "{err}");
+}
+
+#[test]
+fn lexer_rejects_bare_minus_outside_arrow() {
+    assert!(lex("edge e : A - B").is_err());
+}
+
+#[test]
+fn lexer_rejects_overflowing_and_malformed_numbers() {
+    // Too large for u64.
+    assert!(lex("states 99999999999999999999;").is_err());
+    // Alphanumeric continuation makes `0xzz` a bad hex literal.
+    assert!(lex("inquire m[0xzz];").is_err());
+}
+
+// --------------------------------------------------- malformed Λ guards --
+
+#[test]
+fn parser_rejects_unknown_token_identifier_in_guard() {
+    let src = VALID.replace("allocate mf[any];", "allocate mf[whatever];");
+    let err = parse(&src).unwrap_err();
+    assert!(
+        err.message.contains("expected `any`, `held`, `slot N` or a number"),
+        "{err}"
+    );
+    assert!(err.message.contains("whatever"), "{err}");
+}
+
+#[test]
+fn parser_rejects_unknown_primitive_verb() {
+    let src = VALID.replace("allocate mf[any];", "grab mf[any];");
+    let err = parse(&src).unwrap_err();
+    assert!(err.message.contains("unknown primitive"), "{err}");
+    assert!(err.message.contains("grab"), "{err}");
+}
+
+#[test]
+fn parser_rejects_guard_with_missing_identifier() {
+    let src = VALID.replace("allocate mf[any];", "allocate mf[];");
+    let err = parse(&src).unwrap_err();
+    assert!(err.message.contains("expected a token identifier"), "{err}");
+}
+
+#[test]
+fn parser_rejects_slot_guard_without_index() {
+    let src = VALID.replace("allocate mf[any];", "allocate mf[slot];");
+    assert!(parse(&src).is_err());
+}
+
+#[test]
+fn parser_rejects_non_ident_inside_edge_block() {
+    let src = VALID.replace("allocate mf[any];", "allocate mf[any]; ;");
+    let err = parse(&src).unwrap_err();
+    assert!(err.message.contains("expected a primitive or `}`"), "{err}");
+}
+
+#[test]
+fn parser_reports_the_guards_source_line() {
+    // The bad guard sits on line 7 of the template.
+    let src = VALID.replace("allocate mf[any];", "allocate mf[bogus];");
+    let err = parse(&src).unwrap_err();
+    assert_eq!(err.line, 7, "{err}");
+}
+
+// ------------------------------------------------------- truncated input --
+
+#[test]
+fn truncations_at_every_suffix_never_panic_and_all_fail() {
+    // Chop the valid source at every byte boundary: each prefix must either
+    // fail cleanly or (for whitespace-only suffixes near the end) parse.
+    let full = VALID.trim_end();
+    for (cut, _) in full.char_indices().skip(1) {
+        let prefix = &full[..cut];
+        if let Ok(decl) = parse(prefix) {
+            // Only a fully closed machine can parse.
+            assert!(
+                prefix.trim_end().ends_with('}'),
+                "truncated source unexpectedly parsed at byte {cut}"
+            );
+            let _ = synthesize(&decl);
+        }
+    }
+}
+
+#[test]
+fn unterminated_blocks_name_the_block_kind() {
+    let machine = parse("machine demo {").unwrap_err();
+    assert!(machine.message.contains("unterminated machine block"), "{machine}");
+
+    let osm = parse("machine demo { osm ctl { states I; initial I;").unwrap_err();
+    assert!(osm.message.contains("unterminated osm block"), "{osm}");
+
+    let edge =
+        parse("machine demo { osm ctl { states I; initial I; edge e : I -> I {").unwrap_err();
+    assert!(edge.message.contains("unterminated edge block"), "{edge}");
+}
+
+#[test]
+fn empty_input_is_rejected() {
+    assert!(parse("").is_err());
+    assert!(parse("   \n\t\n").is_err());
+}
+
+// -------------------------------------------------------- duplicate names --
+
+#[test]
+fn duplicate_state_names_are_rejected_at_synthesis() {
+    let src = VALID.replace("states I, F, D;", "states I, F, F;");
+    let decl = parse(&src).expect("duplicate states are a semantic, not syntactic, error");
+    let err = synthesize(&decl).unwrap_err();
+    assert_eq!(
+        err,
+        SynthError::DuplicateState {
+            osm: "ctl".into(),
+            state: "F".into()
+        }
+    );
+    assert!(err.to_string().contains("state `F` twice"), "{err}");
+}
+
+#[test]
+fn duplicate_manager_names_are_rejected_at_synthesis() {
+    let src = VALID.replace(
+        "manager mf : exclusive(1);",
+        "manager mf : exclusive(1);\n        manager mf : counting(4);",
+    );
+    let decl = parse(&src).unwrap();
+    let err = synthesize(&decl).unwrap_err();
+    assert_eq!(err, SynthError::DuplicateManager { name: "mf".into() });
+}

@@ -67,7 +67,7 @@ pub enum SchedulerMode {
 ///
 /// Smaller rank = served earlier. Ties are broken by [`OsmId`] so the
 /// schedule is always a total order (determinism).
-pub trait Ranker<S>: 'static {
+pub trait Ranker<S>: Send + 'static {
     /// Computes the rank of one OSM.
     fn rank(&self, view: &OsmView<'_>, shared: &S) -> u64;
 }
@@ -84,7 +84,7 @@ impl<S> Ranker<S> for AgeRanker {
 }
 
 /// The closure type boxed inside a [`FnRanker`].
-pub type RankFn<S> = dyn Fn(&OsmView<'_>, &S) -> u64;
+pub type RankFn<S> = dyn Fn(&OsmView<'_>, &S) -> u64 + Send;
 
 /// Rank by a closure (ablation experiments, multithreading policies).
 pub struct FnRanker<S>(pub Box<RankFn<S>>);

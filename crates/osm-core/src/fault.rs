@@ -27,9 +27,8 @@ use crate::manager::{ManagerTable, TokenManager};
 use crate::snapshot::ManagerSnapshot;
 use crate::token::{Token, TokenIdent};
 use std::any::Any;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// High bit marker distinguishing corrupted token raws from real ones.
 ///
@@ -207,32 +206,33 @@ struct FaultControl {
 /// Obtain it with [`FaultInjector::handle`] *before* boxing the injector
 /// into a [`ManagerTable`] (the injector's transparent downcasting makes it
 /// unreachable afterwards). Cloning hands out another control to the same
-/// injector.
+/// injector. The handle is `Send`, so a machine with installed injectors can
+/// move to a worker thread while its controls stay behind.
 #[derive(Debug, Clone)]
 pub struct FaultHandle {
-    control: Rc<RefCell<FaultControl>>,
+    control: Arc<Mutex<FaultControl>>,
 }
 
 impl FaultHandle {
     /// Stops injecting faults (the wrapped manager becomes transparent).
     /// Models the operator repairing the faulty module before a restore.
     pub fn disable(&self) {
-        self.control.borrow_mut().disabled = true;
+        self.control.lock().unwrap().disabled = true;
     }
 
     /// Resumes injecting faults.
     pub fn enable(&self) {
-        self.control.borrow_mut().disabled = false;
+        self.control.lock().unwrap().disabled = false;
     }
 
     /// Whether the injector is currently active.
     pub fn is_enabled(&self) -> bool {
-        !self.control.borrow().disabled
+        !self.control.lock().unwrap().disabled
     }
 
     /// Snapshot of the injection counters.
     pub fn stats(&self) -> FaultStats {
-        self.control.borrow().stats
+        self.control.lock().unwrap().stats
     }
 }
 
@@ -251,7 +251,7 @@ pub struct FaultInjector {
     inner: Box<dyn TokenManager>,
     plan: FaultPlan,
     cycle: u64,
-    control: Rc<RefCell<FaultControl>>,
+    control: Arc<Mutex<FaultControl>>,
     /// Corrupted-raw → real-raw translations for tokens currently in flight.
     corrupt_map: Vec<(u64, u64)>,
 }
@@ -273,7 +273,7 @@ impl FaultInjector {
             inner,
             plan,
             cycle: 0,
-            control: Rc::new(RefCell::new(FaultControl::default())),
+            control: Arc::new(Mutex::new(FaultControl::default())),
             corrupt_map: Vec::new(),
         }
     }
@@ -282,7 +282,7 @@ impl FaultInjector {
     /// injector into a [`ManagerTable`].
     pub fn handle(&self) -> FaultHandle {
         FaultHandle {
-            control: Rc::clone(&self.control),
+            control: Arc::clone(&self.control),
         }
     }
 
@@ -318,7 +318,7 @@ impl FaultInjector {
     /// this cycle? `salt` is the token identifier (or granted raw) so
     /// distinct resources fault independently.
     fn fires(&self, kind: FaultKind, osm: OsmId, salt: u64) -> bool {
-        if self.control.borrow().disabled {
+        if self.control.lock().unwrap().disabled {
             return false;
         }
         self.plan.rules.iter().enumerate().any(|(idx, rule)| {
@@ -337,8 +337,8 @@ impl FaultInjector {
         self.fires(FaultKind::Blackhole, osm, salt)
     }
 
-    fn stats_mut(&self) -> std::cell::RefMut<'_, FaultControl> {
-        self.control.borrow_mut()
+    fn stats_mut(&self) -> MutexGuard<'_, FaultControl> {
+        self.control.lock().unwrap()
     }
 
     /// Translates a possibly-corrupted raw back to the real one the inner

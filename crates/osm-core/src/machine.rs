@@ -831,6 +831,23 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Machine<S> {
     }
 }
 
+// Compile-time Send audit: a machine (and its checkpoints) whose shared
+// hardware-layer state is `Send` must itself be `Send`, so whole simulation
+// jobs can be sharded across worker threads. Every trait object a machine
+// can own — managers, observers, behaviors, rankers, fault controls,
+// manager snapshots — is constrained to uphold this; a regression in any of
+// them fails here, not in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn machine_is_send<S: Send + 'static>() {
+        assert_send::<Machine<S>>();
+        assert_send::<crate::Checkpoint<S>>();
+    }
+    machine_is_send::<()>();
+    assert_send::<crate::FaultHandle>();
+    assert_send::<crate::snapshot::ManagerSnapshot>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

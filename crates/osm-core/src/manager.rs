@@ -32,7 +32,7 @@ use std::any::Any;
 /// `inquire` is read-only and needs no second phase. `discard` requires no
 /// permission and always succeeds; it is only invoked when an edge actually
 /// commits.
-pub trait TokenManager: Any {
+pub trait TokenManager: Any + Send {
     /// Human-readable module name (used in traces and error messages).
     fn name(&self) -> &str;
 

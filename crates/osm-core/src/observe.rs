@@ -189,7 +189,7 @@ pub struct StallEvent {
 /// Observers must not assume they see a run from cycle 0 — they may be
 /// installed mid-run — but every hook they do see is delivered in commit
 /// order within a control step.
-pub trait Observer: Any {
+pub trait Observer: Any + Send {
     /// One token-transaction attempt (or rollback).
     fn on_token_op(&mut self, ev: &TokenEvent) {
         let _ = ev;

@@ -20,7 +20,7 @@ pub const IDLE_AGE: u64 = u64::MAX;
 ///
 /// The generic parameter `S` is the machine's shared hardware-layer state
 /// (memory system, program counter logic, statistic counters, ...).
-pub trait Behavior<S>: 'static {
+pub trait Behavior<S>: Send + 'static {
     /// Veto hook evaluated *before* the edge's token condition: lets one
     /// spec serve several instruction kinds (e.g. only multiply operations
     /// attempt the multiplier-allocating edge). Defaults to enabled.

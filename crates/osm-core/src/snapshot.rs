@@ -24,13 +24,14 @@ use std::sync::Arc;
 /// Managers create these with [`ManagerSnapshot::of`] and recover their
 /// concrete state with [`ManagerSnapshot::downcast`]. The payload is
 /// reference-counted so one [`Checkpoint`] can be restored any number of
-/// times.
+/// times, and `Send + Sync` so checkpoints can cross thread boundaries
+/// (simulation-farm workers restore on whichever thread runs the job).
 #[derive(Clone)]
-pub struct ManagerSnapshot(Arc<dyn Any>);
+pub struct ManagerSnapshot(Arc<dyn Any + Send + Sync>);
 
 impl ManagerSnapshot {
     /// Wraps a concrete state value.
-    pub fn of<T: 'static>(state: T) -> Self {
+    pub fn of<T: Send + Sync + 'static>(state: T) -> Self {
         ManagerSnapshot(Arc::new(state))
     }
 
@@ -81,7 +82,7 @@ pub enum BehaviorSnapshot {
 
 impl BehaviorSnapshot {
     /// Wraps a concrete behavior state value.
-    pub fn of<T: 'static>(state: T) -> Self {
+    pub fn of<T: Send + Sync + 'static>(state: T) -> Self {
         BehaviorSnapshot::State(ManagerSnapshot::of(state))
     }
 

@@ -22,10 +22,10 @@ use crate::rename::{RenameFile, ResultBus};
 use memsys::MemSystem;
 use minirisc::{decode, Instr, InstrClass, Memory, Program};
 use osm_core::{
-    export, Behavior, CountingPool, Edge, ExclusivePool, HardwareLayer, IdentExpr, Machine,
-    ManagerId, ManagerTable, MetricsReport, ModelError, OsmId, OsmView, ResetManager,
-    RestartPolicy, SlotId, SpecBuilder, StallHistogram, StateMachineSpec, TokenIdent,
-    TransitionCtx,
+    export, Behavior, CountingPool, Edge, ExclusivePool, FaultHandle, FaultInjector, FaultPlan,
+    HardwareLayer, IdentExpr, Machine, ManagerId, ManagerTable, MetricsReport, ModelError, OsmId,
+    OsmView, ResetManager, RestartPolicy, SlotId, SpecBuilder, StallHistogram, StateMachineSpec,
+    TokenIdent, TransitionCtx,
 };
 use std::sync::Arc;
 
@@ -666,6 +666,13 @@ impl PpcOsmSim {
     /// Mutable access to the machine.
     pub fn machine_mut(&mut self) -> &mut Machine<PpcShared> {
         &mut self.machine
+    }
+
+    /// Installs a deterministic fault injector in front of manager
+    /// `target` (any of the handles in [`PpcOsmSim::ids`]) and returns the
+    /// operator handle for it.
+    pub fn inject_faults(&mut self, target: ManagerId, plan: FaultPlan) -> FaultHandle {
+        FaultInjector::install(&mut self.machine.managers, target, plan)
     }
 
     /// The Fig. 2 spec.

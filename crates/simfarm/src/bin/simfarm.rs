@@ -1,0 +1,104 @@
+//! `simfarm` — run a sweep manifest across worker threads.
+//!
+//! ```text
+//! simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]
+//! ```
+//!
+//! Prints the consolidated BENCH-style report to stdout (or its JSON form
+//! with `--json`); `--out` additionally writes the JSON report to a file.
+
+use simfarm::{parse_manifest, run_parallel, run_serial, FarmReport};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!("usage: simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut manifest_path: Option<String> = None;
+    let mut workers_flag: Option<usize> = None;
+    let mut serial = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => workers_flag = Some(n),
+                _ => usage(),
+            },
+            "--serial" => serial = true,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if manifest_path.is_none() && !arg.starts_with('-') => manifest_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(manifest_path) = manifest_path else {
+        usage();
+    };
+
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("simfarm: cannot read {manifest_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match parse_manifest(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("simfarm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Precedence: --serial > --workers > manifest "workers" > hardware.
+    let workers = if serial {
+        1
+    } else {
+        workers_flag
+            .or(manifest.workers)
+            .unwrap_or_else(default_workers)
+    };
+
+    let start = Instant::now();
+    let results = if workers == 1 {
+        run_serial(&manifest.jobs)
+    } else {
+        run_parallel(&manifest.jobs, workers)
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let report = FarmReport::consolidate(results, workers, wall);
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
+            eprintln!("simfarm: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if report.failures > 0 {
+        eprintln!("simfarm: {} job(s) failed", report.failures);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

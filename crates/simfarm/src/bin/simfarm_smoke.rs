@@ -1,0 +1,152 @@
+//! `simfarm_smoke` — the CI gate for the parallel farm.
+//!
+//! Runs a fixed 8-job sweep twice — serially, then across worker threads —
+//! and enforces, in order of importance:
+//!
+//! 1. **Digest parity** (hard, always): every per-job trace digest from the
+//!    parallel run is bit-identical to the serial run's. This is the farm's
+//!    determinism contract and fails the build on any mismatch.
+//! 2. **Speedup** (hard when the machine can show it): with at least 4
+//!    hardware threads, parallel wall-clock must beat serial by the floor
+//!    (default 3.0x, override with `SIMFARM_SMOKE_FLOOR=<f64>`; set `0` to
+//!    disable). On smaller machines the speedup check is skipped with a
+//!    notice — parity is still enforced.
+
+use osm_core::{FaultPlan, SchedulerMode};
+use simfarm::{run_parallel, run_serial, FarmReport, ModelKind, SimJob, WorkloadSpec};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Generous cycle budget; the random workloads below halt well before it.
+const BUDGET: u64 = 2_000_000;
+
+fn jobs() -> Vec<SimJob> {
+    let mut out = Vec::new();
+    // Four SA-1100 (`random:1600`, ~90k cycles) then four PPC-750
+    // (`random:1400`, ~35k slower cycles) jobs — block lengths chosen so
+    // every job carries roughly the same wall-clock weight, and the
+    // round-robin deal gives each of four workers one of each, so the
+    // initial split is already even and stealing only covers OS noise.
+    for (i, scheduler) in [SchedulerMode::Fast, SchedulerMode::Seed]
+        .into_iter()
+        .cycle()
+        .take(4)
+        .enumerate()
+    {
+        let mut job = SimJob::new(
+            ModelKind::Sa1100,
+            WorkloadSpec::Random { block_len: 1600 },
+            BUDGET,
+        );
+        job.seed = i as u64;
+        job.scheduler = scheduler;
+        if i >= 2 {
+            job.faults = Some(FaultPlan::new(0x5EED + i as u64).deny_allocate(0.01));
+        }
+        job.name = format!("smoke/sa1100#{i}");
+        out.push(job);
+    }
+    for (i, scheduler) in [SchedulerMode::Fast, SchedulerMode::Seed]
+        .into_iter()
+        .cycle()
+        .take(4)
+        .enumerate()
+    {
+        let mut job = SimJob::new(
+            ModelKind::Ppc750,
+            WorkloadSpec::Random { block_len: 1400 },
+            BUDGET,
+        );
+        job.seed = i as u64;
+        job.scheduler = scheduler;
+        if i >= 2 {
+            job.faults = Some(FaultPlan::new(0xFADE + i as u64).deny_inquire(0.01));
+        }
+        job.name = format!("smoke/ppc750#{i}");
+        out.push(job);
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let jobs = jobs();
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = hardware.clamp(1, 8).max(4.min(hardware));
+
+    println!(
+        "simfarm_smoke: {} jobs, {} hardware thread(s), {} worker(s)",
+        jobs.len(),
+        hardware,
+        workers
+    );
+
+    let t0 = Instant::now();
+    let serial = run_serial(&jobs);
+    let serial_wall = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_parallel(&jobs, workers);
+    let parallel_wall = t1.elapsed().as_secs_f64();
+
+    // Gate 1: digest parity, job by job, in job order.
+    let mut mismatches = 0;
+    for (s, p) in serial.iter().zip(&parallel) {
+        let ok = s.digest == p.digest && s.cycles == p.cycles && s.outcome == p.outcome;
+        println!(
+            "  {:<20} serial {:016x}  parallel {:016x}  {}",
+            s.name,
+            s.digest,
+            p.digest,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        if !ok {
+            mismatches += 1;
+        }
+        if !s.is_ok() {
+            println!("    serial job failed: {:?}", s.outcome);
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("simfarm_smoke: FAIL — {mismatches} digest/outcome mismatch(es)");
+        return ExitCode::FAILURE;
+    }
+
+    let report = FarmReport::consolidate(parallel, workers, parallel_wall);
+    let speedup = if parallel_wall > 0.0 {
+        serial_wall / parallel_wall
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "serial {:.3}s, parallel {:.3}s on {} workers -> {:.2}x speedup, {:.0} cycles/s",
+        serial_wall,
+        parallel_wall,
+        workers,
+        speedup,
+        report.cycles_per_second()
+    );
+
+    // Gate 2: speedup floor.
+    let floor: f64 = std::env::var("SIMFARM_SMOKE_FLOOR")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3.0);
+    if hardware < 4 {
+        println!(
+            "simfarm_smoke: only {hardware} hardware thread(s) — speedup floor skipped \
+             (digest parity still enforced)"
+        );
+    } else if floor > 0.0 && speedup < floor {
+        eprintln!(
+            "simfarm_smoke: FAIL — speedup {speedup:.2}x below the {floor:.2}x floor \
+             (override with SIMFARM_SMOKE_FLOOR)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!("simfarm_smoke: PASS");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,588 @@
+//! The job abstraction: one self-contained simulation, runnable on any
+//! thread, producing a deterministic [`JobResult`].
+
+use osm_core::{FaultPlan, FaultStats, MetricsReport, SchedulerMode, Stats, Trace};
+use ppc750::{PpcConfig, PpcOsmSim};
+use sa1100::{SaConfig, SaOsmSim};
+use std::fmt;
+use vliw::{schedule, VliwConfig, VliwIr, VliwProgram, VliwSim};
+use workloads::{kernels40, mediabench, random_program, specint_mix, Workload};
+
+/// FNV-1a offset basis (same constants as `osm_core::Trace`, so ISS digests
+/// live in the same hash family as OSM trace digests).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+#[inline]
+fn fnv_mix(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Which machine model a [`SimJob`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The SA-1100 StrongARM OSM pipeline model.
+    Sa1100,
+    /// The PPC-750 out-of-order superscalar OSM model.
+    Ppc750,
+    /// The MiniRISC interpreted instruction-set simulator (no OSM layer).
+    MiniRiscIss,
+    /// The VLIW OSM model.
+    Vliw,
+}
+
+impl ModelKind {
+    /// Manifest spelling of the model name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Sa1100 => "sa1100",
+            ModelKind::Ppc750 => "ppc750",
+            ModelKind::MiniRiscIss => "minirisc",
+            ModelKind::Vliw => "vliw",
+        }
+    }
+
+    /// Parses a manifest model name.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "sa1100" => Some(ModelKind::Sa1100),
+            "ppc750" => Some(ModelKind::Ppc750),
+            "minirisc" => Some(ModelKind::MiniRiscIss),
+            "vliw" => Some(ModelKind::Vliw),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What program a [`SimJob`] runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// A named workload from the `workloads` crate (`"specint"`, a
+    /// mediabench name, or a `"k40/..."` kernel).
+    Named(String),
+    /// A seeded random MiniRISC program (`"random:<block_len>"` in
+    /// manifests); the generator seed is the job's `seed`.
+    Random {
+        /// Straight-line block length handed to the generator.
+        block_len: usize,
+    },
+    /// A synthetic VLIW countdown loop with a body of independent adds
+    /// (`"ilp:<iters>:<body>"` in manifests). The only workload form the
+    /// VLIW model accepts (it executes bundled IR, not MiniRISC assembly).
+    Ilp {
+        /// Loop iterations.
+        iters: i32,
+        /// Independent operations per iteration.
+        body: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Parses the manifest spelling (see the variant docs).
+    pub fn parse(s: &str) -> Result<WorkloadSpec, String> {
+        if let Some(rest) = s.strip_prefix("random:") {
+            let block_len = rest
+                .parse::<usize>()
+                .map_err(|_| format!("bad random workload `{s}`: expected `random:<len>`"))?;
+            return Ok(WorkloadSpec::Random { block_len });
+        }
+        if let Some(rest) = s.strip_prefix("ilp:") {
+            let mut parts = rest.splitn(2, ':');
+            let parse = |p: Option<&str>| p.and_then(|v| v.parse::<i64>().ok());
+            match (parse(parts.next()), parse(parts.next())) {
+                (Some(iters), Some(body)) if iters > 0 && body > 0 => {
+                    return Ok(WorkloadSpec::Ilp {
+                        iters: iters as i32,
+                        body: body as usize,
+                    });
+                }
+                _ => return Err(format!("bad ilp workload `{s}`: expected `ilp:<iters>:<body>`")),
+            }
+        }
+        Ok(WorkloadSpec::Named(s.to_owned()))
+    }
+
+    /// The manifest spelling.
+    pub fn spelling(&self) -> String {
+        match self {
+            WorkloadSpec::Named(n) => n.clone(),
+            WorkloadSpec::Random { block_len } => format!("random:{block_len}"),
+            WorkloadSpec::Ilp { iters, body } => format!("ilp:{iters}:{body}"),
+        }
+    }
+
+    fn resolve(&self, seed: u64) -> Result<Workload, String> {
+        match self {
+            WorkloadSpec::Random { block_len } => Ok(random_program(seed, *block_len)),
+            WorkloadSpec::Ilp { .. } => {
+                Err("ilp workloads only run on the vliw model".to_owned())
+            }
+            WorkloadSpec::Named(name) => {
+                if name == "specint" {
+                    return Ok(specint_mix());
+                }
+                mediabench()
+                    .into_iter()
+                    .chain(kernels40())
+                    .find(|w| w.name == *name)
+                    .ok_or_else(|| format!("unknown workload `{name}`"))
+            }
+        }
+    }
+}
+
+/// One self-contained simulation: model × workload × config × seed ×
+/// observability flags. Jobs are `Send + Sync` (plain data) and
+/// [`run_job`] builds, runs and tears down the whole machine on the calling
+/// thread, which is what makes job-level sharding deterministic.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Human-readable job label (defaults to `model/workload#index` when
+    /// built from a manifest).
+    pub name: String,
+    /// Which machine model to run.
+    pub model: ModelKind,
+    /// What program to run.
+    pub workload: WorkloadSpec,
+    /// Seed for seeded workloads (`random:`) — also mixed into the job name
+    /// by the manifest loader so sweeps over seeds stay distinguishable.
+    pub seed: u64,
+    /// Cycle (ISS: instruction) budget.
+    pub max_cycles: u64,
+    /// Director scheduling mode (OSM models; ignored by the ISS).
+    pub scheduler: SchedulerMode,
+    /// Enable the full observability stack (event log, metrics, stall
+    /// attribution) and attach the [`MetricsReport`] to the result.
+    pub observability: bool,
+    /// Optional fault plan, installed in front of the model's fetch-side
+    /// manager (SA-1100: fetch stage; PPC-750: fetch queue; VLIW: fetch
+    /// stage; ignored by the ISS, which has no token managers).
+    pub faults: Option<FaultPlan>,
+}
+
+impl SimJob {
+    /// A plain job with no observability and no faults.
+    pub fn new(model: ModelKind, workload: WorkloadSpec, max_cycles: u64) -> SimJob {
+        SimJob {
+            name: format!("{model}/{}", workload.spelling()),
+            model,
+            workload,
+            seed: 0,
+            max_cycles,
+            scheduler: SchedulerMode::Fast,
+            observability: false,
+            faults: None,
+        }
+    }
+
+    /// Convenience: a seeded random-program ISS job (used in doctests and
+    /// smoke checks).
+    pub fn minirisc_random(seed: u64, block_len: usize, max_steps: u64) -> SimJob {
+        let mut job = SimJob::new(
+            ModelKind::MiniRiscIss,
+            WorkloadSpec::Random { block_len },
+            max_steps,
+        );
+        job.seed = seed;
+        job.name = format!("{}#{}", job.name, seed);
+        job
+    }
+}
+
+/// How a job finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The program ran to its halt instruction within the budget.
+    Halted,
+    /// The cycle/step budget elapsed before halt.
+    BudgetExhausted,
+    /// The model failed (deadlock, stall watchdog, decode error, bad
+    /// workload, ...). The message is the model error's rendering.
+    Failed(String),
+}
+
+/// The deterministic product of one job. Everything here is a pure function
+/// of the [`SimJob`] — independent of which thread ran it and of what else
+/// was running — which is what the farm's digest-parity guarantee rests on.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's label.
+    pub name: String,
+    /// The model that ran.
+    pub model: ModelKind,
+    /// Workload spelling.
+    pub workload: String,
+    /// How the run ended.
+    pub outcome: JobOutcome,
+    /// Cycles executed (ISS: instructions retired).
+    pub cycles: u64,
+    /// Instructions (VLIW: operations) retired.
+    pub retired: u64,
+    /// Program exit code.
+    pub exit_code: u32,
+    /// FNV-1a digest: the machine's transition-trace digest for OSM models,
+    /// or a digest over every executed `(pc, taken)` pair for the ISS. Equal
+    /// digests mean behaviorally identical runs.
+    pub digest: u64,
+    /// Scheduler statistics (OSM models only).
+    pub stats: Option<Stats>,
+    /// Derived metrics, when the job asked for observability.
+    pub metrics: Option<MetricsReport>,
+    /// Injected-fault counters, when the job carried a fault plan.
+    pub fault_stats: Option<FaultStats>,
+}
+
+impl JobResult {
+    fn failed(job: &SimJob, message: String) -> JobResult {
+        JobResult {
+            name: job.name.clone(),
+            model: job.model,
+            workload: job.workload.spelling(),
+            outcome: JobOutcome::Failed(message),
+            cycles: 0,
+            retired: 0,
+            exit_code: 0,
+            digest: 0,
+            stats: None,
+            metrics: None,
+            fault_stats: None,
+        }
+    }
+
+    /// True if the job ran to completion or budget without a model error.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.outcome, JobOutcome::Failed(_))
+    }
+}
+
+/// Runs one job to completion on the calling thread.
+///
+/// Never panics on bad input: unknown workloads and model errors are
+/// reported through [`JobOutcome::Failed`] so one poisoned job cannot take
+/// down a farm worker.
+pub fn run_job(job: &SimJob) -> JobResult {
+    match job.model {
+        ModelKind::Sa1100 => run_sa1100(job),
+        ModelKind::Ppc750 => run_ppc750(job),
+        ModelKind::MiniRiscIss => run_iss(job),
+        ModelKind::Vliw => run_vliw(job),
+    }
+}
+
+fn run_sa1100(job: &SimJob) -> JobResult {
+    let workload = match job.workload.resolve(job.seed) {
+        Ok(w) => w,
+        Err(e) => return JobResult::failed(job, e),
+    };
+    let mut sim = SaOsmSim::new(SaConfig::paper(), &workload.program());
+    sim.machine_mut().set_scheduler_mode(job.scheduler);
+    sim.machine_mut().enable_trace_with(Trace::digest_only());
+    if job.observability {
+        sim.enable_observability();
+    }
+    let fetch = sim.ids.mf;
+    let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    let run = sim.run_to_halt(job.max_cycles);
+    let halted = sim.machine().shared.halted;
+    let (outcome, cycles, retired, exit_code) = match run {
+        Ok(res) => (
+            if halted {
+                JobOutcome::Halted
+            } else {
+                JobOutcome::BudgetExhausted
+            },
+            res.cycles,
+            res.retired,
+            res.exit_code,
+        ),
+        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    };
+    JobResult {
+        name: job.name.clone(),
+        model: job.model,
+        workload: job.workload.spelling(),
+        outcome,
+        cycles,
+        retired,
+        exit_code,
+        digest: sim
+            .machine_mut()
+            .take_trace()
+            .map(|t| t.digest())
+            .unwrap_or(0),
+        stats: Some(sim.machine().stats.clone()),
+        metrics: sim.metrics_report(),
+        fault_stats: handle.map(|h| h.stats()),
+    }
+}
+
+fn run_ppc750(job: &SimJob) -> JobResult {
+    let workload = match job.workload.resolve(job.seed) {
+        Ok(w) => w,
+        Err(e) => return JobResult::failed(job, e),
+    };
+    let mut sim = PpcOsmSim::new(PpcConfig::paper(), &workload.program());
+    sim.machine_mut().set_scheduler_mode(job.scheduler);
+    sim.machine_mut().enable_trace_with(Trace::digest_only());
+    if job.observability {
+        sim.enable_observability();
+    }
+    let fetch_queue = sim.ids.fq;
+    let handle = job
+        .faults
+        .clone()
+        .map(|plan| sim.inject_faults(fetch_queue, plan));
+    let run = sim.run_to_halt(job.max_cycles);
+    let halted = sim.machine().shared.halted;
+    let (outcome, cycles, retired, exit_code) = match run {
+        Ok(res) => (
+            if halted {
+                JobOutcome::Halted
+            } else {
+                JobOutcome::BudgetExhausted
+            },
+            res.cycles,
+            res.retired,
+            res.exit_code,
+        ),
+        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    };
+    JobResult {
+        name: job.name.clone(),
+        model: job.model,
+        workload: job.workload.spelling(),
+        outcome,
+        cycles,
+        retired,
+        exit_code,
+        digest: sim
+            .machine_mut()
+            .take_trace()
+            .map(|t| t.digest())
+            .unwrap_or(0),
+        stats: Some(sim.machine().stats.clone()),
+        metrics: sim.metrics_report(),
+        fault_stats: handle.map(|h| h.stats()),
+    }
+}
+
+fn run_vliw(job: &SimJob) -> JobResult {
+    let WorkloadSpec::Ilp { iters, body } = job.workload else {
+        return JobResult::failed(
+            job,
+            format!(
+                "the vliw model needs an `ilp:<iters>:<body>` workload, got `{}`",
+                job.workload.spelling()
+            ),
+        );
+    };
+    let program = ilp_program(iters, body);
+    let mut sim = VliwSim::new(VliwConfig::default(), &program);
+    sim.machine_mut().set_scheduler_mode(job.scheduler);
+    sim.machine_mut().enable_trace_with(Trace::digest_only());
+    if job.observability {
+        sim.machine_mut().enable_event_log();
+        sim.machine_mut().enable_metrics();
+        sim.machine_mut().enable_stall_attribution();
+    }
+    let fetch = sim.ids().mf;
+    let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    let run = sim.run_to_halt(job.max_cycles);
+    let (outcome, cycles, retired, exit_code) = match run {
+        Ok(res) => (
+            // run_to_halt loops while !halted && cycle < max, so stopping
+            // short of the budget means the halting bundle retired.
+            if res.cycles < job.max_cycles {
+                JobOutcome::Halted
+            } else {
+                JobOutcome::BudgetExhausted
+            },
+            res.cycles,
+            res.retired_ops,
+            res.exit_code,
+        ),
+        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    };
+    JobResult {
+        name: job.name.clone(),
+        model: job.model,
+        workload: job.workload.spelling(),
+        outcome,
+        cycles,
+        retired,
+        exit_code,
+        digest: sim
+            .machine_mut()
+            .take_trace()
+            .map(|t| t.digest())
+            .unwrap_or(0),
+        stats: Some(sim.machine().stats.clone()),
+        metrics: sim.machine().metrics_report(),
+        fault_stats: handle.map(|h| h.stats()),
+    }
+}
+
+fn run_iss(job: &SimJob) -> JobResult {
+    use minirisc::{Iss, SparseMemory};
+    let workload = match job.workload.resolve(job.seed) {
+        Ok(w) => w,
+        Err(e) => return JobResult::failed(job, e),
+    };
+    let mut iss = Iss::with_program(SparseMemory::new(), &workload.program());
+    let mut digest = FNV_OFFSET;
+    let mut steps = 0u64;
+    let outcome = loop {
+        if iss.halted {
+            break JobOutcome::Halted;
+        }
+        if steps >= job.max_cycles {
+            break JobOutcome::BudgetExhausted;
+        }
+        match iss.step() {
+            Ok(executed) => {
+                digest = fnv_mix(digest, &executed.pc.to_le_bytes());
+                digest = fnv_mix(digest, &executed.taken.unwrap_or(0).to_le_bytes());
+            }
+            Err(e) => break JobOutcome::Failed(e.to_string()),
+        }
+        steps += 1;
+    };
+    JobResult {
+        name: job.name.clone(),
+        model: job.model,
+        workload: job.workload.spelling(),
+        outcome,
+        cycles: iss.retired,
+        retired: iss.retired,
+        exit_code: iss.exit_code,
+        digest,
+        stats: None,
+        metrics: None,
+        fault_stats: None,
+    }
+}
+
+/// Builds the standard ILP workload: a countdown loop whose body is `body`
+/// independent adds (mirrors the VLIW crate's test fixture).
+fn ilp_program(iters: i32, body: usize) -> VliwProgram {
+    use minirisc::{AluOp, BranchCond, Instr, Reg};
+    let addi = |rd: u8, rs1: u8, imm: i32| Instr::AluImm {
+        op: AluOp::Add,
+        rd: Reg(rd),
+        rs1: Reg(rs1),
+        imm,
+    };
+    let mut ir = VliwIr::new();
+    ir.push(addi(1, 0, iters));
+    let top = ir.instrs.len();
+    for k in 0..body {
+        ir.push(addi(2 + (k % 6) as u8, 0, (k % 4096) as i32));
+    }
+    ir.push(addi(1, 1, -1));
+    ir.branch(
+        Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            offset: 0,
+        },
+        top,
+    );
+    // Exit syscall reporting r1 (0 on a completed countdown).
+    ir.push(addi(10, 0, 0));
+    ir.push(Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(11),
+        rs1: Reg(1),
+        rs2: Reg(0),
+    });
+    ir.push(Instr::Syscall);
+    schedule(&ir, vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_spec_parses_all_forms() {
+        assert_eq!(
+            WorkloadSpec::parse("random:128").unwrap(),
+            WorkloadSpec::Random { block_len: 128 }
+        );
+        assert_eq!(
+            WorkloadSpec::parse("ilp:500:8").unwrap(),
+            WorkloadSpec::Ilp { iters: 500, body: 8 }
+        );
+        assert_eq!(
+            WorkloadSpec::parse("k40/x").unwrap(),
+            WorkloadSpec::Named("k40/x".into())
+        );
+        assert!(WorkloadSpec::parse("random:x").is_err());
+        assert!(WorkloadSpec::parse("ilp:0:0").is_err());
+    }
+
+    #[test]
+    fn unknown_workload_fails_cleanly() {
+        let job = SimJob::new(
+            ModelKind::Sa1100,
+            WorkloadSpec::Named("no-such-workload".into()),
+            1000,
+        );
+        let r = run_job(&job);
+        assert!(matches!(r.outcome, JobOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn iss_job_is_deterministic() {
+        let job = SimJob::minirisc_random(7, 48, 50_000);
+        let a = run_job(&job);
+        let b = run_job(&job);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.retired, b.retired);
+        assert_ne!(a.digest, 0);
+    }
+
+    #[test]
+    fn vliw_ilp_job_halts() {
+        let mut job = SimJob::new(
+            ModelKind::Vliw,
+            WorkloadSpec::Ilp { iters: 50, body: 6 },
+            100_000,
+        );
+        job.observability = true;
+        let r = run_job(&job);
+        assert_eq!(r.outcome, JobOutcome::Halted);
+        assert!(r.metrics.is_some());
+        assert!(r.stats.is_some());
+    }
+
+    #[test]
+    fn sa_job_digest_matches_between_runs_with_faults() {
+        let mut job = SimJob::new(
+            ModelKind::Sa1100,
+            WorkloadSpec::Named("specint".into()),
+            20_000,
+        );
+        job.faults = Some(FaultPlan::new(0xFA0).deny_allocate(0.02));
+        let a = run_job(&job);
+        let b = run_job(&job);
+        assert!(a.is_ok(), "{:?}", a.outcome);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(
+            a.fault_stats.unwrap().total(),
+            b.fault_stats.unwrap().total()
+        );
+    }
+}

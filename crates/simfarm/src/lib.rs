@@ -1,0 +1,55 @@
+//! # simfarm — a sharded parallel simulation farm over the OSM models
+//!
+//! Every OSM machine instance is fully independent: a simulation *job*
+//! (model × workload × config × seed × observability flags) owns its whole
+//! [`osm_core::Machine`], so a sweep of jobs shards perfectly across
+//! threads. This crate provides:
+//!
+//! * [`SimJob`] — one self-contained simulation over any of the four machine
+//!   models (SA-1100 OSM, PPC-750 OSM, MiniRISC ISS, VLIW OSM);
+//! * [`run_parallel`] — a work-stealing `std::thread` farm executing a job
+//!   list across worker threads;
+//! * [`run_serial`] — the single-thread oracle the farm is checked against;
+//! * [`FarmReport`] — deterministic aggregation: per-job FNV trace digests,
+//!   [`osm_core::Stats`] and [`osm_core::MetricsReport`]s merged in
+//!   **job-index order**, regardless of completion order.
+//!
+//! ## The determinism argument
+//!
+//! Sharding is at *job* granularity: a job's machine is constructed, run and
+//! torn down entirely on one worker thread, and no two jobs share any
+//! mutable state. Token transactions therefore never interleave across
+//! threads — each director runs its sequential Fig. 3 schedule exactly as it
+//! would alone — so every per-job trace digest is bit-identical to the same
+//! job's serial-run digest, and the aggregated report (written in job-index
+//! order) is byte-identical however the jobs were scheduled. The
+//! `simfarm_smoke` binary enforces this equivalence in CI.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use simfarm::{run_parallel, run_serial, FarmReport, SimJob};
+//!
+//! let jobs: Vec<SimJob> = (0..4)
+//!     .map(|i| SimJob::minirisc_random(i, 64, 20_000))
+//!     .collect();
+//! let serial = run_serial(&jobs);
+//! let parallel = run_parallel(&jobs, 4);
+//! for (s, p) in serial.iter().zip(&parallel) {
+//!     assert_eq!(s.digest, p.digest);
+//! }
+//! let report = FarmReport::consolidate(parallel, 4, 0.0);
+//! assert_eq!(report.jobs.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod job;
+mod manifest;
+mod queue;
+mod report;
+
+pub use job::{run_job, JobOutcome, JobResult, ModelKind, SimJob, WorkloadSpec};
+pub use manifest::{parse_manifest, Manifest, ManifestError};
+pub use queue::{run_parallel, run_serial};
+pub use report::FarmReport;

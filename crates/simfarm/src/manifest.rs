@@ -1,0 +1,319 @@
+//! JSON sweep manifests: the `simfarm` CLI's input format.
+//!
+//! ```json
+//! {
+//!   "workers": 4,
+//!   "defaults": { "max_cycles": 100000, "scheduler": "fast", "observability": false },
+//!   "jobs": [
+//!     { "model": "sa1100", "workload": "specint" },
+//!     { "model": "minirisc", "workload": "random:64", "seed": 3 },
+//!     { "model": "vliw", "workload": "ilp:500:8",
+//!       "faults": { "seed": 7, "deny_allocate": 0.02 } }
+//!   ]
+//! }
+//! ```
+//!
+//! Every job field except `model` and `workload` is optional and falls back
+//! to the `defaults` object, then to built-in defaults (`max_cycles` 100000,
+//! scheduler `fast`, observability off, seed 0, no faults).
+
+use crate::job::{ModelKind, SimJob, WorkloadSpec};
+use bench::json::{parse, Json};
+use osm_core::{FaultPlan, SchedulerMode};
+use std::fmt;
+
+/// A parsed sweep manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Worker-thread count requested by the manifest (CLI flags override).
+    pub workers: Option<usize>,
+    /// The job list, in manifest order.
+    pub jobs: Vec<SimJob>,
+}
+
+/// A manifest rejection, with enough context to fix the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ManifestError {
+    fn new(message: impl Into<String>) -> ManifestError {
+        ManifestError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// Per-job fallbacks from the manifest's `defaults` object.
+#[derive(Debug, Clone, Copy)]
+struct Defaults {
+    max_cycles: u64,
+    scheduler: SchedulerMode,
+    observability: bool,
+}
+
+impl Default for Defaults {
+    fn default() -> Defaults {
+        Defaults {
+            max_cycles: 100_000,
+            scheduler: SchedulerMode::Fast,
+            observability: false,
+        }
+    }
+}
+
+/// Parses a manifest document into a job list.
+pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
+    let root = parse(text).map_err(|e| ManifestError::new(e.to_string()))?;
+    let Json::Obj(_) = &root else {
+        return Err(ManifestError::new(format!(
+            "top level must be an object, found {}",
+            root.type_name()
+        )));
+    };
+
+    let workers = match root.get("workers") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| ManifestError::new("`workers` must be a positive integer"))
+                .and_then(|w| {
+                    if w == 0 {
+                        Err(ManifestError::new("`workers` must be at least 1"))
+                    } else {
+                        Ok(w as usize)
+                    }
+                })?,
+        ),
+    };
+
+    let mut defaults = Defaults::default();
+    if let Some(d) = root.get("defaults") {
+        if let Some(mc) = d.get("max_cycles") {
+            defaults.max_cycles = mc
+                .as_u64()
+                .ok_or_else(|| ManifestError::new("defaults.max_cycles must be an integer"))?;
+        }
+        if let Some(s) = d.get("scheduler") {
+            defaults.scheduler = scheduler_mode(s, "defaults.scheduler")?;
+        }
+        if let Some(o) = d.get("observability") {
+            defaults.observability = o
+                .as_bool()
+                .ok_or_else(|| ManifestError::new("defaults.observability must be a boolean"))?;
+        }
+    }
+
+    let jobs_json = root
+        .get("jobs")
+        .ok_or_else(|| ManifestError::new("missing `jobs` array"))?
+        .as_arr()
+        .ok_or_else(|| ManifestError::new("`jobs` must be an array"))?;
+    if jobs_json.is_empty() {
+        return Err(ManifestError::new("`jobs` must not be empty"));
+    }
+
+    let jobs = jobs_json
+        .iter()
+        .enumerate()
+        .map(|(index, j)| parse_job(j, index, defaults))
+        .collect::<Result<Vec<SimJob>, ManifestError>>()?;
+
+    Ok(Manifest { workers, jobs })
+}
+
+fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, ManifestError> {
+    let ctx = |field: &str| format!("jobs[{index}].{field}");
+
+    let model_name = j
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ManifestError::new(format!("{} must be a string", ctx("model"))))?;
+    let model = ModelKind::parse(model_name).ok_or_else(|| {
+        ManifestError::new(format!(
+            "{}: unknown model `{model_name}` (expected sa1100, ppc750, minirisc or vliw)",
+            ctx("model")
+        ))
+    })?;
+
+    let workload_name = j
+        .get("workload")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ManifestError::new(format!("{} must be a string", ctx("workload"))))?;
+    let workload = WorkloadSpec::parse(workload_name)
+        .map_err(|e| ManifestError::new(format!("{}: {e}", ctx("workload"))))?;
+
+    let mut job = SimJob::new(model, workload, defaults.max_cycles);
+    job.scheduler = defaults.scheduler;
+    job.observability = defaults.observability;
+    job.name = format!("{}/{}#{}", model.name(), workload_name, index);
+
+    if let Some(v) = j.get("name") {
+        job.name = v
+            .as_str()
+            .ok_or_else(|| ManifestError::new(format!("{} must be a string", ctx("name"))))?
+            .to_owned();
+    }
+    if let Some(v) = j.get("seed") {
+        job.seed = v
+            .as_u64()
+            .ok_or_else(|| ManifestError::new(format!("{} must be an integer", ctx("seed"))))?;
+    }
+    if let Some(v) = j.get("max_cycles") {
+        job.max_cycles = v.as_u64().ok_or_else(|| {
+            ManifestError::new(format!("{} must be an integer", ctx("max_cycles")))
+        })?;
+    }
+    if let Some(v) = j.get("scheduler") {
+        job.scheduler = scheduler_mode(v, &ctx("scheduler"))?;
+    }
+    if let Some(v) = j.get("observability") {
+        job.observability = v
+            .as_bool()
+            .ok_or_else(|| ManifestError::new(format!("{} must be a boolean", ctx("observability"))))?;
+    }
+    if let Some(v) = j.get("faults") {
+        job.faults = Some(parse_faults(v, &ctx("faults"))?);
+    }
+    Ok(job)
+}
+
+fn scheduler_mode(v: &Json, ctx: &str) -> Result<SchedulerMode, ManifestError> {
+    match v.as_str() {
+        Some("fast") => Ok(SchedulerMode::Fast),
+        Some("seed") => Ok(SchedulerMode::Seed),
+        _ => Err(ManifestError::new(format!(
+            "{ctx} must be \"fast\" or \"seed\""
+        ))),
+    }
+}
+
+fn parse_faults(v: &Json, ctx: &str) -> Result<FaultPlan, ManifestError> {
+    let seed = match v.get("seed") {
+        None => 0,
+        Some(s) => s
+            .as_u64()
+            .ok_or_else(|| ManifestError::new(format!("{ctx}.seed must be an integer")))?,
+    };
+    let mut plan = FaultPlan::new(seed);
+    let prob = |field: &str| -> Result<Option<f64>, ManifestError> {
+        match v.get(field) {
+            None => Ok(None),
+            Some(p) => {
+                let p = p.as_num().ok_or_else(|| {
+                    ManifestError::new(format!("{ctx}.{field} must be a number"))
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(ManifestError::new(format!(
+                        "{ctx}.{field} must be a probability in [0, 1]"
+                    )));
+                }
+                Ok(Some(p))
+            }
+        }
+    };
+    if let Some(p) = prob("deny_allocate")? {
+        plan = plan.deny_allocate(p);
+    }
+    if let Some(p) = prob("deny_inquire")? {
+        plan = plan.deny_inquire(p);
+    }
+    if let Some(p) = prob("defer_release")? {
+        plan = plan.defer_release(p);
+    }
+    if let Some(p) = prob("drop_token")? {
+        plan = plan.drop_token(p);
+    }
+    if let Some(p) = prob("corrupt_token")? {
+        plan = plan.corrupt_token(p);
+    }
+    if let Some(b) = v.get("blackhole") {
+        let arr = b
+            .as_arr()
+            .filter(|a| a.len() == 2)
+            .ok_or_else(|| {
+                ManifestError::new(format!("{ctx}.blackhole must be a [start, end] cycle pair"))
+            })?;
+        let start = arr[0]
+            .as_u64()
+            .ok_or_else(|| ManifestError::new(format!("{ctx}.blackhole[0] must be an integer")))?;
+        let end = arr[1]
+            .as_u64()
+            .ok_or_else(|| ManifestError::new(format!("{ctx}.blackhole[1] must be an integer")))?;
+        plan = plan.blackhole(start, end);
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::ModelKind;
+
+    #[test]
+    fn full_manifest_parses() {
+        let text = r#"{
+            "workers": 4,
+            "defaults": { "max_cycles": 50000, "scheduler": "seed", "observability": true },
+            "jobs": [
+                { "model": "sa1100", "workload": "specint" },
+                { "model": "minirisc", "workload": "random:64", "seed": 3,
+                  "scheduler": "fast", "observability": false },
+                { "model": "vliw", "workload": "ilp:100:4",
+                  "faults": { "seed": 7, "deny_allocate": 0.02, "blackhole": [100, 200] } }
+            ]
+        }"#;
+        let m = parse_manifest(text).unwrap();
+        assert_eq!(m.workers, Some(4));
+        assert_eq!(m.jobs.len(), 3);
+        assert_eq!(m.jobs[0].model, ModelKind::Sa1100);
+        assert_eq!(m.jobs[0].max_cycles, 50_000);
+        assert_eq!(m.jobs[0].scheduler, osm_core::SchedulerMode::Seed);
+        assert!(m.jobs[0].observability);
+        assert_eq!(m.jobs[0].name, "sa1100/specint#0");
+        assert_eq!(m.jobs[1].seed, 3);
+        assert_eq!(m.jobs[1].scheduler, osm_core::SchedulerMode::Fast);
+        assert!(!m.jobs[1].observability);
+        assert!(m.jobs[2].faults.is_some());
+    }
+
+    #[test]
+    fn missing_jobs_is_an_error() {
+        let err = parse_manifest(r#"{"workers": 2}"#).unwrap_err();
+        assert!(err.message.contains("jobs"), "{err}");
+    }
+
+    #[test]
+    fn bad_model_is_reported_with_index() {
+        let err =
+            parse_manifest(r#"{"jobs": [{"model": "z80", "workload": "specint"}]}"#).unwrap_err();
+        assert!(err.message.contains("jobs[0]"), "{err}");
+        assert!(err.message.contains("z80"), "{err}");
+    }
+
+    #[test]
+    fn bad_probability_is_rejected() {
+        let err = parse_manifest(
+            r#"{"jobs": [{"model": "sa1100", "workload": "specint",
+                          "faults": {"deny_allocate": 1.5}}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn fractional_workers_is_rejected() {
+        let err = parse_manifest(r#"{"workers": 2.5, "jobs": []}"#).unwrap_err();
+        assert!(err.message.contains("workers"), "{err}");
+    }
+}

@@ -1,0 +1,141 @@
+//! The work-stealing farm: `std::thread` workers over per-worker deques.
+//!
+//! Each worker owns a deque of job indices. It pops work from the **front**
+//! of its own deque and, when empty, steals from the **back** of the other
+//! workers' deques (classic Arora-Blumofe-Plotkin discipline, here with
+//! mutexed `VecDeque`s since jobs are coarse — whole simulations — and the
+//! queue is touched once per job, not per task). Results are delivered
+//! through a channel tagged with the job index and re-assembled into job
+//! order, so aggregation is independent of completion order.
+
+use crate::job::{run_job, JobResult, SimJob};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// Runs every job on the calling thread, in job order. The oracle the
+/// parallel farm is checked against (`simfarm_smoke` asserts digest parity).
+pub fn run_serial(jobs: &[SimJob]) -> Vec<JobResult> {
+    jobs.iter().map(run_job).collect()
+}
+
+/// Runs the job list across `workers` threads with work stealing and
+/// returns the results **in job-index order** regardless of completion
+/// order.
+///
+/// Jobs are distributed round-robin across the worker deques up front
+/// (good initial balance for homogeneous sweeps); stealing rebalances
+/// heterogeneous ones. `workers` is clamped to `[1, jobs.len()]`.
+pub fn run_parallel(jobs: &[SimJob], workers: usize) -> Vec<JobResult> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, jobs.len());
+    if workers == 1 {
+        return run_serial(jobs);
+    }
+
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..jobs.len())
+                    .filter(|idx| idx % workers == w)
+                    .collect::<VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            scope.spawn(move || {
+                while let Some(idx) = next_job(deques, me) {
+                    // A worker panicking inside run_job poisons nothing the
+                    // others depend on: its deque stays stealable and the
+                    // missing result is caught by the assembly check below.
+                    let result = run_job(&jobs[idx]);
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<JobResult>> = (0..jobs.len()).map(|_| None).collect();
+    for (idx, result) in rx {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| slot.unwrap_or_else(|| panic!("job {idx} produced no result")))
+        .collect()
+}
+
+/// Pops the next index: own deque front first, then steal from the back of
+/// the other deques (scanning cyclically from the right neighbour). Returns
+/// `None` only when every deque is empty — no job generates new jobs, so
+/// that is a stable termination condition.
+fn next_job(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(idx) = deques[me].lock().unwrap().pop_front() {
+        return Some(idx);
+    }
+    let n = deques.len();
+    for offset in 1..n {
+        let victim = (me + offset) % n;
+        if let Some(idx) = deques[victim].lock().unwrap().pop_back() {
+            return Some(idx);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::SimJob;
+
+    fn jobs(n: u64) -> Vec<SimJob> {
+        (0..n).map(|i| SimJob::minirisc_random(i, 32, 20_000)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_digests_in_order() {
+        let js = jobs(8);
+        let serial = run_serial(&js);
+        let parallel = run_parallel(&js, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name, "results must come back in job order");
+            assert_eq!(s.digest, p.digest);
+            assert_eq!(s.cycles, p.cycles);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let js = jobs(2);
+        let results = run_parallel(&js, 16);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn empty_job_list_yields_empty_results() {
+        assert!(run_parallel(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn stealing_drains_unbalanced_deques() {
+        // 9 jobs on 8 workers: worker 0 gets two, everyone else one; the
+        // extra job is stolen or run — either way all 9 results arrive.
+        let js = jobs(9);
+        let results = run_parallel(&js, 8);
+        assert_eq!(results.len(), 9);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic result aggregation: the consolidated farm report.
+//!
+//! Results arrive from the farm already re-assembled in job-index order
+//! ([`crate::run_parallel`]'s contract), and every merge below folds them in
+//! that order, so the rendered report — text or JSON — is byte-identical
+//! across runs and worker counts. 64-bit digests travel as hex strings in
+//! the JSON form because JSON numbers are doubles.
+
+use crate::job::{JobOutcome, JobResult};
+use bench::json::Json;
+use osm_core::Stats;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The consolidated product of one sweep.
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Per-job results, in job-index order.
+    pub jobs: Vec<JobResult>,
+    /// Scheduler statistics summed over the OSM jobs, in job-index order.
+    pub total_stats: Stats,
+    /// Simulated cycles summed over every job.
+    pub total_cycles: u64,
+    /// Retired instructions/operations summed over every job.
+    pub total_retired: u64,
+    /// Jobs that failed with a model error.
+    pub failures: usize,
+    /// Worker threads the sweep ran on (1 = serial).
+    pub workers: usize,
+    /// Wall-clock seconds for the whole sweep (0.0 when not measured).
+    pub wall_seconds: f64,
+}
+
+impl FarmReport {
+    /// Folds per-job results (already in job-index order) into the
+    /// consolidated report.
+    pub fn consolidate(jobs: Vec<JobResult>, workers: usize, wall_seconds: f64) -> FarmReport {
+        let mut total_stats = Stats::new();
+        let mut total_cycles = 0u64;
+        let mut total_retired = 0u64;
+        let mut failures = 0usize;
+        for job in &jobs {
+            total_cycles += job.cycles;
+            total_retired += job.retired;
+            if !job.is_ok() {
+                failures += 1;
+            }
+            if let Some(stats) = &job.stats {
+                total_stats.cycles += stats.cycles;
+                total_stats.transitions += stats.transitions;
+                total_stats.condition_failures += stats.condition_failures;
+                total_stats.vetoed_edges += stats.vetoed_edges;
+                total_stats.idle_steps += stats.idle_steps;
+                total_stats.restarts += stats.restarts;
+                for (name, value) in stats.named() {
+                    total_stats.incr_dyn(name, value);
+                }
+            }
+        }
+        FarmReport {
+            jobs,
+            total_stats,
+            total_cycles,
+            total_retired,
+            failures,
+            workers,
+            wall_seconds,
+        }
+    }
+
+    /// Simulated cycles per wall-clock second (the farm's headline
+    /// throughput number); 0 when wall time was not measured.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.wall_seconds
+        }
+    }
+
+    /// The report as a JSON document (digests as 16-digit hex strings).
+    pub fn to_json(&self) -> Json {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|job| {
+                let mut obj = BTreeMap::new();
+                obj.insert("name".into(), Json::Str(job.name.clone()));
+                obj.insert("model".into(), Json::Str(job.model.name().into()));
+                obj.insert("workload".into(), Json::Str(job.workload.clone()));
+                obj.insert(
+                    "outcome".into(),
+                    Json::Str(match &job.outcome {
+                        JobOutcome::Halted => "halted".into(),
+                        JobOutcome::BudgetExhausted => "budget-exhausted".into(),
+                        JobOutcome::Failed(msg) => format!("failed: {msg}"),
+                    }),
+                );
+                obj.insert("cycles".into(), Json::Num(job.cycles as f64));
+                obj.insert("retired".into(), Json::Num(job.retired as f64));
+                obj.insert("exit_code".into(), Json::Num(f64::from(job.exit_code)));
+                obj.insert("digest".into(), Json::Str(format!("{:016x}", job.digest)));
+                if let Some(stats) = &job.stats {
+                    obj.insert("transitions".into(), Json::Num(stats.transitions as f64));
+                    obj.insert("idle_steps".into(), Json::Num(stats.idle_steps as f64));
+                }
+                if let Some(metrics) = &job.metrics {
+                    let mut m = BTreeMap::new();
+                    m.insert("completions".into(), Json::Num(metrics.completions as f64));
+                    m.insert("token_grants".into(), Json::Num(metrics.token_grants as f64));
+                    m.insert(
+                        "token_denials".into(),
+                        Json::Num(metrics.token_denials as f64),
+                    );
+                    obj.insert("metrics".into(), Json::Obj(m));
+                }
+                if let Some(faults) = &job.fault_stats {
+                    obj.insert("faults_injected".into(), Json::Num(faults.total() as f64));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut totals = BTreeMap::new();
+        totals.insert("cycles".into(), Json::Num(self.total_cycles as f64));
+        totals.insert("retired".into(), Json::Num(self.total_retired as f64));
+        totals.insert(
+            "transitions".into(),
+            Json::Num(self.total_stats.transitions as f64),
+        );
+        totals.insert("failures".into(), Json::Num(self.failures as f64));
+        let mut root = BTreeMap::new();
+        root.insert("jobs".into(), Json::Arr(jobs));
+        root.insert("totals".into(), Json::Obj(totals));
+        root.insert("workers".into(), Json::Num(self.workers as f64));
+        root.insert("wall_seconds".into(), Json::Num(self.wall_seconds));
+        Json::Obj(root)
+    }
+}
+
+impl fmt::Display for FarmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "simfarm: {} jobs on {} worker(s), {:.2}s wall, {} failure(s)",
+            self.jobs.len(),
+            self.workers,
+            self.wall_seconds,
+            self.failures
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:<10} {:>10} {:>10} {:>5}  digest",
+            "job", "model", "cycles", "retired", "exit"
+        )?;
+        for job in &self.jobs {
+            let marker = match &job.outcome {
+                JobOutcome::Halted => "",
+                JobOutcome::BudgetExhausted => " (budget)",
+                JobOutcome::Failed(_) => " (FAILED)",
+            };
+            writeln!(
+                f,
+                "{:<28} {:<10} {:>10} {:>10} {:>5}  {:016x}{}",
+                job.name, job.model, job.cycles, job.retired, job.exit_code, job.digest, marker
+            )?;
+            if let JobOutcome::Failed(msg) = &job.outcome {
+                writeln!(f, "    error: {msg}")?;
+            }
+        }
+        writeln!(
+            f,
+            "totals: {} cycles, {} retired, {} transitions",
+            self.total_cycles, self.total_retired, self.total_stats.transitions
+        )?;
+        if self.wall_seconds > 0.0 {
+            writeln!(f, "throughput: {:.0} simulated cycles/s", self.cycles_per_second())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{run_job, SimJob};
+    use crate::queue::run_serial;
+
+    #[test]
+    fn report_renders_and_serializes_deterministically() {
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob::minirisc_random(i, 32, 20_000))
+            .collect();
+        let a = FarmReport::consolidate(run_serial(&jobs), 1, 0.0);
+        let b = FarmReport::consolidate(run_serial(&jobs), 1, 0.0);
+        assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+        assert_eq!(a.to_string(), b.to_string());
+        // The JSON round-trips through the bench parser.
+        let parsed = bench::json::parse(&a.to_json().to_string()).unwrap();
+        assert_eq!(
+            parsed.get("jobs").unwrap().as_arr().unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn totals_sum_stats_across_osm_jobs() {
+        let job = SimJob::new(
+            crate::job::ModelKind::Vliw,
+            crate::job::WorkloadSpec::Ilp { iters: 20, body: 4 },
+            100_000,
+        );
+        let r1 = run_job(&job);
+        let r2 = run_job(&job);
+        let transitions = r1.stats.as_ref().unwrap().transitions;
+        let report = FarmReport::consolidate(vec![r1, r2], 1, 0.0);
+        assert_eq!(report.total_stats.transitions, 2 * transitions);
+        assert_eq!(report.failures, 0);
+    }
+}

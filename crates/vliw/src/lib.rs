@@ -36,7 +36,9 @@
 mod model;
 mod schedule;
 
-pub use model::{interpret, VliwConfig, VliwResult, VliwShared, VliwSim, CODE_BASE, DATA_BASE};
+pub use model::{
+    interpret, VliwConfig, VliwManagers, VliwResult, VliwShared, VliwSim, CODE_BASE, DATA_BASE,
+};
 pub use schedule::{schedule, Bundle, VliwIr, VliwProgram};
 
 #[cfg(test)]

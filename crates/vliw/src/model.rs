@@ -13,9 +13,9 @@ use crate::schedule::{Bundle, VliwProgram};
 use memsys::{MemSystem, MemSystemConfig};
 use minirisc::{effective_address, execute, CpuState, Instr, Memory, Outcome, Reg, SparseMemory};
 use osm_core::{
-    Behavior, Edge, ExclusivePool, HardwareLayer, IdentExpr, Machine, ManagerId, ManagerTable,
-    ModelError, OsmId, OsmView, ResetManager, RestartPolicy, SpecBuilder, StateMachineSpec,
-    TransitionCtx,
+    Behavior, Edge, ExclusivePool, FaultHandle, FaultInjector, FaultPlan, HardwareLayer,
+    IdentExpr, Machine, ManagerId, ManagerTable, ModelError, OsmId, OsmView, ResetManager,
+    RestartPolicy, SpecBuilder, StateMachineSpec, TransitionCtx,
 };
 use std::sync::Arc;
 
@@ -167,13 +167,17 @@ pub struct VliwShared {
     ids: VliwManagers,
 }
 
-/// Manager handles.
+/// Manager handles (exposed for fault injection and inspection).
 #[derive(Debug, Clone, Copy)]
-struct VliwManagers {
-    mf: ManagerId,
-    me: ManagerId,
-    mw: ManagerId,
-    reset: ManagerId,
+pub struct VliwManagers {
+    /// Fetch stage.
+    pub mf: ManagerId,
+    /// Execute stage.
+    pub me: ManagerId,
+    /// Writeback stage.
+    pub mw: ManagerId,
+    /// Reset manager (squash).
+    pub reset: ManagerId,
 }
 
 impl HardwareLayer for VliwShared {
@@ -404,6 +408,18 @@ impl VliwSim {
     /// observer installation, A/B experiments).
     pub fn machine_mut(&mut self) -> &mut Machine<VliwShared> {
         &mut self.machine
+    }
+
+    /// Manager handles (targets for [`VliwSim::inject_faults`]).
+    pub fn ids(&self) -> VliwManagers {
+        self.machine.shared.ids
+    }
+
+    /// Installs a deterministic fault injector in front of manager
+    /// `target` (any of the handles in [`VliwSim::ids`]) and returns the
+    /// operator handle for it.
+    pub fn inject_faults(&mut self, target: ManagerId, plan: FaultPlan) -> FaultHandle {
+        FaultInjector::install(&mut self.machine.managers, target, plan)
     }
 
     /// Runs until the halting bundle retires or `max_cycles` pass.

@@ -21,6 +21,8 @@
 //!   SPECint-like mix and a random program generator.
 //! * [`vliw`] — the §6 VLIW demonstration: a two-slot bundle scheduler and
 //!   a lockstep OSM core model.
+//! * [`simfarm`] — a sharded parallel simulation farm: work-stealing job
+//!   queue over all four machine models with deterministic aggregation.
 //!
 //! See `README.md` for the quickstart, `DESIGN.md` for the system map and
 //! `EXPERIMENTS.md` for the reproduced tables and figures.
@@ -32,5 +34,6 @@ pub use osm_core;
 pub use portsim;
 pub use ppc750;
 pub use sa1100;
+pub use simfarm;
 pub use vliw;
 pub use workloads;

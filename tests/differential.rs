@@ -1,0 +1,164 @@
+//! Differential testing of the two director scheduling modes.
+//!
+//! `SchedulerMode::Fast` (sensitivity-driven skipping) must be behaviorally
+//! indistinguishable from `SchedulerMode::Seed` (the literal Fig. 3 loop
+//! from the paper) — same transition-trace digest, same cycle count, same
+//! outcome — on every example model, **including with fault injection
+//! enabled**: the injector hashes each decision from (plan seed, cycle,
+//! rule, machine), so faults must land on the same transactions whichever
+//! mode scheduled them.
+//!
+//! Runs go through `simfarm::run_job`, so this also differentially tests
+//! the farm's job runner itself.
+
+use osm_repro::osm_core::{FaultPlan, SchedulerMode};
+use osm_repro::simfarm::{run_job, JobOutcome, JobResult, ModelKind, SimJob, WorkloadSpec};
+
+const MAX: u64 = 200_000;
+
+/// Runs `job` under both scheduler modes and returns (fast, seed).
+fn both_modes(mut job: SimJob) -> (JobResult, JobResult) {
+    job.scheduler = SchedulerMode::Fast;
+    let fast = run_job(&job);
+    job.scheduler = SchedulerMode::Seed;
+    let seed = run_job(&job);
+    (fast, seed)
+}
+
+/// The two results must be behaviorally identical: digest, cycles, retired
+/// count, exit code and outcome.
+///
+/// Fault *counters* are deliberately NOT compared: a denied attempt is
+/// retried once per director pass that re-evaluates the failing rule, and
+/// the number of passes is exactly what the two modes differ in (Seed
+/// re-evaluates every OSM each pass, Fast skips non-dirty ones). The
+/// per-decision hash guarantees the same *transactions* are faulted — hence
+/// identical traces — not the same number of denied retries.
+fn assert_equivalent(fast: &JobResult, seed: &JobResult) {
+    assert_eq!(fast.digest, seed.digest, "{}: trace digests differ", fast.name);
+    assert_eq!(fast.cycles, seed.cycles, "{}: cycle counts differ", fast.name);
+    assert_eq!(fast.retired, seed.retired, "{}: retired counts differ", fast.name);
+    assert_eq!(fast.exit_code, seed.exit_code, "{}: exit codes differ", fast.name);
+    assert_eq!(fast.outcome, seed.outcome, "{}: outcomes differ", fast.name);
+    assert_eq!(
+        fast.fault_stats.is_some(),
+        seed.fault_stats.is_some(),
+        "{}: one mode ran faults, the other did not",
+        fast.name
+    );
+}
+
+fn faulted(model: ModelKind, workload: WorkloadSpec, plan: FaultPlan) -> SimJob {
+    let mut job = SimJob::new(model, workload, MAX);
+    job.faults = Some(plan);
+    job
+}
+
+#[test]
+fn sa1100_fast_equals_seed_with_denied_allocations() {
+    let (fast, seed) = both_modes(faulted(
+        ModelKind::Sa1100,
+        WorkloadSpec::Named("specint".into()),
+        FaultPlan::new(0xD1FF).deny_allocate(0.02).defer_release(0.01),
+    ));
+    assert_eq!(fast.outcome, JobOutcome::Halted, "{:?}", fast.outcome);
+    assert!(
+        fast.fault_stats.as_ref().unwrap().total() > 0,
+        "plan never fired — test is vacuous"
+    );
+    assert_equivalent(&fast, &seed);
+}
+
+#[test]
+fn sa1100_fast_equals_seed_on_random_programs_with_faults() {
+    for seed_val in 0..4u64 {
+        let mut job = faulted(
+            ModelKind::Sa1100,
+            WorkloadSpec::Random { block_len: 200 },
+            FaultPlan::new(seed_val ^ 0xABCD).deny_allocate(0.03),
+        );
+        job.seed = seed_val;
+        job.name = format!("{}#{seed_val}", job.name);
+        let (fast, seed) = both_modes(job);
+        assert_equivalent(&fast, &seed);
+    }
+}
+
+#[test]
+fn ppc750_fast_equals_seed_with_denied_inquiries() {
+    let (fast, seed) = both_modes(faulted(
+        ModelKind::Ppc750,
+        WorkloadSpec::Named("specint".into()),
+        FaultPlan::new(0xBEEF).deny_inquire(0.02).deny_allocate(0.01),
+    ));
+    assert_eq!(fast.outcome, JobOutcome::Halted, "{:?}", fast.outcome);
+    assert!(
+        fast.fault_stats.as_ref().unwrap().total() > 0,
+        "plan never fired — test is vacuous"
+    );
+    assert_equivalent(&fast, &seed);
+}
+
+#[test]
+fn ppc750_fast_equals_seed_on_random_programs_with_faults() {
+    for seed_val in 0..4u64 {
+        let mut job = faulted(
+            ModelKind::Ppc750,
+            WorkloadSpec::Random { block_len: 200 },
+            FaultPlan::new(seed_val ^ 0x750).deny_inquire(0.03),
+        );
+        job.seed = seed_val;
+        job.name = format!("{}#{seed_val}", job.name);
+        let (fast, seed) = both_modes(job);
+        assert_equivalent(&fast, &seed);
+    }
+}
+
+#[test]
+fn vliw_fast_equals_seed_with_faults() {
+    let (fast, seed) = both_modes(faulted(
+        ModelKind::Vliw,
+        WorkloadSpec::Ilp { iters: 400, body: 6 },
+        FaultPlan::new(0x7117).deny_allocate(0.02),
+    ));
+    assert_eq!(fast.outcome, JobOutcome::Halted, "{:?}", fast.outcome);
+    assert!(
+        fast.fault_stats.as_ref().unwrap().total() > 0,
+        "plan never fired — test is vacuous"
+    );
+    assert_equivalent(&fast, &seed);
+}
+
+#[test]
+fn modes_agree_even_under_aggressive_blackhole_faults() {
+    // A blackhole window plus token drops may well wedge or kill the run;
+    // the contract is only that BOTH modes experience the identical outcome.
+    for (model, workload) in [
+        (ModelKind::Sa1100, WorkloadSpec::Named("specint".into())),
+        (ModelKind::Ppc750, WorkloadSpec::Named("specint".into())),
+        (ModelKind::Vliw, WorkloadSpec::Ilp { iters: 300, body: 4 }),
+    ] {
+        let job = faulted(
+            model,
+            workload,
+            FaultPlan::new(0x0B5C).deny_allocate(0.05).blackhole(500, 900),
+        );
+        let (fast, seed) = both_modes(job);
+        assert_equivalent(&fast, &seed);
+    }
+}
+
+#[test]
+fn fault_free_runs_also_agree_across_modes() {
+    // Control: without faults the equivalence must hold too (guards against
+    // the injector's always-dirty clock being what masks a scheduler bug).
+    for (model, workload) in [
+        (ModelKind::Sa1100, WorkloadSpec::Named("specint".into())),
+        (ModelKind::Ppc750, WorkloadSpec::Named("specint".into())),
+        (ModelKind::Vliw, WorkloadSpec::Ilp { iters: 400, body: 6 }),
+    ] {
+        let (fast, seed) = both_modes(SimJob::new(model, workload, MAX));
+        assert_eq!(fast.outcome, JobOutcome::Halted, "{:?}", fast.outcome);
+        assert_equivalent(&fast, &seed);
+    }
+}
