@@ -134,6 +134,12 @@ pub struct StallReport {
     pub cycle: u64,
     /// How many cycles the condition has persisted.
     pub stalled_for: u64,
+    /// The armed stall bound (cycles without qualifying progress) that
+    /// fired — the per-run step budget handed to
+    /// [`crate::Machine::set_stall_limit`]. Lets supervisors distinguish
+    /// "tripped a tight budget" from "tripped a generous one" without
+    /// carrying the configuration separately.
+    pub budget: u64,
     /// The blocked OSMs, with the primitives and managers they wait on.
     pub blocked: Vec<BlockedOsm>,
     /// The stall-cause histogram accumulated up to the stall, when
@@ -145,8 +151,8 @@ impl fmt::Display for StallReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} detected at control step {} ({} cycles without progress)",
-            self.kind, self.cycle, self.stalled_for
+            "{} detected at control step {} ({} cycles without progress; budget {})",
+            self.kind, self.cycle, self.stalled_for, self.budget
         )?;
         for b in &self.blocked {
             write!(f, "\n  {b}")?;
@@ -277,6 +283,7 @@ mod tests {
             kind: StallKind::Starvation,
             cycle: 40,
             stalled_for: 25,
+            budget: 25,
             blocked: vec![BlockedOsm {
                 osm: OsmId(2),
                 spec: "pipe".into(),

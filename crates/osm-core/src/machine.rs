@@ -628,6 +628,7 @@ impl<S: 'static> Machine<S> {
             kind,
             cycle: now,
             stalled_for,
+            budget: limit,
             blocked,
             // When attribution is on, embed the stall-cause histogram that
             // led up to the stall — no separate probe pass required.

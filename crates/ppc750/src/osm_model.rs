@@ -691,6 +691,13 @@ impl PpcOsmSim {
         Ok(self.result())
     }
 
+    /// Arms the stall watchdog: if no OSM makes progress for `cycles`
+    /// consecutive cycles (see [`osm_core::Machine::set_stall_limit`]),
+    /// stepping fails with a diagnosed [`ModelError::Stalled`].
+    pub fn set_stall_limit(&mut self, cycles: Option<u64>) {
+        self.machine.set_stall_limit(cycles);
+    }
+
     /// Turns on the full observability stack: token-event log, derived
     /// metrics, and stall-cause attribution. Call before the first step for
     /// reports that reconcile exactly with [`osm_core::Stats`].

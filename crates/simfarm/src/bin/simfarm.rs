@@ -1,18 +1,37 @@
-//! `simfarm` — run a sweep manifest across worker threads.
+//! `simfarm` — run a sweep manifest across worker threads, supervised.
 //!
 //! ```text
 //! simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]
+//!                         [--journal FILE | --resume FILE] [--max-wall SECS]
 //! ```
 //!
 //! Prints the consolidated BENCH-style report to stdout (or its JSON form
 //! with `--json`); `--out` additionally writes the JSON report to a file.
+//!
+//! * `--journal FILE` starts a fresh sweep journal: every completed job is
+//!   appended (and flushed) the moment it finishes.
+//! * `--resume FILE` replays an existing journal, skips every job already
+//!   completed, and appends the rest. Torn trailing writes (a killed sweep)
+//!   are tolerated; corrupt records and journals from a different manifest
+//!   are rejected.
+//! * `--max-wall SECS` cancels the sweep cooperatively after a wall-clock
+//!   budget: in-flight jobs finish, the journal is flushed, and the run
+//!   exits resumable.
+//!
+//! Exit codes: `0` complete and healthy, `1` complete with unhealthy jobs
+//! (failed/panicked/stalled/quarantined), `2` usage, `3` farm error (broken
+//! assembly invariant, unusable journal), `5` cancelled before completion
+//! (resume with `--resume`).
 
-use simfarm::{parse_manifest, run_parallel, run_serial, FarmReport};
+use simfarm::{parse_manifest, run_farm, FarmOptions, FarmReport, JournalWriter};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn usage() -> ! {
-    eprintln!("usage: simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]");
+    eprintln!(
+        "usage: simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]\n\
+         \x20                          [--journal FILE | --resume FILE] [--max-wall SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -22,6 +41,9 @@ fn main() -> ExitCode {
     let mut serial = false;
     let mut json = false;
     let mut out: Option<String> = None;
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
+    let mut max_wall: Option<f64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,6 +57,21 @@ fn main() -> ExitCode {
             "--out" => match args.next() {
                 Some(path) => out = Some(path),
                 None => usage(),
+            },
+            "--journal" => match args.next() {
+                Some(path) if journal_path.is_none() => journal_path = Some(path),
+                _ => usage(),
+            },
+            "--resume" => match args.next() {
+                Some(path) if journal_path.is_none() => {
+                    journal_path = Some(path);
+                    resume = true;
+                }
+                _ => usage(),
+            },
+            "--max-wall" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => max_wall = Some(s),
+                _ => usage(),
             },
             "--help" | "-h" => usage(),
             _ if manifest_path.is_none() && !arg.starts_with('-') => manifest_path = Some(arg),
@@ -69,14 +106,54 @@ fn main() -> ExitCode {
             .unwrap_or_else(default_workers)
     };
 
+    let mut options = FarmOptions::default();
+    if let Some(path) = &journal_path {
+        if resume {
+            match JournalWriter::resume(path, &manifest.jobs) {
+                Ok((writer, completed)) => {
+                    eprintln!(
+                        "simfarm: resuming from {path}: {} of {} job(s) already completed",
+                        completed.len(),
+                        manifest.jobs.len()
+                    );
+                    options.journal = Some(writer);
+                    options.completed = completed;
+                }
+                Err(e) => {
+                    eprintln!("simfarm: cannot resume {path}: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        } else {
+            match JournalWriter::create(path, &manifest.jobs) {
+                Ok(writer) => options.journal = Some(writer),
+                Err(e) => {
+                    eprintln!("simfarm: cannot create journal {path}: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    }
+
+    if let Some(secs) = max_wall {
+        let cancel = options.cancel.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            eprintln!("simfarm: wall budget ({secs}s) exhausted — cancelling cooperatively");
+            cancel.cancel();
+        });
+    }
+
     let start = Instant::now();
-    let results = if workers == 1 {
-        run_serial(&manifest.jobs)
-    } else {
-        run_parallel(&manifest.jobs, workers)
+    let run = match run_farm(&manifest.jobs, workers, options) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("simfarm: {e}");
+            return ExitCode::from(3);
+        }
     };
     let wall = start.elapsed().as_secs_f64();
-    let report = FarmReport::consolidate(results, workers, wall);
+    let report = FarmReport::consolidate_sweep(&run, workers, wall);
 
     if json {
         println!("{}", report.to_json());
@@ -90,8 +167,18 @@ fn main() -> ExitCode {
         }
     }
 
+    if run.cancelled && !run.is_complete() {
+        let hint = journal_path
+            .map(|p| format!(" (resume with --resume {p})"))
+            .unwrap_or_default();
+        eprintln!(
+            "simfarm: cancelled with {} job(s) pending{hint}",
+            report.pending
+        );
+        return ExitCode::from(5);
+    }
     if report.failures > 0 {
-        eprintln!("simfarm: {} job(s) failed", report.failures);
+        eprintln!("simfarm: {} unhealthy job(s)", report.failures);
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

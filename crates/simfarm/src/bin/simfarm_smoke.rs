@@ -87,7 +87,13 @@ fn main() -> ExitCode {
     let serial_wall = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let parallel = run_parallel(&jobs, workers);
+    let parallel = match run_parallel(&jobs, workers) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("simfarm_smoke: FAIL — farm error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let parallel_wall = t1.elapsed().as_secs_f64();
 
     // Gate 1: digest parity, job by job, in job order.

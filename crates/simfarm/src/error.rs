@@ -1,0 +1,132 @@
+//! Typed farm-level errors.
+//!
+//! Job-level misbehavior (panics, stalls, deadline overruns) is *data* —
+//! it lives in [`crate::JobOutcome`] and never aborts a sweep. The errors
+//! here are the farm's own failures: the assembly invariant broken (a
+//! scheduled job produced no result), or the sweep journal unusable.
+
+use std::fmt;
+
+/// Why a sweep journal could not be created, appended to, or replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// An underlying I/O operation failed (message is the OS error's
+    /// rendering; `std::io::Error` itself is neither `Clone` nor `Eq`).
+    Io(String),
+    /// The file is not a sweep journal, or its header is damaged beyond
+    /// the torn-write tolerance.
+    BadHeader {
+        /// What was wrong.
+        why: String,
+    },
+    /// The journal belongs to a different job list than the manifest being
+    /// run (job-list digests disagree), so its completed-job records cannot
+    /// be trusted for this sweep.
+    ManifestMismatch {
+        /// Digest recorded in the journal header.
+        journal: u64,
+        /// Digest of the job list being resumed.
+        manifest: u64,
+    },
+    /// A fully-present record failed its integrity digest or did not decode
+    /// — corruption, not a torn trailing write — and is rejected rather
+    /// than silently skipped.
+    CorruptRecord {
+        /// Byte offset of the offending record.
+        offset: u64,
+        /// What was wrong.
+        why: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::BadHeader { why } => write!(f, "bad journal header: {why}"),
+            JournalError::ManifestMismatch { journal, manifest } => write!(
+                f,
+                "journal belongs to a different sweep (journal job-list digest \
+                 {journal:016x}, manifest {manifest:016x})"
+            ),
+            JournalError::CorruptRecord { offset, why } => {
+                write!(f, "corrupt journal record at byte {offset}: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e.to_string())
+    }
+}
+
+/// A farm-level failure (as opposed to a job-level outcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FarmError {
+    /// A scheduled job produced no result and the sweep was not cancelled —
+    /// the work-stealing assembly invariant is broken (a worker died
+    /// without reporting). Replaces the seed's `panic!("job {idx} produced
+    /// no result")` assembly hole with a typed error the CLI maps to a
+    /// distinct exit code.
+    MissingResult {
+        /// Index of the silent job.
+        index: usize,
+        /// Its label.
+        name: String,
+    },
+    /// The sweep journal failed (see [`JournalError`]).
+    Journal(JournalError),
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::MissingResult { index, name } => {
+                write!(f, "job {index} (`{name}`) produced no result")
+            }
+            FarmError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}
+
+impl From<JournalError> for FarmError {
+    fn from(e: JournalError) -> FarmError {
+        FarmError::Journal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FarmError::MissingResult {
+            index: 3,
+            name: "sa1100/specint#3".into(),
+        };
+        assert!(e.to_string().contains("job 3"));
+        assert!(e.to_string().contains("sa1100/specint#3"));
+
+        let e: FarmError = JournalError::ManifestMismatch {
+            journal: 0xAB,
+            manifest: 0xCD,
+        }
+        .into();
+        let s = e.to_string();
+        assert!(s.contains("00000000000000ab"), "{s}");
+        assert!(s.contains("00000000000000cd"), "{s}");
+
+        let e = JournalError::CorruptRecord {
+            offset: 24,
+            why: "integrity digest mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 24"));
+    }
+}

@@ -1,10 +1,20 @@
 //! The job abstraction: one self-contained simulation, runnable on any
 //! thread, producing a deterministic [`JobResult`].
+//!
+//! Supervision hooks live here too: every job carries a stall budget
+//! (armed on the model's PR-1 watchdog, on by default), an optional
+//! wall-clock deadline enforced cooperatively between run chunks, and a
+//! retry bound used by [`crate::run_job_supervised`]. Everything except the
+//! wall-clock deadline is a pure function of the [`SimJob`], which is what
+//! the farm's determinism-under-failure guarantee rests on.
 
-use osm_core::{FaultPlan, FaultStats, MetricsReport, SchedulerMode, Stats, Trace};
+use osm_core::{
+    FaultPlan, FaultStats, MetricsReport, ModelError, SchedulerMode, StallKind, Stats, Trace,
+};
 use ppc750::{PpcConfig, PpcOsmSim};
 use sa1100::{SaConfig, SaOsmSim};
 use std::fmt;
+use std::time::{Duration, Instant};
 use vliw::{schedule, VliwConfig, VliwIr, VliwProgram, VliwSim};
 use workloads::{kernels40, mediabench, random_program, specint_mix, Workload};
 
@@ -13,6 +23,19 @@ use workloads::{kernels40, mediabench, random_program, specint_mix, Workload};
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a prime.
 const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Default stall budget armed on every OSM job: comfortably above any
+/// natural no-progress stretch of the bundled models (worst observed is a
+/// few hundred cycles under aggressive blackhole faults), far below typical
+/// cycle budgets, so a wedged or livelocked job is diagnosed instead of
+/// pinning a worker until its whole cycle budget drains.
+pub const DEFAULT_STALL_BUDGET: u64 = 25_000;
+
+/// Default retry bound: one deterministic re-run before quarantine.
+pub const DEFAULT_RETRIES: u32 = 1;
+
+/// Cycles run between cooperative deadline/cancellation checks.
+const DEADLINE_CHUNK: u64 = 2048;
 
 #[inline]
 fn fnv_mix(mut digest: u64, bytes: &[u8]) -> u64 {
@@ -86,11 +109,20 @@ pub enum WorkloadSpec {
         /// Independent operations per iteration.
         body: usize,
     },
+    /// A job that panics the moment it runs (`"chaos:panic"` in manifests).
+    /// Exists so chaos manifests and the supervision tests can exercise
+    /// crash isolation deterministically; [`run_job`] panics with a fixed,
+    /// job-named payload, and the supervised runner turns that into
+    /// [`JobOutcome::Panicked`].
+    ChaosPanic,
 }
 
 impl WorkloadSpec {
     /// Parses the manifest spelling (see the variant docs).
     pub fn parse(s: &str) -> Result<WorkloadSpec, String> {
+        if s == "chaos:panic" {
+            return Ok(WorkloadSpec::ChaosPanic);
+        }
         if let Some(rest) = s.strip_prefix("random:") {
             let block_len = rest
                 .parse::<usize>()
@@ -119,6 +151,7 @@ impl WorkloadSpec {
             WorkloadSpec::Named(n) => n.clone(),
             WorkloadSpec::Random { block_len } => format!("random:{block_len}"),
             WorkloadSpec::Ilp { iters, body } => format!("ilp:{iters}:{body}"),
+            WorkloadSpec::ChaosPanic => "chaos:panic".to_owned(),
         }
     }
 
@@ -127,6 +160,9 @@ impl WorkloadSpec {
             WorkloadSpec::Random { block_len } => Ok(random_program(seed, *block_len)),
             WorkloadSpec::Ilp { .. } => {
                 Err("ilp workloads only run on the vliw model".to_owned())
+            }
+            WorkloadSpec::ChaosPanic => {
+                Err("chaos:panic never resolves to a program".to_owned())
             }
             WorkloadSpec::Named(name) => {
                 if name == "specint" {
@@ -143,9 +179,9 @@ impl WorkloadSpec {
 }
 
 /// One self-contained simulation: model × workload × config × seed ×
-/// observability flags. Jobs are `Send + Sync` (plain data) and
-/// [`run_job`] builds, runs and tears down the whole machine on the calling
-/// thread, which is what makes job-level sharding deterministic.
+/// observability flags × supervision bounds. Jobs are `Send + Sync` (plain
+/// data) and [`run_job`] builds, runs and tears down the whole machine on
+/// the calling thread, which is what makes job-level sharding deterministic.
 #[derive(Debug, Clone)]
 pub struct SimJob {
     /// Human-readable job label (defaults to `model/workload#index` when
@@ -169,10 +205,31 @@ pub struct SimJob {
     /// manager (SA-1100: fetch stage; PPC-750: fetch queue; VLIW: fetch
     /// stage; ignored by the ISS, which has no token managers).
     pub faults: Option<FaultPlan>,
+    /// Stall budget armed on the model's watchdog
+    /// ([`osm_core::Machine::set_stall_limit`]): a livelocked or wedged job
+    /// yields [`JobOutcome::Stalled`] after this many cycles without
+    /// progress instead of pinning a worker for its whole cycle budget.
+    /// `Some(`[`DEFAULT_STALL_BUDGET`]`)` by default; `None` disarms
+    /// (manifest spelling `"stall_budget": 0`). Ignored by the ISS, whose
+    /// steps always retire an instruction.
+    pub stall_budget: Option<u64>,
+    /// Optional wall-clock deadline in milliseconds, checked cooperatively
+    /// every few thousand cycles; an overrunning job yields
+    /// [`JobOutcome::DeadlineExceeded`]. Unlike every other field this
+    /// depends on host speed, so deadline outcomes are *not* deterministic —
+    /// keep deadline jobs out of byte-identity gates.
+    pub deadline_ms: Option<u64>,
+    /// How many times [`crate::run_job_supervised`] re-runs an unhealthy job
+    /// before quarantining it ([`DEFAULT_RETRIES`] by default). Jobs are
+    /// deterministic, so retries only help against environmental flakes
+    /// (and bound the cost of poison jobs either way).
+    pub retries: u32,
 }
 
 impl SimJob {
-    /// A plain job with no observability and no faults.
+    /// A plain job with no observability and no faults; stall watchdog
+    /// armed at [`DEFAULT_STALL_BUDGET`], no wall deadline,
+    /// [`DEFAULT_RETRIES`] retries.
     pub fn new(model: ModelKind, workload: WorkloadSpec, max_cycles: u64) -> SimJob {
         SimJob {
             name: format!("{model}/{}", workload.spelling()),
@@ -183,6 +240,9 @@ impl SimJob {
             scheduler: SchedulerMode::Fast,
             observability: false,
             faults: None,
+            stall_budget: Some(DEFAULT_STALL_BUDGET),
+            deadline_ms: None,
+            retries: DEFAULT_RETRIES,
         }
     }
 
@@ -198,6 +258,33 @@ impl SimJob {
         job.name = format!("{}#{}", job.name, seed);
         job
     }
+
+    /// Convenience: a job whose only act is to panic (crash-isolation
+    /// tests and chaos manifests).
+    pub fn chaos_panic(name: impl Into<String>) -> SimJob {
+        let mut job = SimJob::new(ModelKind::MiniRiscIss, WorkloadSpec::ChaosPanic, 1);
+        job.name = name.into();
+        job
+    }
+}
+
+/// Deterministic summary of a watchdog stall, carried by
+/// [`JobOutcome::Stalled`]. The scalar fields mirror
+/// [`osm_core::StallReport`]; `detail` preserves the report's full
+/// rendering (blocked OSMs, denied primitives, attribution) so the farm
+/// report and the sweep journal reproduce it byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSummary {
+    /// The watchdog's classification.
+    pub kind: StallKind,
+    /// Control step at which the watchdog fired.
+    pub cycle: u64,
+    /// How many cycles the condition had persisted.
+    pub stalled_for: u64,
+    /// The armed stall budget that fired.
+    pub budget: u64,
+    /// The full [`osm_core::StallReport`] rendering.
+    pub detail: String,
 }
 
 /// How a job finished.
@@ -207,14 +294,70 @@ pub enum JobOutcome {
     Halted,
     /// The cycle/step budget elapsed before halt.
     BudgetExhausted,
-    /// The model failed (deadlock, stall watchdog, decode error, bad
-    /// workload, ...). The message is the model error's rendering.
+    /// The model failed (deadlock, decode error, bad workload, ...). The
+    /// message is the model error's rendering.
     Failed(String),
+    /// The job panicked; the worker caught the unwind and isolated it.
+    Panicked {
+        /// The panic payload, rendered (`<non-string panic payload>` when
+        /// the payload was not a string).
+        payload: String,
+    },
+    /// The stall watchdog fired: no forward progress within the job's
+    /// [`SimJob::stall_budget`].
+    Stalled(StallSummary),
+    /// The wall-clock [`SimJob::deadline_ms`] elapsed before halt or cycle
+    /// budget. The only non-deterministic outcome (host-speed dependent).
+    DeadlineExceeded {
+        /// Cycles completed when the deadline was detected.
+        cycles: u64,
+        /// The configured deadline, for the record.
+        deadline_ms: u64,
+    },
+    /// The job stayed unhealthy through every allowed attempt and was
+    /// quarantined; `last` is the final attempt's outcome.
+    Quarantined {
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// Outcome of the last attempt.
+        last: Box<JobOutcome>,
+    },
+}
+
+impl JobOutcome {
+    /// True for the two outcomes that complete a job's work (ran to halt,
+    /// or consumed its whole cycle budget). Everything else is grounds for
+    /// retry and quarantine.
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, JobOutcome::Halted | JobOutcome::BudgetExhausted)
+    }
+
+    /// One-line rendering used by the farm report (text and JSON) and the
+    /// sweep journal. Stable and deterministic for every variant except
+    /// `DeadlineExceeded` (whose cycle count is host-speed dependent).
+    pub fn label(&self) -> String {
+        match self {
+            JobOutcome::Halted => "halted".into(),
+            JobOutcome::BudgetExhausted => "budget-exhausted".into(),
+            JobOutcome::Failed(msg) => format!("failed: {msg}"),
+            JobOutcome::Panicked { payload } => format!("panicked: {payload}"),
+            JobOutcome::Stalled(s) => {
+                format!("stalled: {} at cycle {} (budget {})", s.kind, s.cycle, s.budget)
+            }
+            JobOutcome::DeadlineExceeded { cycles, deadline_ms } => {
+                format!("deadline-exceeded: {deadline_ms}ms elapsed at cycle {cycles}")
+            }
+            JobOutcome::Quarantined { attempts, last } => {
+                format!("quarantined after {attempts} attempt(s); last: {}", last.label())
+            }
+        }
+    }
 }
 
 /// The deterministic product of one job. Everything here is a pure function
 /// of the [`SimJob`] — independent of which thread ran it and of what else
 /// was running — which is what the farm's digest-parity guarantee rests on.
+/// (Exception: [`JobOutcome::DeadlineExceeded`], see [`SimJob::deadline_ms`].)
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The job's label.
@@ -235,6 +378,9 @@ pub struct JobResult {
     /// or a digest over every executed `(pc, taken)` pair for the ISS. Equal
     /// digests mean behaviorally identical runs.
     pub digest: u64,
+    /// Attempts the supervised runner made (1 when the first try sufficed;
+    /// always 1 from bare [`run_job`]).
+    pub attempts: u32,
     /// Scheduler statistics (OSM models only).
     pub stats: Option<Stats>,
     /// Derived metrics, when the job asked for observability.
@@ -244,34 +390,121 @@ pub struct JobResult {
 }
 
 impl JobResult {
-    fn failed(job: &SimJob, message: String) -> JobResult {
+    /// A result with no machine output — the job never got far enough to
+    /// produce any (bad workload, panic before the first cycle, ...).
+    pub(crate) fn aborted(job: &SimJob, outcome: JobOutcome) -> JobResult {
         JobResult {
             name: job.name.clone(),
             model: job.model,
             workload: job.workload.spelling(),
-            outcome: JobOutcome::Failed(message),
+            outcome,
             cycles: 0,
             retired: 0,
             exit_code: 0,
             digest: 0,
+            attempts: 1,
             stats: None,
             metrics: None,
             fault_stats: None,
         }
     }
 
-    /// True if the job ran to completion or budget without a model error.
+    fn failed(job: &SimJob, message: String) -> JobResult {
+        JobResult::aborted(job, JobOutcome::Failed(message))
+    }
+
+    /// True if the job ran to completion or budget without a model error,
+    /// panic, stall, deadline overrun or quarantine.
     pub fn is_ok(&self) -> bool {
-        !matches!(self.outcome, JobOutcome::Failed(_))
+        self.outcome.is_healthy()
+    }
+}
+
+/// Wall-clock deadline tracker for the cooperative chunked run loop.
+struct Deadline {
+    at: Option<Instant>,
+    ms: u64,
+}
+
+impl Deadline {
+    fn start(deadline_ms: Option<u64>) -> Deadline {
+        Deadline {
+            at: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+            ms: deadline_ms.unwrap_or(0),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// Maps a model error to its typed outcome (watchdog stalls get their own
+/// variant; everything else keeps the rendered message).
+fn outcome_from_model_error(e: ModelError) -> JobOutcome {
+    match e {
+        ModelError::Stalled(report) => JobOutcome::Stalled(StallSummary {
+            kind: report.kind,
+            cycle: report.cycle,
+            stalled_for: report.stalled_for,
+            budget: report.budget,
+            detail: report.to_string(),
+        }),
+        other => JobOutcome::Failed(other.to_string()),
+    }
+}
+
+/// Drives one OSM simulator in [`DEADLINE_CHUNK`]-cycle slices so the wall
+/// deadline is checked cooperatively. `chunk(target)` must advance the
+/// machine to `target` cycles (or halt/error) and report
+/// `(halted, cycle, result)`. Returns the outcome and the last chunk's
+/// result (`None` only if the very first chunk errored).
+fn drive_osm<R>(
+    job: &SimJob,
+    mut chunk: impl FnMut(u64) -> Result<(bool, u64, R), ModelError>,
+) -> (JobOutcome, Option<R>) {
+    let deadline = Deadline::start(job.deadline_ms);
+    let mut cycles = 0u64;
+    let mut last = None;
+    loop {
+        let target = cycles.saturating_add(DEADLINE_CHUNK).min(job.max_cycles);
+        match chunk(target) {
+            Ok((halted, cycle, res)) => {
+                cycles = cycle;
+                last = Some(res);
+                if halted {
+                    return (JobOutcome::Halted, last);
+                }
+                if cycles >= job.max_cycles {
+                    return (JobOutcome::BudgetExhausted, last);
+                }
+                if deadline.expired() {
+                    return (
+                        JobOutcome::DeadlineExceeded {
+                            cycles,
+                            deadline_ms: deadline.ms,
+                        },
+                        last,
+                    );
+                }
+            }
+            Err(e) => return (outcome_from_model_error(e), last),
+        }
     }
 }
 
 /// Runs one job to completion on the calling thread.
 ///
-/// Never panics on bad input: unknown workloads and model errors are
-/// reported through [`JobOutcome::Failed`] so one poisoned job cannot take
-/// down a farm worker.
+/// Never panics on bad input — unknown workloads and model errors are
+/// reported through the typed [`JobOutcome`] variants — with one deliberate
+/// exception: a [`WorkloadSpec::ChaosPanic`] job panics by design, which is
+/// what [`crate::run_job_supervised`] (and therefore the farm) catches and
+/// isolates. Arms the job's stall budget on the model watchdog and checks
+/// the wall deadline cooperatively.
 pub fn run_job(job: &SimJob) -> JobResult {
+    if matches!(job.workload, WorkloadSpec::ChaosPanic) {
+        panic!("chaos:panic workload fired (job `{}`)", job.name);
+    }
     match job.model {
         ModelKind::Sa1100 => run_sa1100(job),
         ModelKind::Ppc750 => run_ppc750(job),
@@ -288,25 +521,24 @@ fn run_sa1100(job: &SimJob) -> JobResult {
     let mut sim = SaOsmSim::new(SaConfig::paper(), &workload.program());
     sim.machine_mut().set_scheduler_mode(job.scheduler);
     sim.machine_mut().enable_trace_with(Trace::digest_only());
+    sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.enable_observability();
     }
     let fetch = sim.ids.mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
-    let run = sim.run_to_halt(job.max_cycles);
-    let halted = sim.machine().shared.halted;
-    let (outcome, cycles, retired, exit_code) = match run {
-        Ok(res) => (
-            if halted {
-                JobOutcome::Halted
-            } else {
-                JobOutcome::BudgetExhausted
-            },
-            res.cycles,
-            res.retired,
-            res.exit_code,
-        ),
-        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    let (outcome, last) = drive_osm(job, |target| {
+        let res = sim.run_to_halt(target)?;
+        Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
+    });
+    let (cycles, retired, exit_code) = match &last {
+        Some(res) => (res.cycles, res.retired, res.exit_code),
+        None => (sim.machine().cycle(), 0, 0),
+    };
+    let cycles = if last.is_some() && !outcome.is_healthy() && !matches!(outcome, JobOutcome::DeadlineExceeded { .. }) {
+        sim.machine().cycle()
+    } else {
+        cycles
     };
     JobResult {
         name: job.name.clone(),
@@ -321,6 +553,7 @@ fn run_sa1100(job: &SimJob) -> JobResult {
             .take_trace()
             .map(|t| t.digest())
             .unwrap_or(0),
+        attempts: 1,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -335,6 +568,7 @@ fn run_ppc750(job: &SimJob) -> JobResult {
     let mut sim = PpcOsmSim::new(PpcConfig::paper(), &workload.program());
     sim.machine_mut().set_scheduler_mode(job.scheduler);
     sim.machine_mut().enable_trace_with(Trace::digest_only());
+    sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.enable_observability();
     }
@@ -343,20 +577,18 @@ fn run_ppc750(job: &SimJob) -> JobResult {
         .faults
         .clone()
         .map(|plan| sim.inject_faults(fetch_queue, plan));
-    let run = sim.run_to_halt(job.max_cycles);
-    let halted = sim.machine().shared.halted;
-    let (outcome, cycles, retired, exit_code) = match run {
-        Ok(res) => (
-            if halted {
-                JobOutcome::Halted
-            } else {
-                JobOutcome::BudgetExhausted
-            },
-            res.cycles,
-            res.retired,
-            res.exit_code,
-        ),
-        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    let (outcome, last) = drive_osm(job, |target| {
+        let res = sim.run_to_halt(target)?;
+        Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
+    });
+    let (cycles, retired, exit_code) = match &last {
+        Some(res) => (res.cycles, res.retired, res.exit_code),
+        None => (sim.machine().cycle(), 0, 0),
+    };
+    let cycles = if last.is_some() && !outcome.is_healthy() && !matches!(outcome, JobOutcome::DeadlineExceeded { .. }) {
+        sim.machine().cycle()
+    } else {
+        cycles
     };
     JobResult {
         name: job.name.clone(),
@@ -371,6 +603,7 @@ fn run_ppc750(job: &SimJob) -> JobResult {
             .take_trace()
             .map(|t| t.digest())
             .unwrap_or(0),
+        attempts: 1,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -391,6 +624,7 @@ fn run_vliw(job: &SimJob) -> JobResult {
     let mut sim = VliwSim::new(VliwConfig::default(), &program);
     sim.machine_mut().set_scheduler_mode(job.scheduler);
     sim.machine_mut().enable_trace_with(Trace::digest_only());
+    sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.machine_mut().enable_event_log();
         sim.machine_mut().enable_metrics();
@@ -398,21 +632,18 @@ fn run_vliw(job: &SimJob) -> JobResult {
     }
     let fetch = sim.ids().mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
-    let run = sim.run_to_halt(job.max_cycles);
-    let (outcome, cycles, retired, exit_code) = match run {
-        Ok(res) => (
-            // run_to_halt loops while !halted && cycle < max, so stopping
-            // short of the budget means the halting bundle retired.
-            if res.cycles < job.max_cycles {
-                JobOutcome::Halted
-            } else {
-                JobOutcome::BudgetExhausted
-            },
-            res.cycles,
-            res.retired_ops,
-            res.exit_code,
-        ),
-        Err(e) => (JobOutcome::Failed(e.to_string()), sim.machine().cycle(), 0, 0),
+    let (outcome, last) = drive_osm(job, |target| {
+        let res = sim.run_to_halt(target)?;
+        Ok((sim.halted(), sim.machine().cycle(), res))
+    });
+    let (cycles, retired, exit_code) = match &last {
+        Some(res) => (res.cycles, res.retired_ops, res.exit_code),
+        None => (sim.machine().cycle(), 0, 0),
+    };
+    let cycles = if last.is_some() && !outcome.is_healthy() && !matches!(outcome, JobOutcome::DeadlineExceeded { .. }) {
+        sim.machine().cycle()
+    } else {
+        cycles
     };
     JobResult {
         name: job.name.clone(),
@@ -427,6 +658,7 @@ fn run_vliw(job: &SimJob) -> JobResult {
             .take_trace()
             .map(|t| t.digest())
             .unwrap_or(0),
+        attempts: 1,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.machine().metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -440,6 +672,7 @@ fn run_iss(job: &SimJob) -> JobResult {
         Err(e) => return JobResult::failed(job, e),
     };
     let mut iss = Iss::with_program(SparseMemory::new(), &workload.program());
+    let deadline = Deadline::start(job.deadline_ms);
     let mut digest = FNV_OFFSET;
     let mut steps = 0u64;
     let outcome = loop {
@@ -448,6 +681,12 @@ fn run_iss(job: &SimJob) -> JobResult {
         }
         if steps >= job.max_cycles {
             break JobOutcome::BudgetExhausted;
+        }
+        if steps.is_multiple_of(DEADLINE_CHUNK) && steps > 0 && deadline.expired() {
+            break JobOutcome::DeadlineExceeded {
+                cycles: steps,
+                deadline_ms: job.deadline_ms.unwrap_or(0),
+            };
         }
         match iss.step() {
             Ok(executed) => {
@@ -467,6 +706,7 @@ fn run_iss(job: &SimJob) -> JobResult {
         retired: iss.retired,
         exit_code: iss.exit_code,
         digest,
+        attempts: 1,
         stats: None,
         metrics: None,
         fault_stats: None,
@@ -529,6 +769,10 @@ mod tests {
             WorkloadSpec::parse("k40/x").unwrap(),
             WorkloadSpec::Named("k40/x".into())
         );
+        assert_eq!(
+            WorkloadSpec::parse("chaos:panic").unwrap(),
+            WorkloadSpec::ChaosPanic
+        );
         assert!(WorkloadSpec::parse("random:x").is_err());
         assert!(WorkloadSpec::parse("ilp:0:0").is_err());
     }
@@ -584,5 +828,67 @@ mod tests {
             a.fault_stats.unwrap().total(),
             b.fault_stats.unwrap().total()
         );
+    }
+
+    #[test]
+    fn blackholed_job_yields_typed_stall_not_a_pinned_worker() {
+        // A permanent blackhole on the fetch stage wedges the pipeline; the
+        // default-armed watchdog must convert that into a typed, fully
+        // deterministic Stalled outcome long before max_cycles.
+        let mut job = SimJob::new(
+            ModelKind::Sa1100,
+            WorkloadSpec::Named("specint".into()),
+            50_000_000,
+        );
+        job.stall_budget = Some(500);
+        job.faults = Some(FaultPlan::new(1).blackhole(100, u64::MAX));
+        let a = run_job(&job);
+        let b = run_job(&job);
+        match (&a.outcome, &b.outcome) {
+            (JobOutcome::Stalled(sa), JobOutcome::Stalled(sb)) => {
+                assert_eq!(sa, sb, "stall summaries must be deterministic");
+                assert_eq!(sa.budget, 500);
+                assert!(sa.detail.contains("budget 500"), "{}", sa.detail);
+            }
+            other => panic!("expected deterministic stalls, got {other:?}"),
+        }
+        assert!(a.cycles < 100_000, "watchdog fired late: {}", a.cycles);
+    }
+
+    #[test]
+    fn deadline_job_reports_overrun() {
+        // Host-speed dependent by design: a multi-billion-cycle VLIW loop
+        // with a tiny wall deadline must come back as DeadlineExceeded, not
+        // run to budget.
+        let mut job = SimJob::new(
+            ModelKind::Vliw,
+            WorkloadSpec::Ilp { iters: 2_000_000_000, body: 4 },
+            u64::MAX / 2,
+        );
+        job.deadline_ms = Some(5);
+        let r = run_job(&job);
+        assert!(
+            matches!(r.outcome, JobOutcome::DeadlineExceeded { .. }),
+            "{:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(JobOutcome::Halted.label(), "halted");
+        assert_eq!(
+            JobOutcome::Failed("boom".into()).label(),
+            "failed: boom"
+        );
+        let q = JobOutcome::Quarantined {
+            attempts: 2,
+            last: Box::new(JobOutcome::Panicked {
+                payload: "chaos".into(),
+            }),
+        };
+        assert_eq!(q.label(), "quarantined after 2 attempt(s); last: panicked: chaos");
+        assert!(!q.is_healthy());
+        assert!(JobOutcome::BudgetExhausted.is_healthy());
     }
 }

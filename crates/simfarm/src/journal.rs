@@ -1,0 +1,606 @@
+//! The durable sweep journal: append-only, length-prefixed, FNV-digested.
+//!
+//! ## File format
+//!
+//! ```text
+//! header  := magic "OSMFARMJ" (8 bytes)
+//!          | version  u32 LE (currently 1)
+//!          | job_count u32 LE
+//!          | jobs_digest u64 LE   (FNV-1a over the canonical job list)
+//! record  := payload_len u32 LE
+//!          | payload  (UTF-8 JSON, one completed JobResult + its index)
+//!          | payload_digest u64 LE (FNV-1a over payload)
+//! journal := header record*
+//! ```
+//!
+//! Each record is appended with a **single write** and flushed as soon as
+//! its job completes, so a crashed or killed sweep loses at most the
+//! in-flight jobs. On replay:
+//!
+//! * a **torn trailing write** (file ends mid-record) is tolerated — the
+//!   valid prefix is kept, the tail is dropped and overwritten on resume;
+//! * a **corrupt record** (fully present but failing its integrity digest,
+//!   or undecodable) is rejected with [`JournalError::CorruptRecord`] —
+//!   corruption is never silently accepted as a completed job;
+//! * a journal whose header names a **different job list** is rejected
+//!   with [`JournalError::ManifestMismatch`].
+//!
+//! The payload preserves every field the farm report renders or folds
+//! (outcome taxonomy in full, scheduler [`Stats`] including named counters,
+//! the rendered metrics fields, fault totals), which is what makes a
+//! resumed sweep's consolidated report byte-identical to an uninterrupted
+//! run's.
+
+use crate::error::JournalError;
+use crate::job::{JobOutcome, JobResult, ModelKind, SimJob, StallSummary};
+use bench::json::{parse, Json};
+use osm_core::{FaultStats, MetricsReport, StallKind, Stats};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"OSMFARMJ";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut digest = FNV_OFFSET;
+    for &b in bytes {
+        digest ^= u64::from(b);
+        digest = digest.wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// FNV-1a digest of the canonical job-list encoding: every field that
+/// affects a job's behavior, in job order. Two job lists with equal digests
+/// produce interchangeable journals; the header check rejects everything
+/// else.
+pub fn jobs_digest(jobs: &[SimJob]) -> u64 {
+    let mut canon = String::new();
+    for job in jobs {
+        canon.push_str(&format!(
+            "{}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:?}\x1f{}\x1f{:?}\x1f{:?}\x1f{}\x1f{:?}\x1e",
+            job.name,
+            job.model.name(),
+            job.workload.spelling(),
+            job.seed,
+            job.max_cycles,
+            job.scheduler,
+            job.observability,
+            job.stall_budget,
+            job.deadline_ms,
+            job.retries,
+            job.faults,
+        ));
+    }
+    fnv(canon.as_bytes())
+}
+
+/// The journal header bytes for a job list.
+pub fn header_bytes(jobs: &[SimJob]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&jobs_digest(jobs).to_le_bytes());
+    out
+}
+
+/// One completed job, encoded as a self-contained record
+/// (`len | payload | digest`).
+pub fn record_bytes(index: usize, result: &JobResult) -> Vec<u8> {
+    let payload = result_to_json(index, result).to_string().into_bytes();
+    let mut out = Vec::with_capacity(4 + payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv(&payload).to_le_bytes());
+    out
+}
+
+/// Replays journal bytes against the job list they claim to cover.
+///
+/// Returns the completed results by job index plus the byte length of the
+/// valid prefix (a resume truncates the file to that length before
+/// appending, so a torn tail is physically discarded). Duplicate indices
+/// keep the last record — a job finished in a torn run and re-run after
+/// resume writes the identical result twice.
+pub fn parse_bytes(
+    bytes: &[u8],
+    jobs: &[SimJob],
+) -> Result<(BTreeMap<usize, JobResult>, u64), JournalError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(JournalError::BadHeader {
+            why: format!("{} bytes is shorter than the {HEADER_LEN}-byte header", bytes.len()),
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(JournalError::BadHeader {
+            why: "magic bytes are not OSMFARMJ".into(),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(JournalError::BadHeader {
+            why: format!("unsupported journal version {version}"),
+        });
+    }
+    let job_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let digest = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let expected = jobs_digest(jobs);
+    if digest != expected || job_count != jobs.len() {
+        return Err(JournalError::ManifestMismatch {
+            journal: digest,
+            manifest: expected,
+        });
+    }
+
+    let mut completed = BTreeMap::new();
+    let mut off = HEADER_LEN;
+    while off < bytes.len() {
+        let remaining = bytes.len() - off;
+        if remaining < 4 {
+            break; // torn length prefix
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if remaining - 4 < len + 8 {
+            break; // torn payload or digest
+        }
+        let payload = &bytes[off + 4..off + 4 + len];
+        let stored = u64::from_le_bytes(bytes[off + 4 + len..off + 12 + len].try_into().unwrap());
+        if fnv(payload) != stored {
+            return Err(JournalError::CorruptRecord {
+                offset: off as u64,
+                why: "integrity digest mismatch".into(),
+            });
+        }
+        let corrupt = |why: String| JournalError::CorruptRecord {
+            offset: off as u64,
+            why,
+        };
+        let text = std::str::from_utf8(payload).map_err(|e| corrupt(e.to_string()))?;
+        let json = parse(text).map_err(|e| corrupt(e.to_string()))?;
+        let (index, result) = result_from_json(&json, jobs).map_err(corrupt)?;
+        completed.insert(index, result);
+        off += 4 + len + 8;
+    }
+    Ok((completed, off as u64))
+}
+
+/// Reads and replays a sweep journal file.
+pub fn read_journal(
+    path: impl AsRef<Path>,
+    jobs: &[SimJob],
+) -> Result<BTreeMap<usize, JobResult>, JournalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(parse_bytes(&bytes, jobs)?.0)
+}
+
+/// The farm's append handle on a sweep journal. One record is written (in
+/// a single `write_all`) and flushed per completed job; see the module
+/// docs for the format and crash semantics.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal for this job list and writes the
+    /// header.
+    pub fn create(path: impl AsRef<Path>, jobs: &[SimJob]) -> Result<JournalWriter, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        file.write_all(&header_bytes(jobs))?;
+        file.flush()?;
+        Ok(JournalWriter { file, path })
+    }
+
+    /// Opens an existing journal for resumption: validates the header
+    /// against `jobs`, replays the completed records, truncates any torn
+    /// tail, and positions the handle for appending. Returns the writer and
+    /// the completed results by job index.
+    pub fn resume(
+        path: impl AsRef<Path>,
+        jobs: &[SimJob],
+    ) -> Result<(JournalWriter, BTreeMap<usize, JobResult>), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (completed, valid_len) = parse_bytes(&bytes, jobs)?;
+        file.set_len(valid_len)?;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok((JournalWriter { file, path }, completed))
+    }
+
+    /// Appends one completed job atomically (single write + flush).
+    pub fn record(&mut self, index: usize, result: &JobResult) -> Result<(), JournalError> {
+        self.file.write_all(&record_bytes(index, result))?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// The journal's path (for operator messages).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON encoding of completed jobs
+// ---------------------------------------------------------------------------
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn get_str<'a>(j: &'a Json, key: &str) -> Result<&'a str, String> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn stall_kind_name(kind: StallKind) -> &'static str {
+    match kind {
+        StallKind::Wedged => "wedged",
+        StallKind::Livelock => "livelock",
+        StallKind::Starvation => "starvation",
+    }
+}
+
+fn stall_kind_parse(s: &str) -> Result<StallKind, String> {
+    match s {
+        "wedged" => Ok(StallKind::Wedged),
+        "livelock" => Ok(StallKind::Livelock),
+        "starvation" => Ok(StallKind::Starvation),
+        other => Err(format!("unknown stall kind `{other}`")),
+    }
+}
+
+fn outcome_to_json(outcome: &JobOutcome) -> Json {
+    let mut obj = BTreeMap::new();
+    match outcome {
+        JobOutcome::Halted => {
+            obj.insert("kind".into(), Json::Str("halted".into()));
+        }
+        JobOutcome::BudgetExhausted => {
+            obj.insert("kind".into(), Json::Str("budget-exhausted".into()));
+        }
+        JobOutcome::Failed(message) => {
+            obj.insert("kind".into(), Json::Str("failed".into()));
+            obj.insert("message".into(), Json::Str(message.clone()));
+        }
+        JobOutcome::Panicked { payload } => {
+            obj.insert("kind".into(), Json::Str("panicked".into()));
+            obj.insert("payload".into(), Json::Str(payload.clone()));
+        }
+        JobOutcome::Stalled(s) => {
+            obj.insert("kind".into(), Json::Str("stalled".into()));
+            obj.insert(
+                "stall_kind".into(),
+                Json::Str(stall_kind_name(s.kind).into()),
+            );
+            obj.insert("cycle".into(), num(s.cycle));
+            obj.insert("stalled_for".into(), num(s.stalled_for));
+            obj.insert("budget".into(), num(s.budget));
+            obj.insert("detail".into(), Json::Str(s.detail.clone()));
+        }
+        JobOutcome::DeadlineExceeded { cycles, deadline_ms } => {
+            obj.insert("kind".into(), Json::Str("deadline-exceeded".into()));
+            obj.insert("cycles".into(), num(*cycles));
+            obj.insert("deadline_ms".into(), num(*deadline_ms));
+        }
+        JobOutcome::Quarantined { attempts, last } => {
+            obj.insert("kind".into(), Json::Str("quarantined".into()));
+            obj.insert("attempts".into(), num(u64::from(*attempts)));
+            obj.insert("last".into(), outcome_to_json(last));
+        }
+    }
+    Json::Obj(obj)
+}
+
+fn outcome_from_json(j: &Json) -> Result<JobOutcome, String> {
+    match get_str(j, "kind")? {
+        "halted" => Ok(JobOutcome::Halted),
+        "budget-exhausted" => Ok(JobOutcome::BudgetExhausted),
+        "failed" => Ok(JobOutcome::Failed(get_str(j, "message")?.to_owned())),
+        "panicked" => Ok(JobOutcome::Panicked {
+            payload: get_str(j, "payload")?.to_owned(),
+        }),
+        "stalled" => Ok(JobOutcome::Stalled(StallSummary {
+            kind: stall_kind_parse(get_str(j, "stall_kind")?)?,
+            cycle: get_u64(j, "cycle")?,
+            stalled_for: get_u64(j, "stalled_for")?,
+            budget: get_u64(j, "budget")?,
+            detail: get_str(j, "detail")?.to_owned(),
+        })),
+        "deadline-exceeded" => Ok(JobOutcome::DeadlineExceeded {
+            cycles: get_u64(j, "cycles")?,
+            deadline_ms: get_u64(j, "deadline_ms")?,
+        }),
+        "quarantined" => Ok(JobOutcome::Quarantined {
+            attempts: u32::try_from(get_u64(j, "attempts")?)
+                .map_err(|_| "attempts out of range".to_owned())?,
+            last: Box::new(outcome_from_json(
+                j.get("last").ok_or("missing `last`")?,
+            )?),
+        }),
+        other => Err(format!("unknown outcome kind `{other}`")),
+    }
+}
+
+fn stats_to_json(stats: &Stats) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("cycles".into(), num(stats.cycles));
+    obj.insert("transitions".into(), num(stats.transitions));
+    obj.insert("condition_failures".into(), num(stats.condition_failures));
+    obj.insert("vetoed_edges".into(), num(stats.vetoed_edges));
+    obj.insert("idle_steps".into(), num(stats.idle_steps));
+    obj.insert("restarts".into(), num(stats.restarts));
+    let named: BTreeMap<String, Json> = stats
+        .named()
+        .map(|(name, value)| (name.to_owned(), num(value)))
+        .collect();
+    obj.insert("named".into(), Json::Obj(named));
+    Json::Obj(obj)
+}
+
+fn stats_from_json(j: &Json) -> Result<Stats, String> {
+    let mut stats = Stats::new();
+    stats.cycles = get_u64(j, "cycles")?;
+    stats.transitions = get_u64(j, "transitions")?;
+    stats.condition_failures = get_u64(j, "condition_failures")?;
+    stats.vetoed_edges = get_u64(j, "vetoed_edges")?;
+    stats.idle_steps = get_u64(j, "idle_steps")?;
+    stats.restarts = get_u64(j, "restarts")?;
+    if let Some(Json::Obj(named)) = j.get("named") {
+        for (name, value) in named {
+            let value = value
+                .as_u64()
+                .ok_or_else(|| format!("non-integer named counter `{name}`"))?;
+            stats.incr_dyn(name, value);
+        }
+    }
+    Ok(stats)
+}
+
+/// Only the metrics fields the farm report renders survive the journal;
+/// the full per-state/per-manager breakdowns are recomputable by re-running
+/// the job and are deliberately not persisted.
+fn metrics_to_json(m: &MetricsReport) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("completions".into(), num(m.completions));
+    obj.insert("token_grants".into(), num(m.token_grants));
+    obj.insert("token_denials".into(), num(m.token_denials));
+    Json::Obj(obj)
+}
+
+fn metrics_from_json(j: &Json) -> Result<MetricsReport, String> {
+    Ok(MetricsReport {
+        cycles: 0,
+        transitions: 0,
+        completions: get_u64(j, "completions")?,
+        token_grants: get_u64(j, "token_grants")?,
+        token_denials: get_u64(j, "token_denials")?,
+        restarts: 0,
+        states: Vec::new(),
+        managers: Vec::new(),
+        window: 0,
+        throughput: Vec::new(),
+        stalls: None,
+    })
+}
+
+fn faults_to_json(s: &FaultStats) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("denied_allocates".into(), num(s.denied_allocates));
+    obj.insert("denied_inquires".into(), num(s.denied_inquires));
+    obj.insert("deferred_releases".into(), num(s.deferred_releases));
+    obj.insert("dropped_tokens".into(), num(s.dropped_tokens));
+    obj.insert("corrupted_tokens".into(), num(s.corrupted_tokens));
+    Json::Obj(obj)
+}
+
+fn faults_from_json(j: &Json) -> Result<FaultStats, String> {
+    Ok(FaultStats {
+        denied_allocates: get_u64(j, "denied_allocates")?,
+        denied_inquires: get_u64(j, "denied_inquires")?,
+        deferred_releases: get_u64(j, "deferred_releases")?,
+        dropped_tokens: get_u64(j, "dropped_tokens")?,
+        corrupted_tokens: get_u64(j, "corrupted_tokens")?,
+    })
+}
+
+fn result_to_json(index: usize, r: &JobResult) -> Json {
+    let mut obj = BTreeMap::new();
+    obj.insert("index".into(), num(index as u64));
+    obj.insert("name".into(), Json::Str(r.name.clone()));
+    obj.insert("model".into(), Json::Str(r.model.name().into()));
+    obj.insert("workload".into(), Json::Str(r.workload.clone()));
+    obj.insert("outcome".into(), outcome_to_json(&r.outcome));
+    obj.insert("cycles".into(), num(r.cycles));
+    obj.insert("retired".into(), num(r.retired));
+    obj.insert("exit_code".into(), num(u64::from(r.exit_code)));
+    obj.insert("digest".into(), Json::Str(format!("{:016x}", r.digest)));
+    obj.insert("attempts".into(), num(u64::from(r.attempts)));
+    if let Some(stats) = &r.stats {
+        obj.insert("stats".into(), stats_to_json(stats));
+    }
+    if let Some(metrics) = &r.metrics {
+        obj.insert("metrics".into(), metrics_to_json(metrics));
+    }
+    if let Some(faults) = &r.fault_stats {
+        obj.insert("faults".into(), faults_to_json(faults));
+    }
+    Json::Obj(obj)
+}
+
+fn result_from_json(j: &Json, jobs: &[SimJob]) -> Result<(usize, JobResult), String> {
+    let index = get_u64(j, "index")? as usize;
+    if index >= jobs.len() {
+        return Err(format!("job index {index} out of range ({} jobs)", jobs.len()));
+    }
+    let model_name = get_str(j, "model")?;
+    let model = ModelKind::parse(model_name)
+        .ok_or_else(|| format!("unknown model `{model_name}`"))?;
+    let digest_hex = get_str(j, "digest")?;
+    let digest = u64::from_str_radix(digest_hex, 16)
+        .map_err(|_| format!("bad digest `{digest_hex}`"))?;
+    let result = JobResult {
+        name: get_str(j, "name")?.to_owned(),
+        model,
+        workload: get_str(j, "workload")?.to_owned(),
+        outcome: outcome_from_json(j.get("outcome").ok_or("missing `outcome`")?)?,
+        cycles: get_u64(j, "cycles")?,
+        retired: get_u64(j, "retired")?,
+        exit_code: u32::try_from(get_u64(j, "exit_code")?)
+            .map_err(|_| "exit_code out of range".to_owned())?,
+        digest,
+        attempts: u32::try_from(get_u64(j, "attempts")?)
+            .map_err(|_| "attempts out of range".to_owned())?,
+        stats: j.get("stats").map(stats_from_json).transpose()?,
+        metrics: j.get("metrics").map(metrics_from_json).transpose()?,
+        fault_stats: j.get("faults").map(faults_from_json).transpose()?,
+    };
+    Ok((index, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::run_job;
+
+    fn sample_jobs() -> Vec<SimJob> {
+        (0..3)
+            .map(|i| SimJob::minirisc_random(i, 32, 10_000))
+            .collect()
+    }
+
+    fn journal_bytes_for(jobs: &[SimJob], upto: usize) -> Vec<u8> {
+        let mut bytes = header_bytes(jobs);
+        for (i, job) in jobs.iter().take(upto).enumerate() {
+            bytes.extend_from_slice(&record_bytes(i, &run_job(job)));
+        }
+        bytes
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_json() {
+        let outcomes = [
+            JobOutcome::Halted,
+            JobOutcome::BudgetExhausted,
+            JobOutcome::Failed("some \"quoted\" error\nwith newline".into()),
+            JobOutcome::Panicked {
+                payload: "chaos:panic workload fired".into(),
+            },
+            JobOutcome::Stalled(StallSummary {
+                kind: StallKind::Livelock,
+                cycle: 1234,
+                stalled_for: 500,
+                budget: 500,
+                detail: "livelock detected at control step 1234".into(),
+            }),
+            JobOutcome::DeadlineExceeded {
+                cycles: 99,
+                deadline_ms: 10,
+            },
+            JobOutcome::Quarantined {
+                attempts: 2,
+                last: Box::new(JobOutcome::Panicked {
+                    payload: "inner".into(),
+                }),
+            },
+        ];
+        for outcome in outcomes {
+            let encoded = outcome_to_json(&outcome).to_string();
+            let decoded = outcome_from_json(&parse(&encoded).unwrap()).unwrap();
+            assert_eq!(decoded, outcome, "{encoded}");
+        }
+    }
+
+    #[test]
+    fn records_round_trip_byte_identically() {
+        let jobs = sample_jobs();
+        let bytes = journal_bytes_for(&jobs, 3);
+        let (completed, valid_len) = parse_bytes(&bytes, &jobs).unwrap();
+        assert_eq!(valid_len as usize, bytes.len());
+        assert_eq!(completed.len(), 3);
+        for (i, job) in jobs.iter().enumerate() {
+            let original = run_job(job);
+            let replayed = &completed[&i];
+            assert_eq!(replayed.name, original.name);
+            assert_eq!(replayed.digest, original.digest);
+            assert_eq!(replayed.outcome, original.outcome);
+            assert_eq!(replayed.cycles, original.cycles);
+            // Re-encoding the replayed result reproduces the exact record.
+            assert_eq!(record_bytes(i, replayed), record_bytes(i, &original));
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_corrupt_record_rejected() {
+        let jobs = sample_jobs();
+        let full = journal_bytes_for(&jobs, 2);
+        let header_and_one = journal_bytes_for(&jobs, 1).len();
+
+        // Torn tail: cut anywhere inside the second record.
+        let torn = &full[..header_and_one + 5];
+        let (completed, valid_len) = parse_bytes(torn, &jobs).unwrap();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(valid_len as usize, header_and_one);
+
+        // Corrupt record: flip a payload byte of the first record.
+        let mut corrupt = full.clone();
+        corrupt[HEADER_LEN + 10] ^= 0xFF;
+        match parse_bytes(&corrupt, &jobs) {
+            Err(JournalError::CorruptRecord { offset, .. }) => {
+                assert_eq!(offset as usize, HEADER_LEN)
+            }
+            other => panic!("expected CorruptRecord, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_job_list_is_rejected() {
+        let jobs = sample_jobs();
+        let bytes = journal_bytes_for(&jobs, 1);
+        let mut other = sample_jobs();
+        other[0].seed = 999;
+        match parse_bytes(&bytes, &other) {
+            Err(JournalError::ManifestMismatch { .. }) => {}
+            other => panic!("expected ManifestMismatch, got {other:?}"),
+        }
+        // Same list parses fine.
+        assert!(parse_bytes(&bytes, &jobs).is_ok());
+    }
+
+    #[test]
+    fn jobs_digest_tracks_every_supervision_field() {
+        let base = sample_jobs();
+        let d0 = jobs_digest(&base);
+        for mutate in [
+            (|j: &mut SimJob| j.stall_budget = Some(1)) as fn(&mut SimJob),
+            |j| j.deadline_ms = Some(1),
+            |j| j.retries = 9,
+            |j| j.max_cycles += 1,
+            |j| j.seed += 1,
+            |j| j.name.push('x'),
+        ] {
+            let mut jobs = base.clone();
+            mutate(&mut jobs[0]);
+            assert_ne!(jobs_digest(&jobs), d0);
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! # simfarm — a sharded parallel simulation farm over the OSM models
+//! # simfarm — a supervised, sharded parallel simulation farm over the OSM models
 //!
 //! Every OSM machine instance is fully independent: a simulation *job*
 //! (model × workload × config × seed × observability flags) owns its whole
@@ -6,10 +6,23 @@
 //! threads. This crate provides:
 //!
 //! * [`SimJob`] — one self-contained simulation over any of the four machine
-//!   models (SA-1100 OSM, PPC-750 OSM, MiniRISC ISS, VLIW OSM);
-//! * [`run_parallel`] — a work-stealing `std::thread` farm executing a job
-//!   list across worker threads;
+//!   models (SA-1100 OSM, PPC-750 OSM, MiniRISC ISS, VLIW OSM), carrying its
+//!   own supervision bounds (stall budget, wall deadline, retry count);
+//! * [`run_parallel`] / [`run_farm`] — a work-stealing `std::thread` farm
+//!   executing a job list across worker threads under full supervision:
+//!   panics are caught and typed ([`JobOutcome::Panicked`]), wedged jobs are
+//!   diagnosed by the stall watchdog ([`JobOutcome::Stalled`]), overruns hit
+//!   wall deadlines ([`JobOutcome::DeadlineExceeded`]), and persistently
+//!   unhealthy jobs are retried then quarantined
+//!   ([`JobOutcome::Quarantined`]) — one poison job never takes down a
+//!   sweep;
 //! * [`run_serial`] — the single-thread oracle the farm is checked against;
+//! * [`JournalWriter`] / [`read_journal`] — an append-only, digest-checked
+//!   sweep journal: each completed job is recorded atomically, so a killed
+//!   sweep resumes (`simfarm --resume`) skipping everything already done,
+//!   tolerating torn trailing writes and rejecting corrupt records;
+//! * [`CancelToken`] — cooperative cancellation: workers finish in-flight
+//!   jobs, the journal is flushed, and the sweep exits resumable;
 //! * [`FarmReport`] — deterministic aggregation: per-job FNV trace digests,
 //!   [`osm_core::Stats`] and [`osm_core::MetricsReport`]s merged in
 //!   **job-index order**, regardless of completion order.
@@ -21,9 +34,15 @@
 //! mutable state. Token transactions therefore never interleave across
 //! threads — each director runs its sequential Fig. 3 schedule exactly as it
 //! would alone — so every per-job trace digest is bit-identical to the same
-//! job's serial-run digest, and the aggregated report (written in job-index
-//! order) is byte-identical however the jobs were scheduled. The
-//! `simfarm_smoke` binary enforces this equivalence in CI.
+//! job's serial-run digest, and the canonical report rendering
+//! ([`FarmReport::canonical_text`]) is byte-identical however the jobs were
+//! scheduled — across worker counts, and across killed-and-resumed vs
+//! uninterrupted sweeps. Supervision preserves this: retries re-run the
+//! same deterministic job, quarantine decisions depend only on outcomes,
+//! and the journal stores results losslessly. The single documented
+//! exception is the wall-clock deadline ([`SimJob::deadline_ms`]), which is
+//! host-speed dependent by nature. The `simfarm_smoke` and `chaos_smoke`
+//! binaries enforce these equivalences in CI.
 //!
 //! ## Quickstart
 //!
@@ -34,7 +53,7 @@
 //!     .map(|i| SimJob::minirisc_random(i, 64, 20_000))
 //!     .collect();
 //! let serial = run_serial(&jobs);
-//! let parallel = run_parallel(&jobs, 4);
+//! let parallel = run_parallel(&jobs, 4).unwrap();
 //! for (s, p) in serial.iter().zip(&parallel) {
 //!     assert_eq!(s.digest, p.digest);
 //! }
@@ -44,12 +63,21 @@
 
 #![warn(missing_docs)]
 
+mod error;
 mod job;
+pub mod journal;
 mod manifest;
 mod queue;
 mod report;
+mod supervise;
 
-pub use job::{run_job, JobOutcome, JobResult, ModelKind, SimJob, WorkloadSpec};
+pub use error::{FarmError, JournalError};
+pub use job::{
+    run_job, JobOutcome, JobResult, ModelKind, SimJob, StallSummary, WorkloadSpec,
+    DEFAULT_RETRIES, DEFAULT_STALL_BUDGET,
+};
+pub use journal::{read_journal, JournalWriter};
 pub use manifest::{parse_manifest, Manifest, ManifestError};
-pub use queue::{run_parallel, run_serial};
+pub use queue::{run_farm, run_parallel, run_serial, FarmOptions, SweepRun};
 pub use report::FarmReport;
+pub use supervise::{run_job_supervised, CancelToken};

@@ -16,8 +16,23 @@
 //! Every job field except `model` and `workload` is optional and falls back
 //! to the `defaults` object, then to built-in defaults (`max_cycles` 100000,
 //! scheduler `fast`, observability off, seed 0, no faults).
+//!
+//! ## Supervision knobs
+//!
+//! Three more per-job fields (also honored in `defaults`) configure the
+//! supervised farm:
+//!
+//! * `"stall_budget"` — cycles without forward progress before the PR-1
+//!   watchdog declares the job stalled. Armed at
+//!   [`crate::DEFAULT_STALL_BUDGET`] when omitted; `0` disarms the
+//!   watchdog entirely.
+//! * `"deadline_ms"` — wall-clock deadline per job, in milliseconds
+//!   (`0` = none, the default). Host-speed dependent by nature; keep it out
+//!   of manifests whose reports must be byte-reproducible.
+//! * `"retries"` — how many times an unhealthy job is deterministically
+//!   re-run before quarantine ([`crate::DEFAULT_RETRIES`] when omitted).
 
-use crate::job::{ModelKind, SimJob, WorkloadSpec};
+use crate::job::{ModelKind, SimJob, WorkloadSpec, DEFAULT_RETRIES, DEFAULT_STALL_BUDGET};
 use bench::json::{parse, Json};
 use osm_core::{FaultPlan, SchedulerMode};
 use std::fmt;
@@ -60,6 +75,9 @@ struct Defaults {
     max_cycles: u64,
     scheduler: SchedulerMode,
     observability: bool,
+    stall_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    retries: u32,
 }
 
 impl Default for Defaults {
@@ -68,8 +86,20 @@ impl Default for Defaults {
             max_cycles: 100_000,
             scheduler: SchedulerMode::Fast,
             observability: false,
+            stall_budget: Some(DEFAULT_STALL_BUDGET),
+            deadline_ms: None,
+            retries: DEFAULT_RETRIES,
         }
     }
+}
+
+/// Parses a `stall_budget`/`deadline_ms`-style knob: an integer where `0`
+/// means "off" (`None`).
+fn zero_is_off(v: &Json, ctx: &str) -> Result<Option<u64>, ManifestError> {
+    let n = v
+        .as_u64()
+        .ok_or_else(|| ManifestError::new(format!("{ctx} must be a non-negative integer")))?;
+    Ok(if n == 0 { None } else { Some(n) })
 }
 
 /// Parses a manifest document into a job list.
@@ -111,6 +141,18 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
             defaults.observability = o
                 .as_bool()
                 .ok_or_else(|| ManifestError::new("defaults.observability must be a boolean"))?;
+        }
+        if let Some(v) = d.get("stall_budget") {
+            defaults.stall_budget = zero_is_off(v, "defaults.stall_budget")?;
+        }
+        if let Some(v) = d.get("deadline_ms") {
+            defaults.deadline_ms = zero_is_off(v, "defaults.deadline_ms")?;
+        }
+        if let Some(v) = d.get("retries") {
+            defaults.retries = v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| ManifestError::new("defaults.retries must be a small integer"))?;
         }
     }
 
@@ -156,6 +198,9 @@ fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, Manif
     let mut job = SimJob::new(model, workload, defaults.max_cycles);
     job.scheduler = defaults.scheduler;
     job.observability = defaults.observability;
+    job.stall_budget = defaults.stall_budget;
+    job.deadline_ms = defaults.deadline_ms;
+    job.retries = defaults.retries;
     job.name = format!("{}/{}#{}", model.name(), workload_name, index);
 
     if let Some(v) = j.get("name") {
@@ -181,6 +226,18 @@ fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, Manif
         job.observability = v
             .as_bool()
             .ok_or_else(|| ManifestError::new(format!("{} must be a boolean", ctx("observability"))))?;
+    }
+    if let Some(v) = j.get("stall_budget") {
+        job.stall_budget = zero_is_off(v, &ctx("stall_budget"))?;
+    }
+    if let Some(v) = j.get("deadline_ms") {
+        job.deadline_ms = zero_is_off(v, &ctx("deadline_ms"))?;
+    }
+    if let Some(v) = j.get("retries") {
+        job.retries = v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| ManifestError::new(format!("{} must be a small integer", ctx("retries"))))?;
     }
     if let Some(v) = j.get("faults") {
         job.faults = Some(parse_faults(v, &ctx("faults"))?);
@@ -309,6 +366,36 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("probability"), "{err}");
+    }
+
+    #[test]
+    fn supervision_knobs_parse_with_defaults_and_overrides() {
+        let text = r#"{
+            "defaults": { "stall_budget": 5000, "retries": 3 },
+            "jobs": [
+                { "model": "sa1100", "workload": "specint" },
+                { "model": "sa1100", "workload": "specint",
+                  "stall_budget": 0, "deadline_ms": 250, "retries": 0 },
+                { "model": "minirisc", "workload": "chaos:panic" }
+            ]
+        }"#;
+        let m = parse_manifest(text).unwrap();
+        assert_eq!(m.jobs[0].stall_budget, Some(5000));
+        assert_eq!(m.jobs[0].deadline_ms, None);
+        assert_eq!(m.jobs[0].retries, 3);
+        assert_eq!(m.jobs[1].stall_budget, None, "0 disarms the watchdog");
+        assert_eq!(m.jobs[1].deadline_ms, Some(250));
+        assert_eq!(m.jobs[1].retries, 0);
+        assert_eq!(
+            m.jobs[2].workload,
+            crate::job::WorkloadSpec::ChaosPanic,
+            "chaos workloads are manifest-spellable"
+        );
+        // Untouched manifests keep the built-in supervision defaults.
+        let plain =
+            parse_manifest(r#"{"jobs":[{"model":"sa1100","workload":"specint"}]}"#).unwrap();
+        assert_eq!(plain.jobs[0].stall_budget, Some(DEFAULT_STALL_BUDGET));
+        assert_eq!(plain.jobs[0].retries, DEFAULT_RETRIES);
     }
 
     #[test]

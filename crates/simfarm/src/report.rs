@@ -5,8 +5,18 @@
 //! that order, so the rendered report — text or JSON — is byte-identical
 //! across runs and worker counts. 64-bit digests travel as hex strings in
 //! the JSON form because JSON numbers are doubles.
+//!
+//! Two renderings exist: the operator one ([`fmt::Display`] / `to_json`),
+//! which includes the worker count and wall time, and the **canonical** one
+//! ([`FarmReport::canonical_text`] / [`FarmReport::canonical_json`]), which
+//! scrubs those two environment-dependent fields. The canonical renderings
+//! are the byte-identity contract: equal for the same job list whether the
+//! sweep ran on 1 worker or 8, uninterrupted or killed-and-resumed. (Jobs
+//! with wall-clock deadlines are the documented exception — see
+//! [`crate::SimJob::deadline_ms`].)
 
 use crate::job::{JobOutcome, JobResult};
+use crate::queue::SweepRun;
 use bench::json::Json;
 use osm_core::Stats;
 use std::collections::BTreeMap;
@@ -23,8 +33,16 @@ pub struct FarmReport {
     pub total_cycles: u64,
     /// Retired instructions/operations summed over every job.
     pub total_retired: u64,
-    /// Jobs that failed with a model error.
+    /// Jobs whose outcome is unhealthy (failed, panicked, stalled,
+    /// deadline-exceeded or quarantined).
     pub failures: usize,
+    /// Jobs the supervisor quarantined (a subset of `failures`).
+    pub quarantined: usize,
+    /// Jobs restored from a sweep journal instead of run in this process
+    /// (0 for a fresh sweep).
+    pub restored: usize,
+    /// Jobs that never completed because the sweep was cancelled.
+    pub pending: usize,
     /// Worker threads the sweep ran on (1 = serial).
     pub workers: usize,
     /// Wall-clock seconds for the whole sweep (0.0 when not measured).
@@ -39,11 +57,15 @@ impl FarmReport {
         let mut total_cycles = 0u64;
         let mut total_retired = 0u64;
         let mut failures = 0usize;
+        let mut quarantined = 0usize;
         for job in &jobs {
             total_cycles += job.cycles;
             total_retired += job.retired;
             if !job.is_ok() {
                 failures += 1;
+            }
+            if matches!(job.outcome, JobOutcome::Quarantined { .. }) {
+                quarantined += 1;
             }
             if let Some(stats) = &job.stats {
                 total_stats.cycles += stats.cycles;
@@ -63,9 +85,26 @@ impl FarmReport {
             total_cycles,
             total_retired,
             failures,
+            quarantined,
+            restored: 0,
+            pending: 0,
             workers,
             wall_seconds,
         }
+    }
+
+    /// Folds a (possibly partial) supervised sweep: completed results in
+    /// job-index order, with the restored and pending counts carried over.
+    /// Deterministic for the same set of completed jobs regardless of how
+    /// the sweep was interrupted.
+    pub fn consolidate_sweep(run: &SweepRun, workers: usize, wall_seconds: f64) -> FarmReport {
+        let restored = run.restored;
+        let pending = run.pending().len();
+        let jobs: Vec<JobResult> = run.completed.values().cloned().collect();
+        let mut report = FarmReport::consolidate(jobs, workers, wall_seconds);
+        report.restored = restored;
+        report.pending = pending;
+        report
     }
 
     /// Simulated cycles per wall-clock second (the farm's headline
@@ -78,6 +117,30 @@ impl FarmReport {
         }
     }
 
+    /// A copy with the environment-dependent fields (worker count, wall
+    /// time, restored-from-journal count) scrubbed; the basis of the
+    /// byte-identity gates.
+    fn canonical(&self) -> FarmReport {
+        let mut c = self.clone();
+        c.workers = 0;
+        c.wall_seconds = 0.0;
+        c.restored = 0;
+        c
+    }
+
+    /// The canonical text rendering: byte-identical across worker counts
+    /// and across interrupted-then-resumed vs uninterrupted sweeps of the
+    /// same job list.
+    pub fn canonical_text(&self) -> String {
+        self.canonical().to_string()
+    }
+
+    /// The canonical JSON rendering (same contract as
+    /// [`FarmReport::canonical_text`]).
+    pub fn canonical_json(&self) -> String {
+        self.canonical().to_json().to_string()
+    }
+
     /// The report as a JSON document (digests as 16-digit hex strings).
     pub fn to_json(&self) -> Json {
         let jobs = self
@@ -88,14 +151,8 @@ impl FarmReport {
                 obj.insert("name".into(), Json::Str(job.name.clone()));
                 obj.insert("model".into(), Json::Str(job.model.name().into()));
                 obj.insert("workload".into(), Json::Str(job.workload.clone()));
-                obj.insert(
-                    "outcome".into(),
-                    Json::Str(match &job.outcome {
-                        JobOutcome::Halted => "halted".into(),
-                        JobOutcome::BudgetExhausted => "budget-exhausted".into(),
-                        JobOutcome::Failed(msg) => format!("failed: {msg}"),
-                    }),
-                );
+                obj.insert("outcome".into(), Json::Str(job.outcome.label()));
+                obj.insert("attempts".into(), Json::Num(f64::from(job.attempts)));
                 obj.insert("cycles".into(), Json::Num(job.cycles as f64));
                 obj.insert("retired".into(), Json::Num(job.retired as f64));
                 obj.insert("exit_code".into(), Json::Num(f64::from(job.exit_code)));
@@ -128,12 +185,28 @@ impl FarmReport {
             Json::Num(self.total_stats.transitions as f64),
         );
         totals.insert("failures".into(), Json::Num(self.failures as f64));
+        totals.insert("quarantined".into(), Json::Num(self.quarantined as f64));
+        totals.insert("pending".into(), Json::Num(self.pending as f64));
         let mut root = BTreeMap::new();
         root.insert("jobs".into(), Json::Arr(jobs));
         root.insert("totals".into(), Json::Obj(totals));
         root.insert("workers".into(), Json::Num(self.workers as f64));
+        root.insert("restored".into(), Json::Num(self.restored as f64));
         root.insert("wall_seconds".into(), Json::Num(self.wall_seconds));
         Json::Obj(root)
+    }
+}
+
+/// One-word table marker for a job's outcome.
+fn marker(outcome: &JobOutcome) -> &'static str {
+    match outcome {
+        JobOutcome::Halted => "",
+        JobOutcome::BudgetExhausted => " (budget)",
+        JobOutcome::Failed(_) => " (FAILED)",
+        JobOutcome::Panicked { .. } => " (PANICKED)",
+        JobOutcome::Stalled(_) => " (STALLED)",
+        JobOutcome::DeadlineExceeded { .. } => " (DEADLINE)",
+        JobOutcome::Quarantined { .. } => " (QUARANTINED)",
     }
 }
 
@@ -147,24 +220,40 @@ impl fmt::Display for FarmReport {
             self.wall_seconds,
             self.failures
         )?;
+        if self.restored > 0 || self.pending > 0 {
+            writeln!(
+                f,
+                "resume: {} restored from journal, {} pending",
+                self.restored, self.pending
+            )?;
+        }
         writeln!(
             f,
             "{:<28} {:<10} {:>10} {:>10} {:>5}  digest",
             "job", "model", "cycles", "retired", "exit"
         )?;
         for job in &self.jobs {
-            let marker = match &job.outcome {
-                JobOutcome::Halted => "",
-                JobOutcome::BudgetExhausted => " (budget)",
-                JobOutcome::Failed(_) => " (FAILED)",
-            };
             writeln!(
                 f,
                 "{:<28} {:<10} {:>10} {:>10} {:>5}  {:016x}{}",
-                job.name, job.model, job.cycles, job.retired, job.exit_code, job.digest, marker
+                job.name,
+                job.model,
+                job.cycles,
+                job.retired,
+                job.exit_code,
+                job.digest,
+                marker(&job.outcome)
             )?;
-            if let JobOutcome::Failed(msg) = &job.outcome {
-                writeln!(f, "    error: {msg}")?;
+            if !job.outcome.is_healthy() {
+                writeln!(f, "    outcome: {}", job.outcome.label())?;
+            }
+        }
+        if self.quarantined > 0 {
+            writeln!(f, "quarantine: {} job(s)", self.quarantined)?;
+            for job in &self.jobs {
+                if matches!(job.outcome, JobOutcome::Quarantined { .. }) {
+                    writeln!(f, "    {} — {}", job.name, job.outcome.label())?;
+                }
             }
         }
         writeln!(
@@ -183,7 +272,7 @@ impl fmt::Display for FarmReport {
 mod tests {
     use super::*;
     use crate::job::{run_job, SimJob};
-    use crate::queue::run_serial;
+    use crate::queue::{run_farm, run_serial, FarmOptions};
 
     #[test]
     fn report_renders_and_serializes_deterministically() {
@@ -215,5 +304,60 @@ mod tests {
         let report = FarmReport::consolidate(vec![r1, r2], 1, 0.0);
         assert_eq!(report.total_stats.transitions, 2 * transitions);
         assert_eq!(report.failures, 0);
+        assert_eq!(report.quarantined, 0);
+    }
+
+    #[test]
+    fn canonical_renderings_scrub_environment_fields() {
+        let jobs: Vec<SimJob> = (0..2)
+            .map(|i| SimJob::minirisc_random(i, 32, 20_000))
+            .collect();
+        let fast = FarmReport::consolidate(run_serial(&jobs), 1, 0.123);
+        let wide = FarmReport::consolidate(run_serial(&jobs), 8, 9.876);
+        assert_ne!(fast.to_string(), wide.to_string());
+        assert_eq!(fast.canonical_text(), wide.canonical_text());
+        assert_eq!(fast.canonical_json(), wide.canonical_json());
+    }
+
+    #[test]
+    fn quarantined_jobs_get_their_own_section() {
+        let mut chaos = SimJob::chaos_panic("boom");
+        chaos.retries = 0;
+        let jobs = vec![SimJob::minirisc_random(0, 32, 20_000), chaos];
+        let report = FarmReport::consolidate(run_serial(&jobs), 1, 0.0);
+        assert_eq!(report.failures, 1);
+        assert_eq!(report.quarantined, 1);
+        let text = report.to_string();
+        assert!(text.contains("quarantine: 1 job(s)"), "{text}");
+        assert!(text.contains("panicked"), "{text}");
+        let json = report.to_json().to_string();
+        assert!(json.contains("\"quarantined\":1"), "{json}");
+    }
+
+    #[test]
+    fn partial_sweep_consolidates_with_pending_count() {
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| SimJob::minirisc_random(i, 32, 20_000))
+            .collect();
+        let oracle = run_serial(&jobs);
+        let completed: BTreeMap<usize, JobResult> =
+            oracle.iter().take(2).cloned().enumerate().collect();
+        let cancel = crate::supervise::CancelToken::new();
+        cancel.cancel();
+        let run = run_farm(
+            &jobs,
+            2,
+            FarmOptions {
+                cancel,
+                completed,
+                ..FarmOptions::default()
+            },
+        )
+        .unwrap();
+        let report = FarmReport::consolidate_sweep(&run, 2, 0.0);
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.pending, 2);
+        assert_eq!(report.restored, 2);
+        assert!(report.to_string().contains("2 restored from journal, 2 pending"));
     }
 }

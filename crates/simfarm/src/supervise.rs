@@ -1,0 +1,157 @@
+//! Supervision: crash isolation, deterministic retries, quarantine, and
+//! cooperative cancellation.
+//!
+//! [`run_job_supervised`] is the only way the farm executes a job. It wraps
+//! the raw [`run_job`] in [`std::panic::catch_unwind`] so a panicking job
+//! becomes a typed [`JobOutcome::Panicked`] instead of unwinding through
+//! `std::thread::scope` and killing the whole sweep, re-runs unhealthy jobs
+//! up to the job's retry bound, and quarantines jobs that stay unhealthy.
+//! Because jobs are deterministic, the whole attempt sequence — and
+//! therefore the final [`JobResult`] — is a pure function of the
+//! [`SimJob`], independent of worker count and scheduling.
+
+use crate::job::{run_job, JobOutcome, JobResult, SimJob};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation token shared between the farm and its
+/// operator (CLI signal timers, tests, embedding services). Cancelling does
+/// **not** abort in-flight jobs — workers finish what they started, the
+/// journal is flushed, and the sweep exits in a resumable state; workers
+/// simply stop taking new jobs.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests graceful shutdown. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called (on any clone).
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Renders a panic payload: the common `&str`/`String` payloads verbatim,
+/// anything else as a fixed placeholder (payloads need not be printable).
+fn payload_string(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "<non-string panic payload>".to_owned(),
+        },
+    }
+}
+
+/// One isolated attempt: a panic anywhere inside [`run_job`] is caught and
+/// reported as [`JobOutcome::Panicked`].
+fn run_attempt(job: &SimJob) -> JobResult {
+    match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+        Ok(result) => result,
+        Err(payload) => JobResult::aborted(
+            job,
+            JobOutcome::Panicked {
+                payload: payload_string(payload),
+            },
+        ),
+    }
+}
+
+/// Runs one job under full supervision: crash isolation, up to
+/// `1 + job.retries` deterministic attempts, and quarantine once every
+/// attempt came back unhealthy. The returned result carries the attempt
+/// count; a quarantined result keeps the last attempt's machine output
+/// (cycles, digest, stats) with its outcome wrapped in
+/// [`JobOutcome::Quarantined`].
+pub fn run_job_supervised(job: &SimJob) -> JobResult {
+    let attempts_allowed = job.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut result = run_attempt(job);
+        result.attempts = attempt;
+        if result.outcome.is_healthy() {
+            return result;
+        }
+        if attempt >= attempts_allowed {
+            result.outcome = JobOutcome::Quarantined {
+                attempts: attempt,
+                last: Box::new(result.outcome),
+            };
+            return result;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ModelKind, WorkloadSpec};
+
+    #[test]
+    fn cancel_token_propagates_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn panicking_job_is_caught_and_quarantined() {
+        let mut job = SimJob::chaos_panic("boom");
+        job.retries = 2;
+        let r = run_job_supervised(&job);
+        match &r.outcome {
+            JobOutcome::Quarantined { attempts, last } => {
+                assert_eq!(*attempts, 3);
+                match last.as_ref() {
+                    JobOutcome::Panicked { payload } => {
+                        assert!(payload.contains("chaos:panic"), "{payload}")
+                    }
+                    other => panic!("expected Panicked, got {other:?}"),
+                }
+            }
+            other => panic!("expected Quarantined, got {other:?}"),
+        }
+        assert_eq!(r.attempts, 3);
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn healthy_job_takes_one_attempt() {
+        let job = SimJob::minirisc_random(1, 32, 10_000);
+        let r = run_job_supervised(&job);
+        assert_eq!(r.attempts, 1);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn failed_job_is_retried_then_quarantined_deterministically() {
+        let mut job = SimJob::new(
+            ModelKind::Sa1100,
+            WorkloadSpec::Named("no-such-workload".into()),
+            1000,
+        );
+        job.retries = 1;
+        let a = run_job_supervised(&job);
+        let b = run_job_supervised(&job);
+        assert_eq!(a.outcome, b.outcome);
+        assert!(matches!(
+            &a.outcome,
+            JobOutcome::Quarantined { attempts: 2, last } if matches!(last.as_ref(), JobOutcome::Failed(_))
+        ));
+    }
+}

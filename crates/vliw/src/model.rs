@@ -422,6 +422,19 @@ impl VliwSim {
         FaultInjector::install(&mut self.machine.managers, target, plan)
     }
 
+    /// Arms the stall watchdog: if no OSM makes progress for `cycles`
+    /// consecutive cycles (see [`osm_core::Machine::set_stall_limit`]),
+    /// stepping fails with a diagnosed [`osm_core::ModelError::Stalled`].
+    pub fn set_stall_limit(&mut self, cycles: Option<u64>) {
+        self.machine.set_stall_limit(cycles);
+    }
+
+    /// True once the halting bundle has retired (chunked run loops use
+    /// this to distinguish halt from an exhausted per-chunk cycle target).
+    pub fn halted(&self) -> bool {
+        self.machine.shared.halted
+    }
+
     /// Runs until the halting bundle retires or `max_cycles` pass.
     ///
     /// # Errors
