@@ -4,7 +4,7 @@
 //! observability exporters carries its own strict recursive-descent JSON
 //! parser plus a checker for the small JSON-Schema subset used by the
 //! checked-in schemas under `schemas/` (`type`, `properties`, `required`,
-//! `items`, `enum`, `additionalProperties: false`).
+//! `items`, `enum`, `additionalProperties: false`, `minimum`, `minItems`).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -403,9 +403,24 @@ fn check(value: &Json, schema: &Json, path: &str, problems: &mut Vec<String>) {
             }
         }
     }
-    if let (Json::Arr(items), Some(item_schema)) = (value, schema.get("items")) {
-        for (i, item) in items.iter().enumerate() {
-            check(item, item_schema, &format!("{path}[{i}]"), problems);
+    if let (Json::Num(n), Some(min)) = (value, schema.get("minimum").and_then(Json::as_num)) {
+        if *n < min {
+            problems.push(format!("{path}: {n} is below minimum {min}"));
+        }
+    }
+    if let Json::Arr(items) = value {
+        if let Some(min) = schema.get("minItems").and_then(Json::as_u64) {
+            if (items.len() as u64) < min {
+                problems.push(format!(
+                    "{path}: array has {} item(s), fewer than minItems {min}",
+                    items.len()
+                ));
+            }
+        }
+        if let Some(item_schema) = schema.get("items") {
+            for (i, item) in items.iter().enumerate() {
+                check(item, item_schema, &format!("{path}[{i}]"), problems);
+            }
         }
     }
 }
@@ -442,5 +457,27 @@ mod tests {
         assert!(check_schema(&parse(r#"{"n":3,"s":"ok"}"#).unwrap(), &schema).is_empty());
         let bad = check_schema(&parse(r#"{"n":3.5,"x":1}"#).unwrap(), &schema);
         assert_eq!(bad.len(), 2, "{bad:?}");
+    }
+
+    #[test]
+    fn minimum_bounds_numbers() {
+        let schema = parse(r#"{"type":"number","minimum":0}"#).unwrap();
+        assert!(check_schema(&parse("0").unwrap(), &schema).is_empty());
+        assert!(check_schema(&parse("1.5").unwrap(), &schema).is_empty());
+        let bad = check_schema(&parse("-0.5").unwrap(), &schema);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("below minimum"), "{bad:?}");
+    }
+
+    #[test]
+    fn min_items_bounds_arrays() {
+        let schema = parse(r#"{"type":"array","minItems":2,"items":{"type":"integer"}}"#).unwrap();
+        assert!(check_schema(&parse("[1,2]").unwrap(), &schema).is_empty());
+        let bad = check_schema(&parse("[1]").unwrap(), &schema);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].contains("minItems"), "{bad:?}");
+        // Item checks still run alongside the length check.
+        let both = check_schema(&parse(r#"["x"]"#).unwrap(), &schema);
+        assert_eq!(both.len(), 2, "{both:?}");
     }
 }

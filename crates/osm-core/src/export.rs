@@ -19,6 +19,11 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    esc(s)
+}
+
+/// Escapes a string for embedding in a JSON string literal.
 fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -42,6 +47,93 @@ fn manager_name(managers: &ManagerTable, id: crate::ids::ManagerId) -> String {
         .try_get(id)
         .map(|m| m.name().to_owned())
         .unwrap_or_else(|| format!("<unknown {id}>"))
+}
+
+/// Incremental writer for Chrome Trace Event Format documents (the
+/// JSON-object form with a `traceEvents` array, understood by
+/// `chrome://tracing` and Perfetto).
+///
+/// [`chrome_trace`] renders machine event logs through it, and the
+/// `simfarm` crate's farm-schedule exporter reuses it for fleet-level
+/// traces, so every trace this workspace emits shares one writer and one
+/// envelope shape. Event `name`s are escaped by the builder; `args_json`
+/// parameters are embedded verbatim and must already be a valid JSON
+/// object literal (use [`json_escape`] for string members).
+#[derive(Debug, Default)]
+pub struct TraceJsonBuilder {
+    events: Vec<String>,
+}
+
+impl TraceJsonBuilder {
+    /// An empty builder.
+    pub fn new() -> TraceJsonBuilder {
+        TraceJsonBuilder::default()
+    }
+
+    /// Events queued so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no event has been queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `"M"` metadata event naming a process track.
+    pub fn process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            esc(name)
+        ));
+    }
+
+    /// `"M"` metadata event naming a thread lane within a process track.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            esc(name)
+        ));
+    }
+
+    /// `"X"` complete event: a slice of `dur` trace-time units at `ts`.
+    pub fn complete(&mut self, name: &str, pid: u64, tid: u64, ts: u64, dur: u64, args_json: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"X","pid":{pid},"tid":{tid},"ts":{ts},"dur":{dur},"args":{args_json}}}"#,
+            esc(name)
+        ));
+    }
+
+    /// `"i"` thread-scoped instant event at `ts`.
+    pub fn instant(&mut self, name: &str, pid: u64, tid: u64, ts: u64, args_json: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"i","pid":{pid},"tid":{tid},"ts":{ts},"s":"t","args":{args_json}}}"#,
+            esc(name)
+        ));
+    }
+
+    /// Closes the document: the `traceEvents` array plus an `otherData`
+    /// object holding the given counters, in the given order.
+    pub fn finish(self, other_data: &[(&str, u64)]) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let n = self.events.len();
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < n {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+        for (i, (key, value)) in other_data.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", esc(key));
+        }
+        out.push_str("}}");
+        out
+    }
 }
 
 /// Renders an [`EventLog`] as Chrome Trace Event Format JSON
@@ -81,19 +173,13 @@ pub fn chrome_trace(
         }
     };
 
-    let mut events: Vec<String> = Vec::new();
+    let mut trace = TraceJsonBuilder::new();
     // Metadata: one process per spec, one thread lane per OSM.
     for (idx, spec) in specs.iter().enumerate() {
-        events.push(format!(
-            r#"{{"name":"process_name","ph":"M","pid":{idx},"tid":0,"args":{{"name":"{}"}}}}"#,
-            esc(spec.name())
-        ));
+        trace.process_name(idx as u64, spec.name());
     }
     for (&osm, &spec) in &osm_spec {
-        events.push(format!(
-            r#"{{"name":"thread_name","ph":"M","pid":{spec},"tid":{},"args":{{"name":"{osm}"}}}}"#,
-            osm.0
-        ));
+        trace.thread_name(u64::from(spec), u64::from(osm.0), &osm.to_string());
     }
 
     // Second pass: fold transitions into state residencies; emit instants.
@@ -105,14 +191,14 @@ pub fn chrome_trace(
                     // Skip idle-state lanes: `started` marks a leave from the
                     // initial state, whose residency is not an execution step.
                     if !t.started && state == t.from {
-                        events.push(format!(
-                            r#"{{"name":"{}","ph":"X","pid":{},"tid":{},"ts":{since},"dur":{},"args":{{"edge":"{}"}}}}"#,
-                            esc(&state_name(t.spec, state)),
-                            t.spec,
-                            t.osm.0,
+                        trace.complete(
+                            &state_name(t.spec, state),
+                            u64::from(t.spec),
+                            u64::from(t.osm.0),
+                            since,
                             t.cycle - since,
-                            t.edge
-                        ));
+                            &format!(r#"{{"edge":"{}"}}"#, t.edge),
+                        );
                     }
                 }
                 if !t.completed {
@@ -120,57 +206,47 @@ pub fn chrome_trace(
                 }
             }
             ObservedEvent::Token(t) => {
-                events.push(format!(
-                    r#"{{"name":"{} {}({})","ph":"i","pid":{},"tid":{},"ts":{},"s":"t","args":{{"ident":"{}","edge":"{}"}}}}"#,
-                    t.outcome,
-                    t.op,
-                    esc(&manager_name(managers, t.manager)),
-                    spec_of(t.osm),
-                    t.osm.0,
+                trace.instant(
+                    &format!(
+                        "{} {}({})",
+                        t.outcome,
+                        t.op,
+                        manager_name(managers, t.manager)
+                    ),
+                    u64::from(spec_of(t.osm)),
+                    u64::from(t.osm.0),
                     t.cycle,
-                    t.ident,
-                    t.edge
-                ));
+                    &format!(r#"{{"ident":"{}","edge":"{}"}}"#, t.ident, t.edge),
+                );
             }
             ObservedEvent::Stall(s) => {
-                events.push(format!(
-                    r#"{{"name":"stall {}({})","ph":"i","pid":{},"tid":{},"ts":{},"s":"t","args":{{"state":"{}"}}}}"#,
-                    s.op,
-                    esc(&manager_name(managers, s.manager)),
-                    s.spec,
-                    s.osm.0,
+                trace.instant(
+                    &format!("stall {}({})", s.op, manager_name(managers, s.manager)),
+                    u64::from(s.spec),
+                    u64::from(s.osm.0),
                     s.cycle,
-                    esc(&state_name(s.spec, s.state))
-                ));
+                    &format!(r#"{{"state":"{}"}}"#, esc(&state_name(s.spec, s.state))),
+                );
             }
         }
     }
     // Close still-open residencies at the end of the covered window.
     for (osm, (state, since)) in cur {
         let spec = spec_of(osm);
-        events.push(format!(
-            r#"{{"name":"{}","ph":"X","pid":{spec},"tid":{},"ts":{since},"dur":{},"args":{{}}}}"#,
-            esc(&state_name(spec, state)),
-            osm.0,
-            (end_cycle + 1).saturating_sub(since)
-        ));
+        trace.complete(
+            &state_name(spec, state),
+            u64::from(spec),
+            u64::from(osm.0),
+            since,
+            (end_cycle + 1).saturating_sub(since),
+            "{}",
+        );
     }
 
-    let mut out = String::from("{\"traceEvents\":[\n");
-    for (i, e) in events.iter().enumerate() {
-        out.push_str(e);
-        if i + 1 < events.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    let _ = write!(
-        out,
-        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"events_recorded\":{},\"events_dropped\":{}}}}}",
-        log.total(),
-        log.dropped()
-    );
-    out
+    trace.finish(&[
+        ("events_recorded", log.total()),
+        ("events_dropped", log.dropped()),
+    ])
 }
 
 /// Convenience wrapper: exports the machine's own event log, if one is

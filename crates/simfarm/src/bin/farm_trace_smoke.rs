@@ -1,0 +1,209 @@
+//! CI smoke check for the farm-scope observability exporters: runs a small
+//! sweep with a [`FarmObserver`] attached, re-parses the exported farm
+//! schedule trace and fleet timing JSON with the strict `bench` parser,
+//! validates both against the checked-in schemas under `schemas/`, and
+//! proves the determinism contract — the canonical report renderings are
+//! byte-identical to an observability-off run and across worker counts.
+//!
+//! Run with: `cargo run --release -p simfarm --bin farm_trace_smoke`
+//! Optional: `-- --out-dir <dir>` also writes the two JSON files there.
+//!
+//! Exits non-zero on any schema violation, coverage gap, or canonical
+//! divergence.
+
+use bench::json::{check_schema, parse, Json};
+use simfarm::{run_farm, FarmObserver, FarmOptions, FarmReport, ModelKind, SimJob, WorkloadSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Generous cycle budget; the random workloads below halt well before it.
+const BUDGET: u64 = 2_000_000;
+
+fn schema_dir() -> PathBuf {
+    // crates/simfarm -> repository root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../schemas")
+}
+
+fn load_schema(name: &str) -> Json {
+    let path = schema_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("{name} is not valid JSON: {e}"))
+}
+
+/// A small heterogeneous sweep: two OSM models plus the MiniRISC ISS, tiny
+/// blocks so the whole check stays well under a second.
+fn jobs() -> Vec<SimJob> {
+    let mut out = Vec::new();
+    for (i, (model, block_len)) in [
+        (ModelKind::Sa1100, 400),
+        (ModelKind::Ppc750, 300),
+        (ModelKind::Sa1100, 400),
+        (ModelKind::Ppc750, 300),
+        (ModelKind::MiniRiscIss, 600),
+        (ModelKind::MiniRiscIss, 600),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut job = SimJob::new(model, WorkloadSpec::Random { block_len }, BUDGET);
+        job.seed = i as u64;
+        job.name = format!("farm_trace_smoke#{i}");
+        out.push(job);
+    }
+    out
+}
+
+fn observed_report(jobs: &[SimJob], workers: usize) -> FarmReport {
+    let options = FarmOptions {
+        observer: Some(FarmObserver::new()),
+        ..FarmOptions::default()
+    };
+    let run = run_farm(jobs, workers, options).expect("farm runs");
+    assert!(run.is_complete(), "sweep did not complete");
+    FarmReport::consolidate_sweep(&run, workers, 0.0)
+}
+
+fn main() -> ExitCode {
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out-dir" => out_dir = Some(it.next().expect("--out-dir takes a path").into()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let jobs = jobs();
+    println!(
+        "farm_trace_smoke: {} jobs (SA-1100 / PPC-750 / MiniRISC ISS)",
+        jobs.len()
+    );
+
+    let mut failures = 0usize;
+    let mut fail = |msg: String| {
+        eprintln!("FAIL: {msg}");
+        failures += 1;
+    };
+
+    // 1. Determinism contract: canonical renderings are byte-identical with
+    //    observability off and on, across worker counts.
+    let plain = {
+        let run = run_farm(&jobs, 2, FarmOptions::default()).expect("farm runs");
+        FarmReport::consolidate_sweep(&run, 2, 0.0)
+    };
+    let baseline_text = plain.canonical_text();
+    let baseline_json = plain.canonical_json();
+    let mut observed = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let report = observed_report(&jobs, workers);
+        if report.canonical_text() != baseline_text {
+            fail(format!(
+                "canonical_text diverges at {workers} worker(s) with observability on"
+            ));
+        }
+        if report.canonical_json() != baseline_json {
+            fail(format!(
+                "canonical_json diverges at {workers} worker(s) with observability on"
+            ));
+        }
+        observed.push(report);
+    }
+    println!("canonical report byte-identical across observability off/on x 1/2/8 workers");
+
+    // 2. Export the farm trace and fleet timing from the 2-worker run.
+    let report = &observed[1];
+    let schedule = report.schedule.as_ref().expect("observer attached");
+    let trace_text = schedule.trace_json();
+    let timing_text = report
+        .timing_json()
+        .expect("timing available with a schedule")
+        .to_string();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create out dir");
+        std::fs::write(dir.join("farm_trace.json"), &trace_text).expect("write farm_trace.json");
+        std::fs::write(dir.join("farm_metrics.json"), &timing_text)
+            .expect("write farm_metrics.json");
+        println!(
+            "wrote farm_trace.json and farm_metrics.json to {}",
+            dir.display()
+        );
+    }
+
+    // 3. Both documents must be strictly parseable and schema-valid.
+    let trace = match parse(&trace_text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            fail(format!("farm trace does not parse: {e}"));
+            None
+        }
+    };
+    let timing = match parse(&timing_text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            fail(format!("timing JSON does not parse: {e}"));
+            None
+        }
+    };
+    if let Some(trace) = &trace {
+        for p in check_schema(trace, &load_schema("farm_trace.schema.json")) {
+            fail(format!("farm trace schema: {p}"));
+        }
+    }
+    if let Some(timing) = &timing {
+        for p in check_schema(timing, &load_schema("farm_metrics.schema.json")) {
+            fail(format!("farm metrics schema: {p}"));
+        }
+    }
+
+    // 4. Coverage: the schedule must account for every executed job, and
+    //    the worker telemetry must sum to the job count.
+    if let Some(trace) = &trace {
+        let recorded = trace
+            .get("otherData")
+            .and_then(|d| d.get("jobs_recorded"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        if recorded != jobs.len() as u64 {
+            fail(format!(
+                "trace otherData.jobs_recorded {recorded} != {} jobs",
+                jobs.len()
+            ));
+        }
+        let slices = trace
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count();
+        if slices != jobs.len() {
+            fail(format!("trace has {slices} job slices, expected {}", jobs.len()));
+        }
+    }
+    let mut indices: Vec<usize> = schedule.spans.iter().map(|s| s.index).collect();
+    indices.sort_unstable();
+    if indices != (0..jobs.len()).collect::<Vec<_>>() {
+        fail(format!("schedule spans cover {indices:?}, expected 0..{}", jobs.len()));
+    }
+    let completed: u64 = schedule.workers.iter().map(|w| w.jobs_completed).sum();
+    if completed != jobs.len() as u64 {
+        fail(format!(
+            "worker telemetry sums to {completed} jobs completed, expected {}",
+            jobs.len()
+        ));
+    }
+    println!(
+        "farm schedule: {} spans across {} worker track(s), telemetry reconciled",
+        schedule.spans.len(),
+        schedule.workers.len()
+    );
+
+    if failures == 0 {
+        println!("farm_trace_smoke: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("farm_trace_smoke: {failures} failure(s)");
+        ExitCode::FAILURE
+    }
+}

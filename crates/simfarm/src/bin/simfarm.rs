@@ -3,10 +3,13 @@
 //! ```text
 //! simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]
 //!                         [--journal FILE | --resume FILE] [--max-wall SECS]
+//!                         [--progress] [--heartbeat SECS]
+//!                         [--farm-trace FILE] [--timing-out FILE]
 //! ```
 //!
-//! Prints the consolidated BENCH-style report to stdout (or its JSON form
-//! with `--json`); `--out` additionally writes the JSON report to a file.
+//! Prints a concise human summary to stdout by default; `--json` prints the
+//! full report JSON instead, and `--out` additionally writes that JSON to a
+//! file. All progress display goes to stderr, so stdout stays pipeable.
 //!
 //! * `--journal FILE` starts a fresh sweep journal: every completed job is
 //!   appended (and flushed) the moment it finishes.
@@ -16,21 +19,39 @@
 //!   are rejected.
 //! * `--max-wall SECS` cancels the sweep cooperatively after a wall-clock
 //!   budget: in-flight jobs finish, the journal is flushed, and the run
-//!   exits resumable.
+//!   exits resumable. The cancellation notice carries elapsed-time and
+//!   jobs-completed context through the progress channel.
+//! * `--progress` draws a throttled live status line (jobs done/total,
+//!   quarantined count, cycles/sec, ETA); `--heartbeat SECS` prints a
+//!   snapshot line on a fixed interval instead/additionally (for logs that
+//!   don't render `\r`).
+//! * `--farm-trace FILE` writes the farm schedule as a Chrome/Perfetto
+//!   trace (workers as tracks, jobs as slices, steals/retries as
+//!   instants); `--timing-out FILE` writes the fleet timing JSON
+//!   (utilization, per-job phase breakdown, histograms). Both imply farm
+//!   observability, as does `"farm_observability": true` in the manifest.
+//!   Timing output is explicitly **non-canonical**; the report renderings
+//!   stay byte-identical with observability on or off.
 //!
 //! Exit codes: `0` complete and healthy, `1` complete with unhealthy jobs
 //! (failed/panicked/stalled/quarantined), `2` usage, `3` farm error (broken
 //! assembly invariant, unusable journal), `5` cancelled before completion
 //! (resume with `--resume`).
 
-use simfarm::{parse_manifest, run_farm, FarmOptions, FarmReport, JournalWriter};
+use simfarm::{
+    parse_manifest, run_farm, FarmObserver, FarmOptions, FarmReport, JournalWriter, ProgressMeter,
+};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn usage() -> ! {
     eprintln!(
         "usage: simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]\n\
-         \x20                          [--journal FILE | --resume FILE] [--max-wall SECS]"
+         \x20                          [--journal FILE | --resume FILE] [--max-wall SECS]\n\
+         \x20                          [--progress] [--heartbeat SECS]\n\
+         \x20                          [--farm-trace FILE] [--timing-out FILE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +65,10 @@ fn main() -> ExitCode {
     let mut journal_path: Option<String> = None;
     let mut resume = false;
     let mut max_wall: Option<f64> = None;
+    let mut progress = false;
+    let mut heartbeat: Option<f64> = None;
+    let mut farm_trace: Option<String> = None;
+    let mut timing_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,6 +97,19 @@ fn main() -> ExitCode {
             "--max-wall" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(s) if s > 0.0 => max_wall = Some(s),
                 _ => usage(),
+            },
+            "--progress" => progress = true,
+            "--heartbeat" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(s) if s > 0.0 => heartbeat = Some(s),
+                _ => usage(),
+            },
+            "--farm-trace" => match args.next() {
+                Some(path) => farm_trace = Some(path),
+                None => usage(),
+            },
+            "--timing-out" => match args.next() {
+                Some(path) => timing_out = Some(path),
+                None => usage(),
             },
             "--help" | "-h" => usage(),
             _ if manifest_path.is_none() && !arg.starts_with('-') => manifest_path = Some(arg),
@@ -135,11 +173,50 @@ fn main() -> ExitCode {
         }
     }
 
+    // Farm observability: asked for by the manifest, or implied by any flag
+    // that needs the schedule. Off otherwise, keeping the farm on the plain
+    // hot loop.
+    let observe =
+        manifest.farm_observability || farm_trace.is_some() || timing_out.is_some();
+    if observe {
+        options.observer = Some(FarmObserver::new());
+    }
+
+    // The progress meter exists whenever anything routes through it (live
+    // line, heartbeat, wall-budget notices); the live redraw only with
+    // `--progress`.
+    let meter = ProgressMeter::new(manifest.jobs.len(), progress);
+    meter.record_restored(options.completed.len());
+    {
+        let meter = meter.clone();
+        options.on_result = Some(Box::new(move |_, result| meter.record(result)));
+    }
+
+    let heartbeat_stop = Arc::new(AtomicBool::new(false));
+    let heartbeat_thread = heartbeat.map(|secs| {
+        let meter = meter.clone();
+        let stop = Arc::clone(&heartbeat_stop);
+        std::thread::spawn(move || {
+            let interval = Duration::from_secs_f64(secs);
+            let mut next = Instant::now() + interval;
+            while !stop.load(Ordering::Acquire) {
+                if Instant::now() >= next {
+                    meter.heartbeat();
+                    next += interval;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    });
+
     if let Some(secs) = max_wall {
         let cancel = options.cancel.clone();
+        let meter = meter.clone();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_secs_f64(secs));
-            eprintln!("simfarm: wall budget ({secs}s) exhausted — cancelling cooperatively");
+            meter.note(&format!(
+                "wall budget ({secs}s) exhausted — cancelling cooperatively"
+            ));
             cancel.cancel();
         });
     }
@@ -148,22 +225,50 @@ fn main() -> ExitCode {
     let run = match run_farm(&manifest.jobs, workers, options) {
         Ok(run) => run,
         Err(e) => {
+            heartbeat_stop.store(true, Ordering::Release);
             eprintln!("simfarm: {e}");
             return ExitCode::from(3);
         }
     };
     let wall = start.elapsed().as_secs_f64();
+    heartbeat_stop.store(true, Ordering::Release);
+    if let Some(handle) = heartbeat_thread {
+        let _ = handle.join();
+    }
+    meter.finish();
     let report = FarmReport::consolidate_sweep(&run, workers, wall);
 
     if json {
         println!("{}", report.to_json());
     } else {
-        print!("{report}");
+        print!("{}", report.summary_text());
     }
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, format!("{}\n", report.to_json())) {
             eprintln!("simfarm: cannot write {path}: {e}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = farm_trace {
+        match report.schedule.as_ref() {
+            Some(schedule) => {
+                if let Err(e) = std::fs::write(&path, schedule.trace_json()) {
+                    eprintln!("simfarm: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("simfarm: no farm schedule recorded, skipping {path}"),
+        }
+    }
+    if let Some(path) = timing_out {
+        match report.timing_json() {
+            Some(timing) => {
+                if let Err(e) = std::fs::write(&path, format!("{timing}\n")) {
+                    eprintln!("simfarm: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            None => eprintln!("simfarm: no farm schedule recorded, skipping {path}"),
         }
     }
 

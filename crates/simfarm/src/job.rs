@@ -8,6 +8,7 @@
 //! wall-clock deadline is a pure function of the [`SimJob`], which is what
 //! the farm's determinism-under-failure guarantee rests on.
 
+use crate::observe::JobTiming;
 use osm_core::{
     FaultPlan, FaultStats, MetricsReport, ModelError, SchedulerMode, StallKind, Stats, Trace,
 };
@@ -439,6 +440,46 @@ impl Deadline {
     }
 }
 
+/// Phase-boundary stopwatch for [`run_job_timed`]: records into its target
+/// only when one is attached, so the plain [`run_job`] path never touches
+/// the clock and stays the pre-observability hot path.
+struct PhaseTimer<'a> {
+    out: Option<(&'a mut JobTiming, Instant)>,
+}
+
+impl<'a> PhaseTimer<'a> {
+    fn new(out: Option<&'a mut JobTiming>) -> PhaseTimer<'a> {
+        PhaseTimer {
+            out: out.map(|timing| (timing, Instant::now())),
+        }
+    }
+
+    fn lap(&mut self, phase: impl FnOnce(&mut JobTiming) -> &mut u64) {
+        if let Some((timing, mark)) = self.out.as_mut() {
+            let now = Instant::now();
+            let elapsed = u64::try_from((now - *mark).as_nanos()).unwrap_or(u64::MAX);
+            let slot = phase(timing);
+            *slot = slot.saturating_add(elapsed);
+            *mark = now;
+        }
+    }
+
+    /// Closes the setup phase (workload resolve + machine build + faults).
+    fn setup_done(&mut self) {
+        self.lap(|t| &mut t.setup_ns);
+    }
+
+    /// Closes the simulation phase (the chunked run loop).
+    fn sim_done(&mut self) {
+        self.lap(|t| &mut t.sim_ns);
+    }
+
+    /// Closes the teardown phase (digest/stats extraction, assembly).
+    fn teardown_done(&mut self) {
+        self.lap(|t| &mut t.teardown_ns);
+    }
+}
+
 /// Maps a model error to its typed outcome (watchdog stalls get their own
 /// variant; everything else keeps the rendered message).
 fn outcome_from_model_error(e: ModelError) -> JobOutcome {
@@ -502,18 +543,34 @@ fn drive_osm<R>(
 /// isolates. Arms the job's stall budget on the model watchdog and checks
 /// the wall deadline cooperatively.
 pub fn run_job(job: &SimJob) -> JobResult {
+    run_job_inner(job, None)
+}
+
+/// [`run_job`] with a setup/sim/teardown wall-time breakdown for the farm
+/// observer. Timing is wall-clock derived and therefore nondeterministic —
+/// the [`JobResult`] itself is bit-identical to the untimed run's (the
+/// clock is only read at the three phase boundaries, never inside the
+/// simulation).
+pub fn run_job_timed(job: &SimJob) -> (JobResult, JobTiming) {
+    let mut timing = JobTiming::default();
+    let result = run_job_inner(job, Some(&mut timing));
+    (result, timing)
+}
+
+fn run_job_inner(job: &SimJob, timing: Option<&mut JobTiming>) -> JobResult {
     if matches!(job.workload, WorkloadSpec::ChaosPanic) {
         panic!("chaos:panic workload fired (job `{}`)", job.name);
     }
+    let mut timer = PhaseTimer::new(timing);
     match job.model {
-        ModelKind::Sa1100 => run_sa1100(job),
-        ModelKind::Ppc750 => run_ppc750(job),
-        ModelKind::MiniRiscIss => run_iss(job),
-        ModelKind::Vliw => run_vliw(job),
+        ModelKind::Sa1100 => run_sa1100(job, &mut timer),
+        ModelKind::Ppc750 => run_ppc750(job, &mut timer),
+        ModelKind::MiniRiscIss => run_iss(job, &mut timer),
+        ModelKind::Vliw => run_vliw(job, &mut timer),
     }
 }
 
-fn run_sa1100(job: &SimJob) -> JobResult {
+fn run_sa1100(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
@@ -527,10 +584,12 @@ fn run_sa1100(job: &SimJob) -> JobResult {
     }
     let fetch = sim.ids.mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    timer.setup_done();
     let (outcome, last) = drive_osm(job, |target| {
         let res = sim.run_to_halt(target)?;
         Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
     });
+    timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
         Some(res) => (res.cycles, res.retired, res.exit_code),
         None => (sim.machine().cycle(), 0, 0),
@@ -540,7 +599,7 @@ fn run_sa1100(job: &SimJob) -> JobResult {
     } else {
         cycles
     };
-    JobResult {
+    let result = JobResult {
         name: job.name.clone(),
         model: job.model,
         workload: job.workload.spelling(),
@@ -557,10 +616,12 @@ fn run_sa1100(job: &SimJob) -> JobResult {
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
-    }
+    };
+    timer.teardown_done();
+    result
 }
 
-fn run_ppc750(job: &SimJob) -> JobResult {
+fn run_ppc750(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
@@ -577,10 +638,12 @@ fn run_ppc750(job: &SimJob) -> JobResult {
         .faults
         .clone()
         .map(|plan| sim.inject_faults(fetch_queue, plan));
+    timer.setup_done();
     let (outcome, last) = drive_osm(job, |target| {
         let res = sim.run_to_halt(target)?;
         Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
     });
+    timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
         Some(res) => (res.cycles, res.retired, res.exit_code),
         None => (sim.machine().cycle(), 0, 0),
@@ -590,7 +653,7 @@ fn run_ppc750(job: &SimJob) -> JobResult {
     } else {
         cycles
     };
-    JobResult {
+    let result = JobResult {
         name: job.name.clone(),
         model: job.model,
         workload: job.workload.spelling(),
@@ -607,10 +670,12 @@ fn run_ppc750(job: &SimJob) -> JobResult {
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
-    }
+    };
+    timer.teardown_done();
+    result
 }
 
-fn run_vliw(job: &SimJob) -> JobResult {
+fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     let WorkloadSpec::Ilp { iters, body } = job.workload else {
         return JobResult::failed(
             job,
@@ -632,10 +697,12 @@ fn run_vliw(job: &SimJob) -> JobResult {
     }
     let fetch = sim.ids().mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    timer.setup_done();
     let (outcome, last) = drive_osm(job, |target| {
         let res = sim.run_to_halt(target)?;
         Ok((sim.halted(), sim.machine().cycle(), res))
     });
+    timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
         Some(res) => (res.cycles, res.retired_ops, res.exit_code),
         None => (sim.machine().cycle(), 0, 0),
@@ -645,7 +712,7 @@ fn run_vliw(job: &SimJob) -> JobResult {
     } else {
         cycles
     };
-    JobResult {
+    let result = JobResult {
         name: job.name.clone(),
         model: job.model,
         workload: job.workload.spelling(),
@@ -662,16 +729,19 @@ fn run_vliw(job: &SimJob) -> JobResult {
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.machine().metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
-    }
+    };
+    timer.teardown_done();
+    result
 }
 
-fn run_iss(job: &SimJob) -> JobResult {
+fn run_iss(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     use minirisc::{Iss, SparseMemory};
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
     };
     let mut iss = Iss::with_program(SparseMemory::new(), &workload.program());
+    timer.setup_done();
     let deadline = Deadline::start(job.deadline_ms);
     let mut digest = FNV_OFFSET;
     let mut steps = 0u64;
@@ -697,7 +767,8 @@ fn run_iss(job: &SimJob) -> JobResult {
         }
         steps += 1;
     };
-    JobResult {
+    timer.sim_done();
+    let result = JobResult {
         name: job.name.clone(),
         model: job.model,
         workload: job.workload.spelling(),
@@ -710,7 +781,9 @@ fn run_iss(job: &SimJob) -> JobResult {
         stats: None,
         metrics: None,
         fault_stats: None,
-    }
+    };
+    timer.teardown_done();
+    result
 }
 
 /// Builds the standard ILP workload: a countdown loop whose body is `body`

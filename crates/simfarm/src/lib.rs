@@ -25,7 +25,16 @@
 //!   jobs, the journal is flushed, and the sweep exits resumable;
 //! * [`FarmReport`] — deterministic aggregation: per-job FNV trace digests,
 //!   [`osm_core::Stats`] and [`osm_core::MetricsReport`]s merged in
-//!   **job-index order**, regardless of completion order.
+//!   **job-index order**, regardless of completion order, plus a fleet
+//!   stall-cause roll-up folded from the per-job metrics;
+//! * [`FarmObserver`] / [`FarmSchedule`] — opt-in farm-scope observability:
+//!   per-job lifecycle spans (worker, steal, attempts, setup/simulate/
+//!   teardown split) and per-worker telemetry, exportable as a
+//!   Chrome/Perfetto trace ([`FarmSchedule::trace_json`]) and fleet timing
+//!   JSON ([`FarmReport::timing_json`]) — all explicitly **non-canonical**,
+//!   so canonical renderings stay byte-identical with it on or off;
+//! * [`ProgressMeter`] — throttled live progress line, heartbeat snapshots
+//!   and contextual farm notices, all on stderr.
 //!
 //! ## The determinism argument
 //!
@@ -67,17 +76,23 @@ mod error;
 mod job;
 pub mod journal;
 mod manifest;
+pub mod observe;
+mod progress;
 mod queue;
 mod report;
 mod supervise;
 
 pub use error::{FarmError, JournalError};
 pub use job::{
-    run_job, JobOutcome, JobResult, ModelKind, SimJob, StallSummary, WorkloadSpec,
+    run_job, run_job_timed, JobOutcome, JobResult, ModelKind, SimJob, StallSummary, WorkloadSpec,
     DEFAULT_RETRIES, DEFAULT_STALL_BUDGET,
 };
 pub use journal::{read_journal, JournalWriter};
 pub use manifest::{parse_manifest, Manifest, ManifestError};
+pub use observe::{
+    AttemptSpan, FarmObserver, FarmSchedule, JobSpan, JobTiming, WorkerTelemetry,
+};
+pub use progress::ProgressMeter;
 pub use queue::{run_farm, run_parallel, run_serial, FarmOptions, SweepRun};
-pub use report::FarmReport;
+pub use report::{FarmReport, FleetStallCause};
 pub use supervise::{run_job_supervised, CancelToken};

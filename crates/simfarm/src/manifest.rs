@@ -42,6 +42,13 @@ use std::fmt;
 pub struct Manifest {
     /// Worker-thread count requested by the manifest (CLI flags override).
     pub workers: Option<usize>,
+    /// Top-level `"farm_observability"` flag: attach a
+    /// [`crate::FarmObserver`] to the sweep (worker telemetry, job spans,
+    /// farm-trace export). Off by default — the disabled farm runs the
+    /// exact pre-observer hot loop. Distinct from per-job
+    /// `"observability"`, which enables the *machine*-level event log and
+    /// metrics inside each job.
+    pub farm_observability: bool,
     /// The job list, in manifest order.
     pub jobs: Vec<SimJob>,
 }
@@ -127,6 +134,13 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
         ),
     };
 
+    let farm_observability = match root.get("farm_observability") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| {
+            ManifestError::new("`farm_observability` must be a boolean")
+        })?,
+    };
+
     let mut defaults = Defaults::default();
     if let Some(d) = root.get("defaults") {
         if let Some(mc) = d.get("max_cycles") {
@@ -171,7 +185,11 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
         .map(|(index, j)| parse_job(j, index, defaults))
         .collect::<Result<Vec<SimJob>, ManifestError>>()?;
 
-    Ok(Manifest { workers, jobs })
+    Ok(Manifest {
+        workers,
+        farm_observability,
+        jobs,
+    })
 }
 
 fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, ManifestError> {
@@ -332,6 +350,7 @@ mod tests {
         }"#;
         let m = parse_manifest(text).unwrap();
         assert_eq!(m.workers, Some(4));
+        assert!(!m.farm_observability, "off unless requested");
         assert_eq!(m.jobs.len(), 3);
         assert_eq!(m.jobs[0].model, ModelKind::Sa1100);
         assert_eq!(m.jobs[0].max_cycles, 50_000);
@@ -396,6 +415,22 @@ mod tests {
             parse_manifest(r#"{"jobs":[{"model":"sa1100","workload":"specint"}]}"#).unwrap();
         assert_eq!(plain.jobs[0].stall_budget, Some(DEFAULT_STALL_BUDGET));
         assert_eq!(plain.jobs[0].retries, DEFAULT_RETRIES);
+    }
+
+    #[test]
+    fn farm_observability_flag_parses_and_rejects_non_booleans() {
+        let m = parse_manifest(
+            r#"{"farm_observability": true,
+                "jobs":[{"model":"sa1100","workload":"specint"}]}"#,
+        )
+        .unwrap();
+        assert!(m.farm_observability);
+        let err = parse_manifest(
+            r#"{"farm_observability": 1,
+                "jobs":[{"model":"sa1100","workload":"specint"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("farm_observability"), "{err}");
     }
 
     #[test]

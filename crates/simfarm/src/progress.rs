@@ -1,0 +1,251 @@
+//! Live sweep progress: a throttled terminal status line, periodic
+//! heartbeat snapshots, and a channel for operator-facing notices (wall
+//! budget expiry, cancellation) that carries elapsed-time and
+//! jobs-completed context.
+//!
+//! All output goes to **stderr** — stdout stays reserved for the report
+//! renderings (`--json`, the default summary), so piping `simfarm` output
+//! composes with progress display. The meter is shared (`Arc` inside) and
+//! thread-safe: the coordinator thread records completions from the
+//! `on_result` hook, a heartbeat thread snapshots it on an interval, and
+//! timer threads route notices through it.
+
+use crate::job::JobResult;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Minimum milliseconds between live-line redraws, so a sweep of thousands
+/// of sub-millisecond jobs does not turn the terminal into the bottleneck.
+const REDRAW_EVERY_MS: u64 = 100;
+
+/// Renders a cycle rate compactly (`873`, `12.3k`, `4.56M`, `1.20G`).
+fn human_rate(cycles_per_sec: f64) -> String {
+    if cycles_per_sec >= 1e9 {
+        format!("{:.2}G", cycles_per_sec / 1e9)
+    } else if cycles_per_sec >= 1e6 {
+        format!("{:.2}M", cycles_per_sec / 1e6)
+    } else if cycles_per_sec >= 1e3 {
+        format!("{:.1}k", cycles_per_sec / 1e3)
+    } else {
+        format!("{cycles_per_sec:.0}")
+    }
+}
+
+/// The status-line text for a given meter state. Pure so the format is
+/// testable without a terminal: `done`/`total`/`quarantined` are job
+/// counts, `cycles` the simulated cycles completed so far, `elapsed_s`
+/// wall seconds since the sweep started.
+fn render_line(done: u64, total: u64, quarantined: u64, cycles: u64, elapsed_s: f64) -> String {
+    let mut line = format!("simfarm: {done}/{total} jobs");
+    if quarantined > 0 {
+        line.push_str(&format!(" ({quarantined} quarantined)"));
+    }
+    if elapsed_s > 0.0 {
+        line.push_str(&format!(" | {} cycles/s", human_rate(cycles as f64 / elapsed_s)));
+        if done > 0 && done < total {
+            let eta = elapsed_s / done as f64 * (total - done) as f64;
+            line.push_str(&format!(" | ETA {eta:.1}s"));
+        }
+    }
+    line.push_str(&format!(" | {elapsed_s:.1}s elapsed"));
+    line
+}
+
+/// Shared progress state for one sweep. Cloning shares the counters.
+#[derive(Debug, Clone)]
+pub struct ProgressMeter {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    start: Instant,
+    total: u64,
+    done: AtomicU64,
+    quarantined: AtomicU64,
+    cycles: AtomicU64,
+    /// Draw the throttled `\r` status line on each completion.
+    live: bool,
+    /// ms-since-start of the last live redraw (throttle state).
+    last_redraw_ms: AtomicU64,
+    /// True while the live line occupies the cursor row (a note or
+    /// heartbeat must terminate it with a newline before printing).
+    line_open: AtomicBool,
+    /// Serializes stderr writes across coordinator/heartbeat/timer threads.
+    write: Mutex<()>,
+}
+
+impl ProgressMeter {
+    /// A meter for a sweep of `total` jobs (restored jobs count as done —
+    /// pass them via [`ProgressMeter::record_restored`]). `live` enables
+    /// the redrawn `\r` status line; notes and heartbeats work either way.
+    pub fn new(total: usize, live: bool) -> ProgressMeter {
+        ProgressMeter {
+            inner: Arc::new(Inner {
+                start: Instant::now(),
+                total: total as u64,
+                done: AtomicU64::new(0),
+                quarantined: AtomicU64::new(0),
+                cycles: AtomicU64::new(0),
+                live,
+                last_redraw_ms: AtomicU64::new(0),
+                line_open: AtomicBool::new(false),
+                write: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Seconds since the meter was created.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.inner.start.elapsed().as_secs_f64()
+    }
+
+    /// Jobs recorded so far (restored + completed).
+    pub fn done(&self) -> u64 {
+        self.inner.done.load(Ordering::Relaxed)
+    }
+
+    /// Counts jobs restored from a journal without redrawing.
+    pub fn record_restored(&self, count: usize) {
+        self.inner.done.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Records one completed job and, in live mode, redraws the status
+    /// line (throttled). Called from the farm's `on_result` hook.
+    pub fn record(&self, result: &JobResult) {
+        self.inner.done.fetch_add(1, Ordering::Relaxed);
+        self.inner.cycles.fetch_add(result.cycles, Ordering::Relaxed);
+        if matches!(result.outcome, crate::job::JobOutcome::Quarantined { .. }) {
+            self.inner.quarantined.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.inner.live {
+            self.redraw(false);
+        }
+    }
+
+    /// The current status-line text (also the heartbeat snapshot body).
+    pub fn status_line(&self) -> String {
+        render_line(
+            self.done(),
+            self.inner.total,
+            self.inner.quarantined.load(Ordering::Relaxed),
+            self.inner.cycles.load(Ordering::Relaxed),
+            self.elapsed_seconds(),
+        )
+    }
+
+    fn redraw(&self, force: bool) {
+        let now_ms = u64::try_from(self.inner.start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let last = self.inner.last_redraw_ms.load(Ordering::Relaxed);
+        let due = force
+            || now_ms.saturating_sub(last) >= REDRAW_EVERY_MS
+            || self.done() >= self.inner.total;
+        if !due
+            || self
+                .inner
+                .last_redraw_ms
+                .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return;
+        }
+        let line = self.status_line();
+        let _guard = self.inner.write.lock().unwrap_or_else(|p| p.into_inner());
+        self.inner.line_open.store(true, Ordering::Relaxed);
+        eprint!("\r{line}\x1b[K");
+    }
+
+    /// Prints one heartbeat snapshot as its own stderr line. Driven by the
+    /// CLI's heartbeat thread on a fixed interval.
+    pub fn heartbeat(&self) {
+        let line = self.status_line();
+        let _guard = self.inner.write.lock().unwrap_or_else(|p| p.into_inner());
+        if self.inner.line_open.swap(false, Ordering::Relaxed) {
+            eprintln!();
+        }
+        eprintln!("{line}");
+    }
+
+    /// Routes an operator notice (wall-budget expiry, cancellation, ...)
+    /// through the progress channel: the message is printed on its own
+    /// line, prefixed with elapsed time and jobs-completed context, without
+    /// corrupting a live status line.
+    pub fn note(&self, msg: &str) {
+        let context = format!(
+            "simfarm: [{:.1}s, {}/{} jobs] {msg}",
+            self.elapsed_seconds(),
+            self.done(),
+            self.inner.total
+        );
+        let _guard = self.inner.write.lock().unwrap_or_else(|p| p.into_inner());
+        if self.inner.line_open.swap(false, Ordering::Relaxed) {
+            eprintln!();
+        }
+        eprintln!("{context}");
+    }
+
+    /// Ends live display: draws the final counts and closes the line.
+    pub fn finish(&self) {
+        if !self.inner.live {
+            return;
+        }
+        self.redraw(true);
+        let _guard = self.inner.write.lock().unwrap_or_else(|p| p.into_inner());
+        if self.inner.line_open.swap(false, Ordering::Relaxed) {
+            eprintln!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobOutcome, JobResult, SimJob};
+
+    fn result(outcome: JobOutcome, cycles: u64) -> JobResult {
+        let mut r = JobResult::aborted(&SimJob::chaos_panic("x"), outcome);
+        r.cycles = cycles;
+        r
+    }
+
+    #[test]
+    fn render_line_covers_the_advertised_fields() {
+        let line = render_line(37, 100, 2, 12_600_000, 10.0);
+        assert_eq!(
+            line,
+            "simfarm: 37/100 jobs (2 quarantined) | 1.26M cycles/s | ETA 17.0s | 10.0s elapsed"
+        );
+        // No rate or ETA before the clock moves; no quarantine note when clean.
+        assert_eq!(render_line(0, 8, 0, 0, 0.0), "simfarm: 0/8 jobs | 0.0s elapsed");
+        // A finished sweep drops the ETA but keeps the rate.
+        let done = render_line(8, 8, 0, 8_000, 2.0);
+        assert!(done.contains("8/8 jobs | 4.0k cycles/s | 2.0s elapsed"), "{done}");
+    }
+
+    #[test]
+    fn human_rate_scales() {
+        assert_eq!(human_rate(950.0), "950");
+        assert_eq!(human_rate(12_300.0), "12.3k");
+        assert_eq!(human_rate(4_560_000.0), "4.56M");
+        assert_eq!(human_rate(1.2e9), "1.20G");
+    }
+
+    #[test]
+    fn meter_counts_completions_and_quarantines() {
+        let meter = ProgressMeter::new(3, false);
+        assert_eq!(meter.done(), 0);
+        meter.record(&result(JobOutcome::Halted, 100));
+        meter.record(&result(
+            JobOutcome::Quarantined {
+                attempts: 2,
+                last: Box::new(JobOutcome::Panicked { payload: "p".into() }),
+            },
+            0,
+        ));
+        meter.record_restored(1);
+        assert_eq!(meter.done(), 3);
+        let line = meter.status_line();
+        assert!(line.starts_with("simfarm: 3/3 jobs (1 quarantined)"), "{line}");
+    }
+}

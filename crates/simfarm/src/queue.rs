@@ -29,7 +29,8 @@
 use crate::error::FarmError;
 use crate::job::{JobResult, SimJob};
 use crate::journal::JournalWriter;
-use crate::supervise::{run_job_supervised, CancelToken};
+use crate::observe::{FarmObserver, FarmSchedule, JobSpan, WorkerTelemetry};
+use crate::supervise::{run_job_supervised, run_job_supervised_observed, CancelToken};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -55,6 +56,12 @@ pub struct FarmOptions {
     /// progress and kill-switches here.
     #[allow(clippy::type_complexity)]
     pub on_result: Option<Box<dyn FnMut(usize, &JobResult)>>,
+    /// Farm-scope observability: when present, workers record per-job
+    /// lifecycle spans and per-worker telemetry into it, and the finished
+    /// [`FarmSchedule`] is attached to the returned [`SweepRun`]. When
+    /// absent the workers run the exact pre-observer hot loop — results are
+    /// bit-identical either way (timing never feeds back into execution).
+    pub observer: Option<FarmObserver>,
 }
 
 impl std::fmt::Debug for FarmOptions {
@@ -64,6 +71,7 @@ impl std::fmt::Debug for FarmOptions {
             .field("completed", &self.completed.len())
             .field("journal", &self.journal)
             .field("on_result", &self.on_result.is_some())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -83,6 +91,9 @@ pub struct SweepRun {
     /// journal (if any) holds everything in `completed`, so a later
     /// `--resume` picks up exactly the pending jobs.
     pub cancelled: bool,
+    /// What the [`FarmObserver`] recorded, when one was attached. Purely
+    /// timing-derived — never part of any canonical rendering.
+    pub schedule: Option<FarmSchedule>,
 }
 
 impl SweepRun {
@@ -169,6 +180,7 @@ pub fn run_farm(
         completed,
         mut journal,
         mut on_result,
+        observer,
     } = options;
     let mut completed: BTreeMap<usize, JobResult> = completed
         .into_iter()
@@ -184,6 +196,7 @@ pub fn run_farm(
             completed,
             restored,
             cancelled: cancel.is_cancelled(),
+            schedule: observer.map(|obs| obs.finish(jobs.len())),
         });
     }
     let workers = workers.clamp(1, pending.len());
@@ -208,14 +221,10 @@ pub fn run_farm(
             let tx = tx.clone();
             let deques = &deques;
             let cancel = cancel.clone();
-            scope.spawn(move || {
-                while !cancel.is_cancelled() {
-                    let Some(idx) = next_job(deques, me) else { break };
-                    let result = run_job_supervised(&jobs[idx]);
-                    if tx.send((idx, result)).is_err() {
-                        break;
-                    }
-                }
+            let observer = observer.clone();
+            scope.spawn(move || match observer {
+                None => worker_plain(deques, me, &cancel, &tx, jobs),
+                Some(obs) => worker_observed(deques, me, &cancel, &tx, jobs, &obs),
             });
         }
         drop(tx);
@@ -246,6 +255,7 @@ pub fn run_farm(
         completed,
         restored,
         cancelled: cancel.is_cancelled(),
+        schedule: observer.map(|obs| obs.finish(jobs.len())),
     };
     if !run.cancelled && !run.is_complete() {
         // A worker died without reporting — the assembly invariant is
@@ -260,20 +270,89 @@ pub fn run_farm(
     Ok(run)
 }
 
+/// The worker body when no observer is attached: the pre-observability hot
+/// loop, with no clock reads and no telemetry bookkeeping.
+fn worker_plain(
+    deques: &[Mutex<VecDeque<usize>>],
+    me: usize,
+    cancel: &CancelToken,
+    tx: &mpsc::Sender<(usize, JobResult)>,
+    jobs: &[SimJob],
+) {
+    while !cancel.is_cancelled() {
+        let Some((idx, _stolen)) = next_job(deques, me) else { break };
+        let result = run_job_supervised(&jobs[idx]);
+        if tx.send((idx, result)).is_err() {
+            break;
+        }
+    }
+}
+
+/// The worker body with a [`FarmObserver`] attached: the same job flow,
+/// plus busy/idle accounting, pop-vs-steal counting, and one recorded
+/// [`JobSpan`] per completed job. Timing is read only at job boundaries —
+/// the simulation itself is bit-identical to the plain path.
+fn worker_observed(
+    deques: &[Mutex<VecDeque<usize>>],
+    me: usize,
+    cancel: &CancelToken,
+    tx: &mpsc::Sender<(usize, JobResult)>,
+    jobs: &[SimJob],
+    obs: &FarmObserver,
+) {
+    let mut telemetry = WorkerTelemetry {
+        worker: me,
+        ..WorkerTelemetry::default()
+    };
+    let mut idle_mark = obs.now_ns();
+    while !cancel.is_cancelled() {
+        let Some((idx, stolen)) = next_job(deques, me) else { break };
+        let started_ns = obs.now_ns();
+        telemetry.idle_ns += started_ns.saturating_sub(idle_mark);
+        if stolen {
+            telemetry.steals += 1;
+        } else {
+            telemetry.own_pops += 1;
+        }
+        let (result, attempts) = run_job_supervised_observed(&jobs[idx], || obs.now_ns());
+        let finished_ns = obs.now_ns();
+        telemetry.busy_ns += finished_ns.saturating_sub(started_ns);
+        telemetry.jobs_completed += 1;
+        idle_mark = finished_ns;
+        obs.record_span(JobSpan {
+            index: idx,
+            name: result.name.clone(),
+            worker: me,
+            stolen,
+            started_ns,
+            finished_ns,
+            attempts,
+            outcome: result.outcome.label(),
+            cycles: result.cycles,
+        });
+        if tx.send((idx, result)).is_err() {
+            break;
+        }
+    }
+    telemetry.idle_ns += obs.now_ns().saturating_sub(idle_mark);
+    obs.record_worker(telemetry);
+}
+
 /// Pops the next index: own deque front first, then steal from the back of
-/// the other deques (scanning cyclically from the right neighbour). Returns
-/// `None` only when every deque is empty — no job generates new jobs, so
-/// that is a stable termination condition. Poisoned deques are adopted, not
-/// propagated (see [`lock_deque`]).
-fn next_job(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// the other deques (scanning cyclically from the right neighbour). The
+/// flag reports whether the job was stolen. Returns `None` only when every
+/// deque is empty — no job generates new jobs, so that is a stable
+/// termination condition. Poisoned deques are adopted, not propagated (see
+/// [`lock_deque`]).
+fn next_job(deques: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
     if let Some(idx) = lock_deque(&deques[me]).pop_front() {
-        return Some(idx);
+        return Some((idx, false));
     }
     let n = deques.len();
     for offset in 1..n {
         let victim = (me + offset) % n;
         if let Some(idx) = lock_deque(&deques[victim]).pop_back() {
-            return Some(idx);
+            return Some((idx, true));
         }
     }
     None
@@ -341,8 +420,8 @@ mod tests {
         assert!(deques[1].is_poisoned());
         assert_eq!(lock_deque(&deques[1]).front(), Some(&7));
         // Worker 0's steal path crosses the poisoned mutex.
-        assert_eq!(next_job(&deques, 0), Some(8));
-        assert_eq!(next_job(&deques, 1), Some(7));
+        assert_eq!(next_job(&deques, 0), Some((8, true)));
+        assert_eq!(next_job(&deques, 1), Some((7, false)));
         assert_eq!(next_job(&deques, 0), None);
     }
 
@@ -450,12 +529,57 @@ mod tests {
     }
 
     #[test]
+    fn observed_farm_records_a_span_per_job_and_consistent_telemetry() {
+        let mut js = jobs(5);
+        let mut chaos = SimJob::chaos_panic("boom#5");
+        chaos.retries = 1;
+        js.push(chaos);
+        let observer = FarmObserver::new();
+        let run = run_farm(
+            &js,
+            2,
+            FarmOptions {
+                observer: Some(observer),
+                ..FarmOptions::default()
+            },
+        )
+        .unwrap();
+        let schedule = run.schedule.as_ref().expect("observer attached");
+        assert_eq!(schedule.jobs_total, 6);
+        assert_eq!(schedule.spans.len(), 6, "one span per executed job");
+        // Spans come back sorted by job index, with matching names.
+        for (i, span) in schedule.spans.iter().enumerate() {
+            assert_eq!(span.index, i);
+            assert_eq!(span.name, js[i].name);
+            assert!(span.finished_ns >= span.started_ns);
+            assert!(!span.attempts.is_empty());
+        }
+        // The chaos job shows its retry in the span.
+        assert_eq!(schedule.spans[5].attempts.len(), 2);
+        assert!(schedule.spans[5].outcome.starts_with("quarantined"));
+        // Worker counters reconcile with the spans.
+        let completed: u64 = schedule.workers.iter().map(|w| w.jobs_completed).sum();
+        assert_eq!(completed, 6);
+        for w in &schedule.workers {
+            assert_eq!(w.own_pops + w.steals, w.jobs_completed);
+        }
+        // Determinism: results equal the unobserved serial oracle.
+        let oracle = run_serial(&js);
+        for (idx, o) in oracle.iter().enumerate() {
+            let r = &run.completed[&idx];
+            assert_eq!(r.digest, o.digest);
+            assert_eq!(r.outcome, o.outcome);
+        }
+    }
+
+    #[test]
     fn missing_result_is_a_typed_error() {
         let run = SweepRun {
             jobs_total: 3,
             completed: BTreeMap::from([(0usize, run_serial(&jobs(1)).remove(0))]),
             restored: 0,
             cancelled: false,
+            schedule: None,
         };
         match run.into_results() {
             Err(FarmError::MissingResult { index: 1, .. }) => {}

@@ -16,11 +16,27 @@
 //! [`crate::SimJob::deadline_ms`].)
 
 use crate::job::{JobOutcome, JobResult};
+use crate::observe::FarmSchedule;
 use crate::queue::SweepRun;
 use bench::json::Json;
 use osm_core::Stats;
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// One fleet-wide stall cause: cycles charged to a `(manager, primitive)`
+/// pair, summed across every job that carried a [`osm_core::MetricsReport`]
+/// with stall attribution. A pure fold of per-job results in job-index
+/// order, so it is deterministic and **canonical-safe** (unlike the
+/// wall-clock material in [`FarmReport::timing_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStallCause {
+    /// Manager name as the model registered it.
+    pub manager: String,
+    /// The denied Λ-primitive (`alloc`/`inq`/`rel`/`disc`).
+    pub op: String,
+    /// Stall cycles charged across the whole sweep.
+    pub cycles: u64,
+}
 
 /// The consolidated product of one sweep.
 #[derive(Debug, Clone)]
@@ -47,6 +63,15 @@ pub struct FarmReport {
     pub workers: usize,
     /// Wall-clock seconds for the whole sweep (0.0 when not measured).
     pub wall_seconds: f64,
+    /// Fleet stall-cause roll-up: stall cycles by `(manager, primitive)`,
+    /// folded from per-job metrics in job-index order, sorted by name.
+    /// Empty when no job ran with observability. Deterministic.
+    pub stall_causes: Vec<FleetStallCause>,
+    /// The farm observer's schedule, when the sweep ran with one attached.
+    /// Wall-clock derived and nondeterministic: rendered only by the
+    /// operator [`fmt::Display`] and [`FarmReport::timing_json`], never by
+    /// the canonical renderings.
+    pub schedule: Option<FarmSchedule>,
 }
 
 impl FarmReport {
@@ -58,6 +83,7 @@ impl FarmReport {
         let mut total_retired = 0u64;
         let mut failures = 0usize;
         let mut quarantined = 0usize;
+        let mut causes: BTreeMap<(String, String), u64> = BTreeMap::new();
         for job in &jobs {
             total_cycles += job.cycles;
             total_retired += job.retired;
@@ -78,7 +104,18 @@ impl FarmReport {
                     total_stats.incr_dyn(name, value);
                 }
             }
+            if let Some(stalls) = job.metrics.as_ref().and_then(|m| m.stalls.as_ref()) {
+                for cause in &stalls.by_manager {
+                    *causes
+                        .entry((cause.manager_name.clone(), cause.op.to_string()))
+                        .or_insert(0) += cause.cycles;
+                }
+            }
         }
+        let stall_causes = causes
+            .into_iter()
+            .map(|((manager, op), cycles)| FleetStallCause { manager, op, cycles })
+            .collect();
         FarmReport {
             jobs,
             total_stats,
@@ -90,6 +127,8 @@ impl FarmReport {
             pending: 0,
             workers,
             wall_seconds,
+            stall_causes,
+            schedule: None,
         }
     }
 
@@ -104,6 +143,7 @@ impl FarmReport {
         let mut report = FarmReport::consolidate(jobs, workers, wall_seconds);
         report.restored = restored;
         report.pending = pending;
+        report.schedule = run.schedule.clone();
         report
     }
 
@@ -118,13 +158,15 @@ impl FarmReport {
     }
 
     /// A copy with the environment-dependent fields (worker count, wall
-    /// time, restored-from-journal count) scrubbed; the basis of the
-    /// byte-identity gates.
+    /// time, restored-from-journal count, observer schedule) scrubbed; the
+    /// basis of the byte-identity gates. The deterministic roll-ups
+    /// (`stall_causes`) survive — they are pure folds of job results.
     fn canonical(&self) -> FarmReport {
         let mut c = self.clone();
         c.workers = 0;
         c.wall_seconds = 0.0;
         c.restored = 0;
+        c.schedule = None;
         c
     }
 
@@ -193,8 +235,225 @@ impl FarmReport {
         root.insert("workers".into(), Json::Num(self.workers as f64));
         root.insert("restored".into(), Json::Num(self.restored as f64));
         root.insert("wall_seconds".into(), Json::Num(self.wall_seconds));
+        // Omitted (not 0) when wall time was never measured: a sweep
+        // consolidated with `wall_seconds: 0.0` has no throughput to claim.
+        if self.wall_seconds > 0.0 {
+            root.insert(
+                "cycles_per_second".into(),
+                Json::Num(self.cycles_per_second()),
+            );
+        }
+        if !self.stall_causes.is_empty() {
+            root.insert("stall_causes".into(), self.stall_causes_json());
+        }
         Json::Obj(root)
     }
+
+    fn stall_causes_json(&self) -> Json {
+        Json::Arr(
+            self.stall_causes
+                .iter()
+                .map(|c| {
+                    let mut obj = BTreeMap::new();
+                    obj.insert("manager".into(), Json::Str(c.manager.clone()));
+                    obj.insert("op".into(), Json::Str(c.op.clone()));
+                    obj.insert("cycles".into(), Json::Num(c.cycles as f64));
+                    Json::Obj(obj)
+                })
+                .collect(),
+        )
+    }
+
+    /// The fleet timing rendering: per-worker utilization, per-job wall
+    /// time with setup/sim/teardown breakdown, and wall-time / cycles-per-
+    /// second histograms across jobs. **Explicitly non-canonical** — every
+    /// number here is wall-clock derived and varies run to run; the
+    /// rendering exists for operators and dashboards, never for the
+    /// byte-identity gates. `None` when the sweep ran without a
+    /// [`crate::FarmObserver`]. Validated against
+    /// `schemas/farm_metrics.schema.json` in CI.
+    pub fn timing_json(&self) -> Option<Json> {
+        let schedule = self.schedule.as_ref()?;
+        let workers = schedule
+            .workers
+            .iter()
+            .map(|w| {
+                let mut obj = BTreeMap::new();
+                obj.insert("worker".into(), Json::Num(w.worker as f64));
+                obj.insert("busy_ms".into(), Json::Num(w.busy_ns as f64 / 1e6));
+                obj.insert("idle_ms".into(), Json::Num(w.idle_ns as f64 / 1e6));
+                obj.insert("own_pops".into(), Json::Num(w.own_pops as f64));
+                obj.insert("steals".into(), Json::Num(w.steals as f64));
+                obj.insert(
+                    "jobs_completed".into(),
+                    Json::Num(w.jobs_completed as f64),
+                );
+                obj.insert("utilization".into(), Json::Num(w.utilization()));
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut wall_ms = Vec::new();
+        let mut rates = Vec::new();
+        let jobs = schedule
+            .spans
+            .iter()
+            .map(|span| {
+                let ms = span.wall_ns() as f64 / 1e6;
+                wall_ms.push(ms);
+                let mut obj = BTreeMap::new();
+                obj.insert("index".into(), Json::Num(span.index as f64));
+                obj.insert("name".into(), Json::Str(span.name.clone()));
+                obj.insert("worker".into(), Json::Num(span.worker as f64));
+                obj.insert("stolen".into(), Json::Bool(span.stolen));
+                obj.insert("outcome".into(), Json::Str(span.outcome.clone()));
+                obj.insert("wall_ms".into(), Json::Num(ms));
+                obj.insert(
+                    "attempts".into(),
+                    Json::Num(span.attempts.len().max(1) as f64),
+                );
+                let timing = span
+                    .attempts
+                    .iter()
+                    .map(|a| a.timing)
+                    .fold(crate::observe::JobTiming::default(), |mut acc, t| {
+                        acc.setup_ns += t.setup_ns;
+                        acc.sim_ns += t.sim_ns;
+                        acc.teardown_ns += t.teardown_ns;
+                        acc
+                    });
+                obj.insert("setup_ms".into(), Json::Num(timing.setup_ns as f64 / 1e6));
+                obj.insert("sim_ms".into(), Json::Num(timing.sim_ns as f64 / 1e6));
+                obj.insert(
+                    "teardown_ms".into(),
+                    Json::Num(timing.teardown_ns as f64 / 1e6),
+                );
+                obj.insert("cycles".into(), Json::Num(span.cycles as f64));
+                if span.wall_ns() > 0 {
+                    let rate = span.cycles as f64 / (span.wall_ns() as f64 / 1e9);
+                    rates.push(rate);
+                    obj.insert("cycles_per_sec".into(), Json::Num(rate));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            "job_wall_ms".into(),
+            histogram_json(&wall_ms, &[0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0]),
+        );
+        histograms.insert(
+            "job_cycles_per_sec".into(),
+            histogram_json(&rates, &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9]),
+        );
+        let mut root = BTreeMap::new();
+        root.insert("nondeterministic".into(), Json::Bool(true));
+        root.insert(
+            "wall_seconds".into(),
+            Json::Num(schedule.wall_ns as f64 / 1e9),
+        );
+        root.insert("jobs_total".into(), Json::Num(schedule.jobs_total as f64));
+        root.insert("workers".into(), Json::Arr(workers));
+        root.insert("jobs".into(), Json::Arr(jobs));
+        root.insert("histograms".into(), Json::Obj(histograms));
+        root.insert("stall_causes".into(), self.stall_causes_json());
+        Some(Json::Obj(root))
+    }
+
+    /// The concise human summary the CLI prints by default: headline,
+    /// quarantine list, totals, throughput, top fleet stall causes, and
+    /// (when the sweep was observed) the per-worker utilization table. The
+    /// full per-job table stays on [`fmt::Display`] (`--json` for the
+    /// machine form).
+    pub fn summary_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "simfarm: {} jobs on {} worker(s), {:.2}s wall, {} failure(s)",
+            self.jobs.len(),
+            self.workers,
+            self.wall_seconds,
+            self.failures
+        );
+        if self.restored > 0 || self.pending > 0 {
+            let _ = writeln!(
+                out,
+                "resume: {} restored from journal, {} pending",
+                self.restored, self.pending
+            );
+        }
+        if self.quarantined > 0 {
+            let _ = writeln!(out, "quarantine: {} job(s)", self.quarantined);
+            for job in &self.jobs {
+                if matches!(job.outcome, JobOutcome::Quarantined { .. }) {
+                    let _ = writeln!(out, "    {} — {}", job.name, job.outcome.label());
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "totals: {} cycles, {} retired, {} transitions",
+            self.total_cycles, self.total_retired, self.total_stats.transitions
+        );
+        if self.wall_seconds > 0.0 {
+            let _ = writeln!(
+                out,
+                "throughput: {:.0} simulated cycles/s",
+                self.cycles_per_second()
+            );
+        }
+        if !self.stall_causes.is_empty() {
+            let mut ranked: Vec<&FleetStallCause> = self.stall_causes.iter().collect();
+            ranked.sort_by(|a, b| {
+                b.cycles
+                    .cmp(&a.cycles)
+                    .then_with(|| (&a.manager, &a.op).cmp(&(&b.manager, &b.op)))
+            });
+            let _ = writeln!(out, "stall causes (fleet, top {}):", ranked.len().min(3));
+            for cause in ranked.iter().take(3) {
+                let _ = writeln!(
+                    out,
+                    "    {}({}): {} cycles",
+                    cause.op, cause.manager, cause.cycles
+                );
+            }
+        }
+        if let Some(schedule) = &self.schedule {
+            let _ = writeln!(out, "workers (timing, non-canonical):");
+            for w in &schedule.workers {
+                let _ = writeln!(
+                    out,
+                    "    worker {}: {:>5.1}% busy, {} job(s) ({} own, {} stolen)",
+                    w.worker,
+                    w.utilization() * 100.0,
+                    w.jobs_completed,
+                    w.own_pops,
+                    w.steals
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Bucket counts for `values` against ascending upper bounds `le`, plus an
+/// overflow bucket (`counts.len() == le.len() + 1`).
+fn histogram_json(values: &[f64], le: &[f64]) -> Json {
+    let mut counts = vec![0u64; le.len() + 1];
+    for &v in values {
+        let slot = le.iter().position(|&bound| v <= bound).unwrap_or(le.len());
+        counts[slot] += 1;
+    }
+    let mut obj = BTreeMap::new();
+    obj.insert(
+        "le".into(),
+        Json::Arr(le.iter().map(|&b| Json::Num(b)).collect()),
+    );
+    obj.insert(
+        "counts".into(),
+        Json::Arr(counts.into_iter().map(|c| Json::Num(c as f64)).collect()),
+    );
+    Json::Obj(obj)
 }
 
 /// One-word table marker for a job's outcome.
@@ -264,6 +523,30 @@ impl fmt::Display for FarmReport {
         if self.wall_seconds > 0.0 {
             writeln!(f, "throughput: {:.0} simulated cycles/s", self.cycles_per_second())?;
         }
+        if !self.stall_causes.is_empty() {
+            writeln!(f, "stall causes (fleet):")?;
+            for cause in &self.stall_causes {
+                writeln!(
+                    f,
+                    "    {}({}): {} cycles",
+                    cause.op, cause.manager, cause.cycles
+                )?;
+            }
+        }
+        if let Some(schedule) = &self.schedule {
+            writeln!(f, "workers (timing, non-canonical):")?;
+            for w in &schedule.workers {
+                writeln!(
+                    f,
+                    "    worker {}: {:>5.1}% busy, {} job(s) ({} own, {} stolen)",
+                    w.worker,
+                    w.utilization() * 100.0,
+                    w.jobs_completed,
+                    w.own_pops,
+                    w.steals
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -332,6 +615,96 @@ mod tests {
         assert!(text.contains("panicked"), "{text}");
         let json = report.to_json().to_string();
         assert!(json.contains("\"quarantined\":1"), "{json}");
+    }
+
+    #[test]
+    fn json_omits_cycles_per_second_when_wall_unmeasured() {
+        let jobs = vec![SimJob::minirisc_random(0, 32, 20_000)];
+        let results = run_serial(&jobs);
+        let unmeasured = FarmReport::consolidate(results.clone(), 1, 0.0);
+        let json = unmeasured.to_json().to_string();
+        assert!(
+            !json.contains("cycles_per_second"),
+            "unmeasured wall must omit the field, not claim 0: {json}"
+        );
+        let measured = FarmReport::consolidate(results, 1, 2.0);
+        let parsed = bench::json::parse(&measured.to_json().to_string()).unwrap();
+        let rate = parsed.get("cycles_per_second").unwrap().as_num().unwrap();
+        assert!((rate - measured.total_cycles as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_causes_fold_across_jobs_and_stay_canonical() {
+        let mut job = SimJob::new(
+            crate::job::ModelKind::Sa1100,
+            crate::job::WorkloadSpec::Named("specint".into()),
+            20_000,
+        );
+        job.observability = true;
+        let r = run_job(&job);
+        assert!(r.metrics.as_ref().and_then(|m| m.stalls.as_ref()).is_some());
+        let single = FarmReport::consolidate(vec![r.clone()], 1, 0.0);
+        let double = FarmReport::consolidate(vec![r.clone(), r], 1, 0.0);
+        assert!(!single.stall_causes.is_empty(), "specint on SA-1100 stalls");
+        assert_eq!(single.stall_causes.len(), double.stall_causes.len());
+        for (s, d) in single.stall_causes.iter().zip(&double.stall_causes) {
+            assert_eq!(s.manager, d.manager);
+            assert_eq!(s.op, d.op);
+            assert_eq!(2 * s.cycles, d.cycles, "{}({})", s.op, s.manager);
+        }
+        // The roll-up is deterministic, so it lives in the canonical text.
+        assert!(single.canonical_text().contains("stall causes (fleet):"));
+        assert!(single.canonical_json().contains("\"stall_causes\""));
+    }
+
+    #[test]
+    fn timing_json_exists_only_with_a_schedule_and_stays_out_of_canonical() {
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob::minirisc_random(i, 32, 20_000))
+            .collect();
+        let plain = FarmReport::consolidate(run_serial(&jobs), 1, 0.0);
+        assert!(plain.timing_json().is_none());
+
+        let run = run_farm(
+            &jobs,
+            2,
+            FarmOptions {
+                observer: Some(crate::observe::FarmObserver::new()),
+                ..FarmOptions::default()
+            },
+        )
+        .unwrap();
+        let observed = FarmReport::consolidate_sweep(&run, 2, 0.5);
+        let timing = observed.timing_json().expect("schedule attached");
+        let parsed = bench::json::parse(&timing.to_string()).unwrap();
+        assert_eq!(parsed.get("nondeterministic").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("jobs").unwrap().as_arr().unwrap().len(), 3);
+        let hist = parsed.get("histograms").unwrap().get("job_wall_ms").unwrap();
+        let le = hist.get("le").unwrap().as_arr().unwrap().len();
+        let counts = hist.get("counts").unwrap().as_arr().unwrap();
+        assert_eq!(counts.len(), le + 1, "overflow bucket");
+        let total: f64 = counts.iter().map(|c| c.as_num().unwrap()).sum();
+        assert_eq!(total as usize, 3, "every job lands in one bucket");
+        // The operator rendering shows the utilization table; the canonical
+        // one must not (timing is nondeterministic).
+        assert!(observed.to_string().contains("workers (timing, non-canonical):"));
+        assert!(!observed.canonical_text().contains("non-canonical"));
+        assert_eq!(observed.canonical_text(), plain.canonical_text());
+        assert_eq!(observed.canonical_json(), plain.canonical_json());
+    }
+
+    #[test]
+    fn summary_text_is_concise_and_covers_quarantine() {
+        let mut chaos = SimJob::chaos_panic("boom");
+        chaos.retries = 0;
+        let jobs = vec![SimJob::minirisc_random(0, 32, 20_000), chaos];
+        let report = FarmReport::consolidate(run_serial(&jobs), 2, 1.5);
+        let summary = report.summary_text();
+        assert!(summary.starts_with("simfarm: 2 jobs on 2 worker(s)"), "{summary}");
+        assert!(summary.contains("quarantine: 1 job(s)"), "{summary}");
+        assert!(summary.contains("throughput:"), "{summary}");
+        // Unlike Display, no per-job digest table.
+        assert!(!summary.contains("digest"), "{summary}");
     }
 
     #[test]

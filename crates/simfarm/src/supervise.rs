@@ -10,7 +10,8 @@
 //! therefore the final [`JobResult`] — is a pure function of the
 //! [`SimJob`], independent of worker count and scheduling.
 
-use crate::job::{run_job, JobOutcome, JobResult, SimJob};
+use crate::job::{run_job, run_job_timed, JobOutcome, JobResult, SimJob};
+use crate::observe::{AttemptSpan, JobTiming};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -67,18 +68,34 @@ fn run_attempt(job: &SimJob) -> JobResult {
     }
 }
 
-/// Runs one job under full supervision: crash isolation, up to
-/// `1 + job.retries` deterministic attempts, and quarantine once every
-/// attempt came back unhealthy. The returned result carries the attempt
-/// count; a quarantined result keeps the last attempt's machine output
-/// (cycles, digest, stats) with its outcome wrapped in
-/// [`JobOutcome::Quarantined`].
-pub fn run_job_supervised(job: &SimJob) -> JobResult {
+/// One isolated, *timed* attempt: like [`run_attempt`] but with the
+/// setup/sim/teardown breakdown. A panicking attempt loses its breakdown
+/// (the timing lived on the unwound stack) and reports zeros.
+fn run_attempt_timed(job: &SimJob) -> (JobResult, JobTiming) {
+    match catch_unwind(AssertUnwindSafe(|| run_job_timed(job))) {
+        Ok(pair) => pair,
+        Err(payload) => (
+            JobResult::aborted(
+                job,
+                JobOutcome::Panicked {
+                    payload: payload_string(payload),
+                },
+            ),
+            JobTiming::default(),
+        ),
+    }
+}
+
+/// The retry/quarantine loop shared by the plain and observed supervised
+/// runners: up to `1 + job.retries` attempts, quarantine once every attempt
+/// came back unhealthy. `attempt_fn` receives the 1-based attempt number
+/// and must already be crash-isolated.
+fn supervise(job: &SimJob, mut attempt_fn: impl FnMut(u32) -> JobResult) -> JobResult {
     let attempts_allowed = job.retries.saturating_add(1);
     let mut attempt = 0u32;
     loop {
         attempt += 1;
-        let mut result = run_attempt(job);
+        let mut result = attempt_fn(attempt);
         result.attempts = attempt;
         if result.outcome.is_healthy() {
             return result;
@@ -91,6 +108,40 @@ pub fn run_job_supervised(job: &SimJob) -> JobResult {
             return result;
         }
     }
+}
+
+/// Runs one job under full supervision: crash isolation, up to
+/// `1 + job.retries` deterministic attempts, and quarantine once every
+/// attempt came back unhealthy. The returned result carries the attempt
+/// count; a quarantined result keeps the last attempt's machine output
+/// (cycles, digest, stats) with its outcome wrapped in
+/// [`JobOutcome::Quarantined`].
+pub fn run_job_supervised(job: &SimJob) -> JobResult {
+    supervise(job, |_| run_attempt(job))
+}
+
+/// [`run_job_supervised`] with farm observability: returns the same
+/// deterministic [`JobResult`] plus one [`AttemptSpan`] per attempt, with
+/// timestamps taken from `now_ns` (the farm observer's clock). Only called
+/// by the farm when a [`crate::FarmObserver`] is attached.
+pub(crate) fn run_job_supervised_observed(
+    job: &SimJob,
+    now_ns: impl Fn() -> u64,
+) -> (JobResult, Vec<AttemptSpan>) {
+    let mut spans = Vec::new();
+    let result = supervise(job, |attempt| {
+        let start_ns = now_ns();
+        let (result, timing) = run_attempt_timed(job);
+        spans.push(AttemptSpan {
+            attempt,
+            start_ns,
+            end_ns: now_ns(),
+            timing,
+            healthy: result.outcome.is_healthy(),
+        });
+        result
+    });
+    (result, spans)
 }
 
 #[cfg(test)]

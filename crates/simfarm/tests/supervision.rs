@@ -237,15 +237,53 @@ fn resume_rejects_a_journal_from_a_different_sweep() {
 
 #[test]
 fn worker_count_does_not_change_the_canonical_report() {
+    // Neither worker count nor farm observability may move a byte of the
+    // canonical renderings: 1/2/8 workers × observer off/on all agree.
     let jobs = mixed_jobs();
     let mut renderings = Vec::new();
     for workers in [1usize, 2, 8] {
-        let run = run_farm(&jobs, workers, FarmOptions::default()).unwrap();
-        let report = FarmReport::consolidate_sweep(&run, workers, 0.0);
-        renderings.push((report.canonical_text(), report.canonical_json()));
+        for observed in [false, true] {
+            let options = FarmOptions {
+                observer: observed.then(simfarm::FarmObserver::new),
+                ..FarmOptions::default()
+            };
+            let run = run_farm(&jobs, workers, options).unwrap();
+            assert_eq!(run.schedule.is_some(), observed);
+            let report = FarmReport::consolidate_sweep(&run, workers, 0.0);
+            renderings.push((report.canonical_text(), report.canonical_json()));
+        }
     }
-    assert_eq!(renderings[0], renderings[1]);
-    assert_eq!(renderings[1], renderings[2]);
+    for pair in &renderings[1..] {
+        assert_eq!(pair, &renderings[0]);
+    }
+}
+
+#[test]
+fn observed_schedule_covers_every_executed_job_but_not_restored_ones() {
+    // Restore the first two results from a journal-less resume, observe the
+    // rest: spans exist exactly for the jobs that ran in this process.
+    let jobs = mixed_jobs();
+    let oracle = run_serial(&jobs);
+    let completed: std::collections::BTreeMap<usize, simfarm::JobResult> =
+        oracle.iter().take(2).cloned().enumerate().collect();
+    let run = run_farm(
+        &jobs,
+        2,
+        FarmOptions {
+            completed,
+            observer: Some(simfarm::FarmObserver::new()),
+            ..FarmOptions::default()
+        },
+    )
+    .unwrap();
+    let schedule = run.schedule.as_ref().unwrap();
+    assert_eq!(schedule.jobs_total, jobs.len());
+    let spanned: Vec<usize> = schedule.spans.iter().map(|s| s.index).collect();
+    assert_eq!(spanned, vec![2, 3, 4], "restored jobs 0/1 have no span");
+    for span in &schedule.spans {
+        assert!(!span.attempts.is_empty());
+        assert!(span.attempts.iter().all(|a| a.end_ns >= a.start_ns));
+    }
 }
 
 #[test]

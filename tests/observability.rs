@@ -7,10 +7,14 @@
 //! Regenerate the golden files after an intentional exporter change with:
 //! `BLESS=1 cargo test --test observability`
 
+use osm_repro::minirisc::{AluOp, BranchCond, Instr, Reg};
+use osm_repro::osm_adl::{parse as parse_adl, synthesize};
 use osm_repro::osm_core::{
     self, ExclusivePool, IdentExpr, InertBehavior, Machine, SpecBuilder, TokenOutcome,
 };
 use osm_repro::sa1100::{SaConfig, SaOsmSim};
+use osm_repro::simfarm::{AttemptSpan, FarmSchedule, JobSpan, JobTiming, WorkerTelemetry};
+use osm_repro::vliw::{schedule, VliwConfig, VliwIr, VliwSim};
 use osm_repro::workloads::random_program;
 use proptest::prelude::*;
 
@@ -92,6 +96,210 @@ fn metrics_json_matches_golden_file() {
     machine.run(12).expect("no deadlock");
     let report = machine.metrics_report().expect("metrics enabled");
     assert_golden(&osm_core::export::metrics_json(&report), "metrics.json");
+}
+
+/// A tiny deterministic ILP kernel for the §6 VLIW model: a 4-iteration
+/// accumulation loop with three independent ops per body, packed into
+/// two-slot bundles. Small enough that the full event log stays a few
+/// hundred events.
+fn vliw_kernel_sim() -> VliwSim {
+    let addi = |rd: u8, rs1: u8, imm: i32| Instr::AluImm {
+        op: AluOp::Add,
+        rd: Reg(rd),
+        rs1: Reg(rs1),
+        imm,
+    };
+    let mut ir = VliwIr::new();
+    ir.push(addi(1, 0, 4)); // loop counter
+    let top = ir.instrs.len();
+    ir.push(addi(2, 0, 3));
+    ir.push(addi(3, 0, 5));
+    ir.push(Instr::Alu {
+        op: AluOp::Add,
+        rd: Reg(4),
+        rs1: Reg(2),
+        rs2: Reg(3),
+    });
+    ir.push(addi(1, 1, -1));
+    ir.branch(
+        Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg(1),
+            rs2: Reg(0),
+            offset: 0,
+        },
+        top,
+    );
+    ir.push(addi(10, 0, 0));
+    ir.push(Instr::Syscall);
+    VliwSim::new(VliwConfig::default(), &schedule(&ir, vec![]))
+}
+
+#[test]
+fn vliw_chrome_trace_matches_golden_file() {
+    let mut sim = vliw_kernel_sim();
+    sim.machine_mut().enable_event_log();
+    sim.machine_mut().enable_stall_attribution();
+    sim.run_to_halt(10_000).expect("no deadlock");
+    let json = osm_core::export::chrome_trace_for(sim.machine()).expect("event log enabled");
+    assert_golden(&json, "vliw_chrome_trace.json");
+}
+
+#[test]
+fn vliw_metrics_json_matches_golden_file() {
+    let mut sim = vliw_kernel_sim();
+    sim.machine_mut().enable_event_log();
+    sim.machine_mut().enable_metrics();
+    sim.machine_mut().enable_stall_attribution();
+    sim.run_to_halt(10_000).expect("no deadlock");
+    let report = sim.machine().metrics_report().expect("metrics enabled");
+    assert_golden(&osm_core::export::metrics_json(&report), "vliw_metrics.json");
+}
+
+/// The MiniRISC-32 substrate runs as a plain ISS with no OSM layer, so
+/// there is nothing for the token-event exporters to observe there.
+/// Instead the MiniRISC golden covers the retargetable path (§7): the
+/// declarative five-stage pipeline description synthesized by `osm-adl`,
+/// instantiated with inert behaviors — pure structure and timing.
+const MINIRISC_PIPELINE_ADL: &str = "
+    machine minirisc5 {
+        manager fetch     : exclusive(1);
+        manager decode    : exclusive(1);
+        manager execute   : exclusive(1);
+        manager buffer    : exclusive(1);
+        manager writeback : exclusive(1);
+
+        osm op {
+            states I, F, D, E, B, W;
+            initial I;
+            edge e0 : I -> F { allocate fetch[0]; }
+            edge e1 : F -> D { release fetch[held]; allocate decode[0]; }
+            edge e2 : D -> E { release decode[held]; allocate execute[0]; }
+            edge e3 : E -> B { release execute[held]; allocate buffer[0]; }
+            edge e4 : B -> W { release buffer[held]; allocate writeback[0]; }
+            edge e5 : W -> I { release writeback[held]; }
+        }
+    }
+";
+
+fn minirisc_adl_machine(osms: usize) -> Machine<()> {
+    let decl = parse_adl(MINIRISC_PIPELINE_ADL).expect("ADL parses");
+    let synth = synthesize(&decl).expect("ADL synthesizes");
+    let mut machine: Machine<()> = Machine::new(());
+    synth.install_managers(&mut machine);
+    let spec = synth.spec("op").expect("declared");
+    for _ in 0..osms {
+        machine.add_osm(spec, InertBehavior);
+    }
+    machine
+}
+
+#[test]
+fn minirisc_adl_chrome_trace_matches_golden_file() {
+    let mut machine = minirisc_adl_machine(3);
+    machine.enable_event_log();
+    machine.enable_stall_attribution();
+    machine.run(14).expect("no deadlock");
+    let json = osm_core::export::chrome_trace_for(&machine).expect("event log enabled");
+    assert_golden(&json, "minirisc_chrome_trace.json");
+}
+
+#[test]
+fn minirisc_adl_metrics_json_matches_golden_file() {
+    let mut machine = minirisc_adl_machine(3);
+    machine.enable_event_log();
+    machine.enable_metrics();
+    machine.enable_stall_attribution();
+    machine.run(14).expect("no deadlock");
+    let report = machine.metrics_report().expect("metrics enabled");
+    assert_golden(
+        &osm_core::export::metrics_json(&report),
+        "minirisc_metrics.json",
+    );
+}
+
+/// A hand-built farm schedule with fixed timestamps: two workers running a
+/// serial-equivalent three-job sweep, with one steal and one retried
+/// attempt. Exercising `trace_json` on synthetic data keeps the golden
+/// deterministic — a live schedule's timestamps are wall-clock.
+fn fixed_farm_schedule() -> FarmSchedule {
+    let timing = |setup: u64, sim: u64, teardown: u64| JobTiming {
+        setup_ns: setup,
+        sim_ns: sim,
+        teardown_ns: teardown,
+    };
+    let attempt = |n: u32, start: u64, end: u64, healthy: bool| AttemptSpan {
+        attempt: n,
+        start_ns: start,
+        end_ns: end,
+        timing: timing(1_000, end - start - 2_000, 1_000),
+        healthy,
+    };
+    FarmSchedule {
+        jobs_total: 3,
+        wall_ns: 9_000_000,
+        workers: vec![
+            WorkerTelemetry {
+                worker: 0,
+                busy_ns: 7_000_000,
+                idle_ns: 1_500_000,
+                own_pops: 2,
+                steals: 0,
+                jobs_completed: 2,
+            },
+            WorkerTelemetry {
+                worker: 1,
+                busy_ns: 4_000_000,
+                idle_ns: 4_500_000,
+                own_pops: 0,
+                steals: 1,
+                jobs_completed: 1,
+            },
+        ],
+        spans: vec![
+            JobSpan {
+                index: 0,
+                name: "golden/job#0".to_owned(),
+                worker: 0,
+                stolen: false,
+                started_ns: 100_000,
+                finished_ns: 3_100_000,
+                attempts: vec![attempt(1, 100_000, 3_100_000, true)],
+                outcome: "halted".to_owned(),
+                cycles: 4_096,
+            },
+            JobSpan {
+                index: 1,
+                name: "golden/job#1".to_owned(),
+                worker: 0,
+                stolen: false,
+                started_ns: 3_200_000,
+                finished_ns: 7_200_000,
+                attempts: vec![
+                    attempt(1, 3_200_000, 5_200_000, false),
+                    attempt(2, 5_200_000, 7_200_000, true),
+                ],
+                outcome: "halted".to_owned(),
+                cycles: 2_048,
+            },
+            JobSpan {
+                index: 2,
+                name: "golden/job#2".to_owned(),
+                worker: 1,
+                stolen: true,
+                started_ns: 200_000,
+                finished_ns: 4_200_000,
+                attempts: vec![attempt(1, 200_000, 4_200_000, true)],
+                outcome: "budget".to_owned(),
+                cycles: 8_192,
+            },
+        ],
+    }
+}
+
+#[test]
+fn farm_schedule_trace_matches_golden_file() {
+    assert_golden(&fixed_farm_schedule().trace_json(), "farm_schedule_trace.json");
 }
 
 proptest! {
