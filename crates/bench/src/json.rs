@@ -80,6 +80,32 @@ impl Json {
         }
     }
 
+    /// Largest integer `f64` represents exactly (2^53); the cutover point
+    /// for [`Json::lossless_u64`].
+    pub const MAX_EXACT_U64: u64 = 1 << 53;
+
+    /// Encodes a `u64` counter losslessly: a plain JSON number while exact
+    /// in `f64`, a `"0x…"` hex string beyond 2^53 (`v as f64` above that
+    /// silently rounds, so a digest-sized counter would round-trip wrong).
+    /// [`Json::lossless_as_u64`] reads back either spelling; schemas pin
+    /// such fields as `"type": ["integer", "string"]`.
+    pub fn lossless_u64(v: u64) -> Json {
+        if v <= Json::MAX_EXACT_U64 {
+            Json::Num(v as f64)
+        } else {
+            Json::Str(format!("0x{v:x}"))
+        }
+    }
+
+    /// Decodes either [`Json::lossless_u64`] spelling: an exact JSON number
+    /// or the `"0x…"` hex-string fallback.
+    pub fn lossless_as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Str(s) => u64::from_str_radix(s.strip_prefix("0x")?, 16).ok(),
+            other => other.as_u64(),
+        }
+    }
+
     /// The JSON type name (for error messages and schema checks).
     pub fn type_name(&self) -> &'static str {
         match self {

@@ -29,6 +29,8 @@ pub enum Token {
     Comma,
     /// `->`
     Arrow,
+    /// `-` (negative edge priorities)
+    Minus,
 }
 
 impl fmt::Display for Token {
@@ -46,6 +48,7 @@ impl fmt::Display for Token {
             Token::Colon => write!(f, "`:`"),
             Token::Comma => write!(f, "`,`"),
             Token::Arrow => write!(f, "`->`"),
+            Token::Minus => write!(f, "`-`"),
         }
     }
 }
@@ -140,9 +143,9 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             line: line_no,
                         });
                     } else {
-                        return Err(LexError {
+                        out.push(Spanned {
+                            token: Token::Minus,
                             line: line_no,
-                            ch: '-',
                         });
                     }
                 }
@@ -235,7 +238,8 @@ mod tests {
     }
 
     #[test]
-    fn lone_dash_rejected() {
-        assert!(lex("a - b").is_err());
+    fn lone_dash_lexes_as_minus() {
+        let tokens = lex("a - b").unwrap();
+        assert_eq!(tokens[1].token, Token::Minus);
     }
 }

@@ -46,3 +46,47 @@ pub use ast::{AdlIdent, AdlPrimitive, EdgeDecl, MachineDecl, ManagerDecl, Manage
 pub use lexer::{lex, LexError, Spanned, Token};
 pub use parser::{parse, ParseError};
 pub use synth::{export, synthesize, SynthError, SynthesizedMachine};
+
+/// Why [`load`] rejected a source text: either it failed to parse, or it
+/// parsed but failed semantic analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The source is not syntactically valid ADL.
+    Parse(ParseError),
+    /// The source parsed but could not be synthesized.
+    Synth(SynthError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Parse(e) => write!(f, "{e}"),
+            LoadError::Synth(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<ParseError> for LoadError {
+    fn from(e: ParseError) -> LoadError {
+        LoadError::Parse(e)
+    }
+}
+
+impl From<SynthError> for LoadError {
+    fn from(e: SynthError) -> LoadError {
+        LoadError::Synth(e)
+    }
+}
+
+/// One-call front door: parses and synthesizes a source text, with a
+/// unified error. This is what embedders that treat ADL text as an opaque
+/// machine description (the simulation farm's `adl` model kind, the model
+/// fuzzer's corpus replay) call.
+///
+/// # Errors
+/// Returns [`LoadError`] when the text fails to parse or synthesize.
+pub fn load(source: &str) -> Result<SynthesizedMachine, LoadError> {
+    Ok(synthesize(&parse(source)?)?)
+}

@@ -11,7 +11,7 @@
 //!            | "reset"
 //! osm       := "osm" IDENT "{" "states" IDENT ("," IDENT)* ";"
 //!              "initial" IDENT ";" edge* "}"
-//! edge      := "edge" IDENT ":" IDENT "->" IDENT ("priority" NUM)?
+//! edge      := "edge" IDENT ":" IDENT "->" IDENT ("priority" "-"? NUM)?
 //!              "{" prim* "}"
 //! prim      := ("allocate"|"inquire"|"release"|"discard") target ";"
 //! target    := "all" | IDENT "[" ident "]"
@@ -243,7 +243,15 @@ impl Parser {
         if let Some(Token::Ident(kw)) = self.peek() {
             if kw == "priority" {
                 self.pos += 1;
-                priority = self.number()? as i32;
+                let negative = matches!(self.peek(), Some(Token::Minus));
+                if negative {
+                    self.pos += 1;
+                }
+                let raw = self.number()?;
+                let Ok(magnitude) = i32::try_from(raw) else {
+                    return self.err(format!("priority {raw} exceeds the i32 range"));
+                };
+                priority = if negative { -magnitude } else { magnitude };
             }
         }
         self.expect(&Token::LBrace)?;
@@ -391,6 +399,44 @@ mod tests {
         let src = "machine m { manager x : reset }";
         let e = parse(src).unwrap_err();
         assert!(e.message.contains("`;`"));
+    }
+
+    /// Found by the model fuzzer: `export` prints `priority -1` for
+    /// bail-out edges but the lexer only knew `-` as part of `->`, so an
+    /// exported machine with a negative priority could never be re-parsed.
+    #[test]
+    fn negative_priority_round_trips() {
+        let src = "
+            machine m {
+                manager x : exclusive(1);
+                osm op {
+                    states I, W;
+                    initial I;
+                    edge go:   I -> W { allocate x[0]; }
+                    edge bail: W -> I priority -2 { release x[held]; }
+                }
+            }
+        ";
+        let m = parse(src).unwrap();
+        assert_eq!(m.osms[0].edges[1].priority, -2);
+    }
+
+    /// Companion truncation guard: `priority` used to be cast with
+    /// `as i32`, silently wrapping values above `i32::MAX`.
+    #[test]
+    fn oversized_priority_is_an_error_not_a_wrap() {
+        let src = "
+            machine m {
+                manager x : exclusive(1);
+                osm op {
+                    states I, W;
+                    initial I;
+                    edge go: I -> W priority 4294967296 { allocate x[0]; }
+                }
+            }
+        ";
+        let e = parse(src).unwrap_err();
+        assert!(e.message.contains("i32"), "{}", e.message);
     }
 
     #[test]

@@ -35,8 +35,11 @@ fn lexer_rejects_unknown_characters_with_line_number() {
 }
 
 #[test]
-fn lexer_rejects_bare_minus_outside_arrow() {
-    assert!(lex("edge e : A - B").is_err());
+fn bare_minus_lexes_but_fails_parsing_outside_priority() {
+    // `-` is a token now (negative priorities round-trip through export),
+    // so the rejection moved from the lexer to the parser.
+    assert!(lex("edge e : A - B").is_ok());
+    assert!(parse("machine m { manager x : - ; }").is_err());
 }
 
 #[test]
@@ -161,4 +164,21 @@ fn duplicate_manager_names_are_rejected_at_synthesis() {
     let decl = parse(&src).unwrap();
     let err = synthesize(&decl).unwrap_err();
     assert_eq!(err, SynthError::DuplicateManager { name: "mf".into() });
+}
+
+// ------------------------------------------------------- unified load() --
+
+#[test]
+fn load_accepts_valid_source_and_unifies_both_error_layers() {
+    use osm_adl::{load, LoadError};
+    let synth = load(VALID).expect("valid source loads");
+    assert_eq!(synth.name, "demo");
+    assert!(synth.spec("ctl").is_some());
+
+    let parse_err = load("machine oops {").unwrap_err();
+    assert!(matches!(parse_err, LoadError::Parse(_)), "{parse_err:?}");
+
+    let synth_err = load(&VALID.replace("mf[any]", "nosuch[any]")).unwrap_err();
+    assert!(matches!(synth_err, LoadError::Synth(_)), "{synth_err:?}");
+    assert!(synth_err.to_string().contains("nosuch"), "{synth_err}");
 }

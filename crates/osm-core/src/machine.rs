@@ -431,6 +431,59 @@ impl<S: 'static> Machine<S> {
         self.cycle
     }
 
+    /// The running digest of the installed trace, read **without**
+    /// detaching the sink (unlike [`Machine::take_trace`]). A probe point
+    /// for mid-run equivalence checks: a differential harness can compare
+    /// two runs' digests at a checkpoint cut and keep both running.
+    /// `None` when tracing is not enabled.
+    pub fn trace_digest(&self) -> Option<u64> {
+        self.trace().map(Trace::digest)
+    }
+
+    /// An FNV-1a fingerprint of the machine's operation-layer state: the
+    /// cycle plus, per OSM in id order, its spec index, current state, age,
+    /// tag, identifier slots and buffered tokens (identifier, owning
+    /// manager, raw value). Two machines with equal fingerprints are in the
+    /// same architectural operation state — the probe differential oracles
+    /// use to compare a restored checkpoint against the uninterrupted run,
+    /// or the `Seed` and `Fast` schedulers at a mid-run cut, without
+    /// needing `S: Clone` or a full [`Machine::checkpoint`].
+    ///
+    /// Hardware-layer manager internals are deliberately excluded (they are
+    /// not generically hashable); token conservation ties them to the
+    /// buffers that *are* covered, and [`Machine::audit_tokens`] checks that
+    /// tie dynamically.
+    pub fn state_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.cycle);
+        mix(self.osms.len() as u64);
+        for osm in &self.osms {
+            mix(u64::from(osm.spec_index()));
+            mix(osm.state().index() as u64);
+            mix(osm.age());
+            mix(osm.tag());
+            mix(osm.slots().len() as u64);
+            for slot in osm.slots() {
+                mix(slot.0);
+            }
+            mix(osm.buffer().len() as u64);
+            for held in osm.buffer() {
+                mix(held.ident.0);
+                mix(u64::from(held.token.manager.0));
+                mix(held.token.raw);
+            }
+        }
+        hash
+    }
+
     /// Token-conservation audit: every token a manager believes is owned
     /// must sit in exactly that owner's buffer, and every buffered token of
     /// an auditable manager must be acknowledged by it. This is the dynamic
@@ -1565,5 +1618,58 @@ mod tests {
         // The audit can be turned off.
         m.set_leak_audit(false);
         m.run(1).unwrap();
+    }
+
+    #[test]
+    fn trace_digest_probes_without_detaching() {
+        let mut m: Machine<()> = Machine::new(());
+        let ma = m.add_manager(ExclusivePool::new("A", 1));
+        let mb = m.add_manager(ExclusivePool::new("B", 1));
+        let spec = pipeline_spec(ma, mb);
+        m.add_osm(&spec, InertBehavior);
+        assert_eq!(m.trace_digest(), None, "no trace installed yet");
+        m.enable_trace_with(Trace::digest_only());
+        let empty = m.trace_digest().expect("trace installed");
+        m.run(2).unwrap();
+        let mid = m.trace_digest().expect("probe mid-run");
+        assert_ne!(mid, empty, "digest advances with transitions");
+        m.run(1).unwrap();
+        // The probe never detached the sink: take_trace still returns it,
+        // and its final digest continues from the probed prefix.
+        let final_digest = m.trace_digest().unwrap();
+        assert_eq!(m.take_trace().unwrap().digest(), final_digest);
+    }
+
+    #[test]
+    fn state_fingerprint_tracks_operation_state_and_survives_restore() {
+        let build = || {
+            let mut m: Machine<()> = Machine::new(());
+            let ma = m.add_manager(ExclusivePool::new("A", 1));
+            let mb = m.add_manager(ExclusivePool::new("B", 1));
+            let spec = pipeline_spec(ma, mb);
+            m.add_osm(&spec, InertBehavior);
+            m.add_osm(&spec, InertBehavior);
+            m
+        };
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        a.run(3).unwrap();
+        assert_ne!(
+            a.state_fingerprint(),
+            b.state_fingerprint(),
+            "fingerprint must distinguish different operation states"
+        );
+        b.run(3).unwrap();
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        // checkpoint → restore into a fresh machine reproduces the
+        // fingerprint exactly (the probe a cut-point oracle compares).
+        let ckpt = a.checkpoint().unwrap();
+        let mut c = build();
+        c.restore(&ckpt).unwrap();
+        assert_eq!(c.state_fingerprint(), a.state_fingerprint());
+        a.run(1).unwrap();
+        c.run(1).unwrap();
+        assert_eq!(c.state_fingerprint(), a.state_fingerprint());
     }
 }

@@ -1,0 +1,60 @@
+//! CI gate: a fixed-seed, bounded-budget fuzz sweep.
+//!
+//! Generates at least 64 verified machines from a pinned seed, runs the
+//! full differential matrix (Seed/Fast × serial/parallel@1/2/8 ×
+//! checkpoint × observability), and exits non-zero on any divergence.
+//! Every line printed to stdout is a pure function of the seed, so CI
+//! runs the binary twice and `cmp`s the outputs to pin determinism
+//! end to end.
+//!
+//! Usage: `fuzz_smoke [count] [seed-hex]` (defaults: 64 machines,
+//! seed `0xD1FF`).
+
+use osm_fuzz::{check_cases, generate_batch, GenConfig};
+use std::process::ExitCode;
+
+const DEFAULT_COUNT: usize = 64;
+const DEFAULT_SEED: u64 = 0xD1FF;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let count: usize = args
+        .next()
+        .map(|a| a.parse().expect("count must be a number"))
+        .unwrap_or(DEFAULT_COUNT);
+    let seed = args
+        .next()
+        .map(|a| u64::from_str_radix(a.trim_start_matches("0x"), 16).expect("seed must be hex"))
+        .unwrap_or(DEFAULT_SEED);
+
+    println!("fuzz_smoke: seed={seed:#x} machines={count}");
+    let cases = generate_batch(seed, count, &GenConfig::default());
+    let faulted = cases.iter().filter(|c| c.faults.is_some()).count();
+    println!("generated {} verified machines ({faulted} with fault plans)", cases.len());
+
+    let (verdicts, divergences) = check_cases(&cases);
+    for v in &verdicts {
+        let cut = match v.cut {
+            Some(c) => format!("{c}"),
+            None => "-".to_owned(),
+        };
+        println!(
+            "{}: digest={:016x} cycles={} outcome={} cut={cut}",
+            v.name, v.digest, v.cycles, v.outcome
+        );
+    }
+
+    if divergences.is_empty() {
+        println!(
+            "fuzz_smoke OK: {} machines x Seed/Fast x serial/parallel@1/2/8 x checkpoint x observability, zero divergences",
+            verdicts.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &divergences {
+            eprintln!("DIVERGENCE {d}");
+        }
+        eprintln!("fuzz_smoke FAILED: {} divergence(s)", divergences.len());
+        ExitCode::FAILURE
+    }
+}

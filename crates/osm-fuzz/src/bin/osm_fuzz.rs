@@ -1,0 +1,108 @@
+//! The fuzzer CLI: sweep a seed range, shrink any divergence, and emit a
+//! self-contained regression file.
+//!
+//! ```text
+//! osm_fuzz [--seed HEX] [--count N] [--emit DIR] [--export SEED]
+//! ```
+//!
+//! * `--seed` / `--count` — the deterministic sweep (defaults 0x0SEED/32).
+//! * `--emit DIR` — on divergence, shrink the case and write
+//!   `DIR/<name>.json` (the corpus format `tests/fuzz_corpus.rs` replays).
+//! * `--export SEED` — print the generated corpus JSON for one seed and
+//!   exit (handy for committing representative cases).
+
+use osm_fuzz::{check_cases, generate, generate_batch, shrink, to_json_text, GenConfig};
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    count: usize,
+    emit: Option<std::path::PathBuf>,
+    export: Option<u64>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        seed: 0x05EED,
+        count: 32,
+        emit: None,
+        export: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                opts.seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .expect("--seed must be hex");
+            }
+            "--count" => opts.count = value("--count").parse().expect("--count must be a number"),
+            "--emit" => opts.emit = Some(value("--emit").into()),
+            "--export" => {
+                let v = value("--export");
+                opts.export = Some(
+                    u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                        .expect("--export must be hex"),
+                );
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+
+    if let Some(seed) = opts.export {
+        let case = generate(seed, &GenConfig::default());
+        print!("{}", to_json_text(&case));
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!("osm_fuzz: sweep seed={:#x} count={}", opts.seed, opts.count);
+    let cases = generate_batch(opts.seed, opts.count, &GenConfig::default());
+    let (verdicts, divergences) = check_cases(&cases);
+    eprintln!(
+        "checked {} machines: {} divergence(s)",
+        verdicts.len(),
+        divergences.len()
+    );
+    if divergences.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+
+    for d in &divergences {
+        eprintln!("DIVERGENCE {d}");
+    }
+    // Shrink each diverging case once (dedup by case name) and emit.
+    let mut shrunk = Vec::new();
+    for case in &cases {
+        if divergences.iter().any(|d| d.case.starts_with(&case.name)) {
+            eprintln!("shrinking {} ...", case.name);
+            let minimal = shrink(case);
+            eprintln!(
+                "  minimal: osms={} max_cycles={} faults={} source={} bytes",
+                minimal.osms,
+                minimal.max_cycles,
+                minimal.faults.is_some(),
+                minimal.source.len()
+            );
+            shrunk.push(minimal);
+        }
+    }
+    if let Some(dir) = &opts.emit {
+        std::fs::create_dir_all(dir).expect("create --emit dir");
+        for case in &shrunk {
+            let path = dir.join(format!("{}.json", case.name));
+            std::fs::write(&path, to_json_text(case)).expect("write corpus file");
+            eprintln!("emitted {}", path.display());
+        }
+    } else {
+        for case in &shrunk {
+            print!("{}", to_json_text(case));
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,204 @@
+//! Self-contained regression files for shrunken cases.
+//!
+//! A corpus file is one JSON object carrying everything needed to replay a
+//! case without the generator: the canonical ADL source, the workload
+//! knobs, and the exact fault plan. `tests/fuzz_corpus.rs` replays every
+//! file under `tests/fuzz_corpus/` through the full differential matrix,
+//! so a shrunken divergence committed here stays fixed forever.
+//!
+//! Encoding choices serve determinism: object keys are sorted (the bench
+//! JSON printer normalizes them), 64-bit values use the lossless
+//! integer-or-hex spelling, and fault probabilities are generated as
+//! multiples of 1/16 so their decimal spelling round-trips `f64`-exactly.
+
+use crate::gen::FuzzCase;
+use bench::json::{parse, Json};
+use osm_core::{FaultKind, FaultPlan, FaultRule};
+use std::collections::BTreeMap;
+
+fn kind_name(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::DenyAllocate => "deny-allocate",
+        FaultKind::DenyInquire => "deny-inquire",
+        FaultKind::DeferRelease => "defer-release",
+        FaultKind::DropToken => "drop-token",
+        FaultKind::CorruptToken => "corrupt-token",
+        FaultKind::Blackhole => "blackhole",
+    }
+}
+
+fn kind_parse(s: &str) -> Result<FaultKind, String> {
+    Ok(match s {
+        "deny-allocate" => FaultKind::DenyAllocate,
+        "deny-inquire" => FaultKind::DenyInquire,
+        "defer-release" => FaultKind::DeferRelease,
+        "drop-token" => FaultKind::DropToken,
+        "corrupt-token" => FaultKind::CorruptToken,
+        "blackhole" => FaultKind::Blackhole,
+        other => return Err(format!("unknown fault kind `{other}`")),
+    })
+}
+
+fn faults_to_json(plan: &FaultPlan) -> Json {
+    let rules = plan
+        .rules()
+        .iter()
+        .map(|rule| {
+            let mut obj = BTreeMap::new();
+            obj.insert("kind".into(), Json::Str(kind_name(rule.kind).into()));
+            obj.insert("probability".into(), Json::Num(rule.probability));
+            obj.insert(
+                "window".into(),
+                match rule.window {
+                    Some((start, end)) => Json::Arr(vec![
+                        Json::lossless_u64(start),
+                        Json::lossless_u64(end),
+                    ]),
+                    None => Json::Null,
+                },
+            );
+            Json::Obj(obj)
+        })
+        .collect();
+    let mut obj = BTreeMap::new();
+    obj.insert("seed".into(), Json::lossless_u64(plan.seed()));
+    obj.insert("rules".into(), Json::Arr(rules));
+    Json::Obj(obj)
+}
+
+fn faults_from_json(j: &Json) -> Result<FaultPlan, String> {
+    let seed = j
+        .get("seed")
+        .and_then(Json::lossless_as_u64)
+        .ok_or("fault plan missing `seed`")?;
+    let mut plan = FaultPlan::new(seed);
+    let rules = j
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or("fault plan missing `rules`")?;
+    for rule in rules {
+        let kind = kind_parse(
+            rule.get("kind")
+                .and_then(Json::as_str)
+                .ok_or("rule missing `kind`")?,
+        )?;
+        let probability = rule
+            .get("probability")
+            .and_then(Json::as_num)
+            .ok_or("rule missing `probability`")?;
+        let mut built = FaultRule::new(kind, probability);
+        match rule.get("window") {
+            None | Some(Json::Null) => {}
+            Some(Json::Arr(bounds)) if bounds.len() == 2 => {
+                let start = bounds[0].lossless_as_u64().ok_or("bad window start")?;
+                let end = bounds[1].lossless_as_u64().ok_or("bad window end")?;
+                built = built.between(start, end);
+            }
+            Some(other) => return Err(format!("bad `window`: {other}")),
+        }
+        plan = plan.rule(built);
+    }
+    Ok(plan)
+}
+
+/// Serializes a case to its corpus JSON text (newline-terminated).
+pub fn to_json_text(case: &FuzzCase) -> String {
+    let mut obj = BTreeMap::new();
+    obj.insert("name".into(), Json::Str(case.name.clone()));
+    obj.insert("seed".into(), Json::lossless_u64(case.seed));
+    obj.insert("source".into(), Json::Str(case.source.clone()));
+    obj.insert("osms".into(), Json::Num(f64::from(case.osms)));
+    obj.insert("max_cycles".into(), Json::lossless_u64(case.max_cycles));
+    obj.insert("cut".into(), Json::lossless_u64(case.cut));
+    obj.insert(
+        "faults".into(),
+        match &case.faults {
+            Some(plan) => faults_to_json(plan),
+            None => Json::Null,
+        },
+    );
+    format!("{}\n", Json::Obj(obj))
+}
+
+/// Parses a corpus JSON text back into a replayable case.
+///
+/// # Errors
+/// A description of the first missing or malformed field.
+pub fn from_json_text(text: &str) -> Result<FuzzCase, String> {
+    let j = parse(text).map_err(|e| e.to_string())?;
+    let name = j
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("missing `name`")?
+        .to_owned();
+    let seed = j
+        .get("seed")
+        .and_then(Json::lossless_as_u64)
+        .ok_or("missing `seed`")?;
+    let source = j
+        .get("source")
+        .and_then(Json::as_str)
+        .ok_or("missing `source`")?
+        .to_owned();
+    let osms = u32::try_from(
+        j.get("osms")
+            .and_then(Json::lossless_as_u64)
+            .ok_or("missing `osms`")?,
+    )
+    .map_err(|_| "`osms` exceeds u32".to_owned())?;
+    let max_cycles = j
+        .get("max_cycles")
+        .and_then(Json::lossless_as_u64)
+        .ok_or("missing `max_cycles`")?;
+    let cut = j
+        .get("cut")
+        .and_then(Json::lossless_as_u64)
+        .ok_or("missing `cut`")?;
+    let faults = match j.get("faults") {
+        None | Some(Json::Null) => None,
+        Some(f) => Some(faults_from_json(f)?),
+    };
+    // The replay contract: the embedded source must load and verify, the
+    // same precondition the oracle demands of generated cases.
+    let synth = osm_adl::load(&source).map_err(|e| format!("corpus source: {e}"))?;
+    for (class, spec) in &synth.specs {
+        let issues = osm_core::verify_spec(spec);
+        if !issues.is_empty() {
+            return Err(format!("corpus source `{class}` fails verification: {issues:?}"));
+        }
+    }
+    Ok(FuzzCase {
+        name,
+        seed,
+        source,
+        osms,
+        max_cycles,
+        cut,
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_batch, GenConfig};
+
+    #[test]
+    fn cases_round_trip_exactly() {
+        for case in generate_batch(0xC0C0, 12, &GenConfig::default()) {
+            let text = to_json_text(&case);
+            let back = from_json_text(&text).unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            assert_eq!(back, case, "round-trip mismatch for {}", case.name);
+            // And the serialization itself is stable.
+            assert_eq!(to_json_text(&back), text);
+        }
+    }
+
+    #[test]
+    fn malformed_corpus_is_rejected_with_context() {
+        assert!(from_json_text("not json").is_err());
+        assert!(from_json_text("{}").unwrap_err().contains("name"));
+        let bad_source = r#"{"name":"x","seed":1,"source":"machine oops {","osms":1,"max_cycles":10,"cut":1,"faults":null}"#;
+        assert!(from_json_text(bad_source).unwrap_err().contains("corpus source"));
+    }
+}

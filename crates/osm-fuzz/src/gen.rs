@@ -1,0 +1,408 @@
+//! Random well-formed ADL machine generation.
+//!
+//! The generator builds a [`MachineDecl`] by construction-biased sampling:
+//! each OSM class is a ring of states (so every state can reach and return
+//! to the initial state), primitives are threaded along the ring with a
+//! held-manager ledger (allocate only what is not held, release everything
+//! before closing the ring), and extra edges come in two verifier-safe
+//! shapes — a same-destination alternative with the same token effects and
+//! a bail-out edge to the initial state that releases the ledger. That
+//! keeps the acceptance rate high, but soundness never rests on it:
+//! every candidate is synthesized and then screened through
+//! [`osm_core::verify_spec`], and anything with issues is resampled. Only
+//! structurally sound specs reach the differential oracle.
+
+use crate::rng::SplitMix64;
+use osm_adl::{
+    export, synthesize, AdlIdent, AdlPrimitive, EdgeDecl, MachineDecl, ManagerDecl, ManagerKind,
+    OsmDecl,
+};
+use osm_core::{verify_spec, FaultKind, FaultPlan, FaultRule};
+
+/// One generated fuzz case: a verified machine plus the workload knobs the
+/// differential oracle sweeps. `source` is the canonical `osm_adl::export`
+/// text — self-contained, so a case replays without the generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Case label (`fuzz-<seed hex>`).
+    pub name: String,
+    /// The generator seed that produced it.
+    pub seed: u64,
+    /// Canonical ADL source of the verified machine.
+    pub source: String,
+    /// OSM instances to spawn (round-robin over classes).
+    pub osms: u32,
+    /// Cycle budget for every leg.
+    pub max_cycles: u64,
+    /// Requested checkpoint cut (the oracle clamps it into the run).
+    pub cut: u64,
+    /// Optional deterministic fault plan, installed on manager 0.
+    pub faults: Option<FaultPlan>,
+}
+
+/// Generation bounds. The defaults keep cases small enough that the full
+/// differential matrix over dozens of machines runs in CI seconds.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Managers per machine, inclusive range.
+    pub managers: (u64, u64),
+    /// OSM classes per machine.
+    pub classes: (u64, u64),
+    /// States per class.
+    pub states: (u64, u64),
+    /// OSM instances per case.
+    pub osms: (u64, u64),
+    /// Cycle budget per case.
+    pub max_cycles: (u64, u64),
+    /// Probability (num/den) that a case carries a fault plan.
+    pub fault_chance: (u64, u64),
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            managers: (1, 3),
+            classes: (1, 2),
+            states: (2, 5),
+            osms: (1, 5),
+            max_cycles: (40, 240),
+            fault_chance: (1, 2),
+        }
+    }
+}
+
+/// How many resamples [`generate`] tolerates before giving up. The
+/// construction bias keeps real rejection rates far below this; hitting
+/// the limit means the generator itself regressed.
+const MAX_ATTEMPTS: u32 = 64;
+
+/// Generates the fully verified case for `seed`. Deterministic: the same
+/// seed and config always return the identical case.
+///
+/// # Panics
+/// If `MAX_ATTEMPTS` candidates in a row fail synthesis or verification —
+/// a generator bug, not an input condition.
+pub fn generate(seed: u64, config: &GenConfig) -> FuzzCase {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..MAX_ATTEMPTS {
+        let decl = gen_decl(&mut rng, config, seed);
+        let Ok(synth) = synthesize(&decl) else {
+            continue;
+        };
+        if synth
+            .specs
+            .iter()
+            .any(|(_, spec)| !verify_spec(spec).is_empty())
+        {
+            continue;
+        }
+        let source = export(&synth);
+        let osms = rng.range(config.osms.0, config.osms.1) as u32;
+        let max_cycles = rng.range(config.max_cycles.0, config.max_cycles.1);
+        let cut = rng.range(1, max_cycles.saturating_sub(1).max(1));
+        let faults = rng
+            .chance(config.fault_chance.0, config.fault_chance.1)
+            .then(|| gen_faults(&mut rng, max_cycles));
+        return FuzzCase {
+            name: format!("fuzz-{seed:08x}"),
+            seed,
+            source,
+            osms,
+            max_cycles,
+            cut,
+            faults,
+        };
+    }
+    panic!("generator failed to produce a verifiable machine for seed {seed:#x} in {MAX_ATTEMPTS} attempts");
+}
+
+/// Generates `count` cases from consecutive derived seeds.
+pub fn generate_batch(seed: u64, count: usize, config: &GenConfig) -> Vec<FuzzCase> {
+    let mut seeder = SplitMix64::new(seed);
+    (0..count)
+        .map(|_| generate(seeder.next_u64(), config))
+        .collect()
+}
+
+fn gen_decl(rng: &mut SplitMix64, config: &GenConfig, seed: u64) -> MachineDecl {
+    let n_managers = rng.range(config.managers.0, config.managers.1) as usize;
+    let managers: Vec<ManagerDecl> = (0..n_managers)
+        .map(|i| ManagerDecl {
+            name: format!("m{i}"),
+            kind: gen_manager_kind(rng),
+        })
+        .collect();
+    let n_classes = rng.range(config.classes.0, config.classes.1) as usize;
+    let osms = (0..n_classes)
+        .map(|c| gen_class(rng, config, &managers, c))
+        .collect();
+    MachineDecl {
+        name: format!("fuzz_{seed:08x}"),
+        managers,
+        osms,
+    }
+}
+
+fn gen_manager_kind(rng: &mut SplitMix64) -> ManagerKind {
+    // `reset` is excluded: its broadcast semantics are a hardware-layer
+    // concern the inert behavior never exercises.
+    match rng.below(4) {
+        0 => ManagerKind::Exclusive(rng.range(1, 3) as usize),
+        1 => ManagerKind::Counting(rng.range(1, 3)),
+        2 => ManagerKind::PerCycle(rng.range(1, 3)),
+        _ => ManagerKind::Scoreboard(rng.range(2, 4) as usize),
+    }
+}
+
+/// An identifier expression for allocating/inquiring on `kind`.
+fn gen_ident(rng: &mut SplitMix64, kind: ManagerKind) -> AdlIdent {
+    match kind {
+        ManagerKind::Exclusive(n) => {
+            if rng.chance(1, 2) {
+                AdlIdent::Any
+            } else {
+                AdlIdent::Const(rng.below(n as u64))
+            }
+        }
+        ManagerKind::Scoreboard(n) => {
+            if rng.chance(1, 2) {
+                AdlIdent::Any
+            } else {
+                AdlIdent::Const(rng.below(n as u64))
+            }
+        }
+        // Counting pools hand out anonymous units.
+        ManagerKind::Counting(_) | ManagerKind::PerCycle(_) | ManagerKind::Reset => AdlIdent::Any,
+    }
+}
+
+/// One OSM class: a state ring with ledger-balanced token primitives.
+fn gen_class(
+    rng: &mut SplitMix64,
+    config: &GenConfig,
+    managers: &[ManagerDecl],
+    class: usize,
+) -> OsmDecl {
+    let n_states = rng.range(config.states.0, config.states.1) as usize;
+    let states: Vec<String> = (0..n_states).map(|i| format!("S{i}")).collect();
+    let mut edges = Vec::new();
+    // Managers currently held while walking the ring (indices into
+    // `managers`, no duplicates — one live token per manager per OSM keeps
+    // `release m[held]` unambiguous).
+    let mut held: Vec<usize> = Vec::new();
+
+    for i in 0..n_states {
+        let src = states[i].clone();
+        let dst = states[(i + 1) % n_states].clone();
+        let closing = i == n_states - 1;
+        let mut condition = Vec::new();
+        if closing {
+            // Close the ring balanced: release the entire ledger so every
+            // I→I path returns what it took (the verifier's TokenLeak and
+            // AllocateIntoInitial checks).
+            for &m in held.iter().rev() {
+                condition.push(release_prim(rng, &managers[m]));
+            }
+            held.clear();
+        } else {
+            for _ in 0..rng.below(3) {
+                match rng.below(4) {
+                    0 => {
+                        // Allocate a manager not currently held.
+                        let free: Vec<usize> = (0..managers.len())
+                            .filter(|m| !held.contains(m))
+                            .collect();
+                        if let Some(&m) = free.get(rng.below(free.len().max(1) as u64) as usize) {
+                            let ident = gen_ident(rng, managers[m].kind);
+                            condition
+                                .push(AdlPrimitive::Allocate(managers[m].name.clone(), ident));
+                            held.push(m);
+                        }
+                    }
+                    1 => {
+                        // Release something held.
+                        if !held.is_empty() {
+                            let slot = rng.below(held.len() as u64) as usize;
+                            let m = held.remove(slot);
+                            condition.push(release_prim(rng, &managers[m]));
+                        }
+                    }
+                    _ => {
+                        // Inquire is stateless: any manager, any ident
+                        // (including an occasional unset slot, which reads
+                        // as the vacuous NONE identifier).
+                        let m = rng.below(managers.len() as u64) as usize;
+                        let ident = if rng.chance(1, 8) {
+                            AdlIdent::Slot(rng.below(2) as u32)
+                        } else {
+                            gen_ident(rng, managers[m].kind)
+                        };
+                        condition.push(AdlPrimitive::Inquire(managers[m].name.clone(), ident));
+                    }
+                }
+            }
+        }
+        edges.push(EdgeDecl {
+            name: format!("e{i}"),
+            src: src.clone(),
+            dst: dst.clone(),
+            priority: 0,
+            condition,
+        });
+
+        // A same-destination alternative: identical token effects (the
+        // verifier analyses paths, so a primitive-free twin of an
+        // allocating edge would read as an unbalanced path), plus an extra
+        // inquire, at a different priority.
+        if !closing && rng.chance(1, 4) {
+            let base = edges.last().expect("just pushed").clone();
+            let mut condition = base.condition;
+            let m = rng.below(managers.len() as u64) as usize;
+            condition.push(AdlPrimitive::Inquire(
+                managers[m].name.clone(),
+                gen_ident(rng, managers[m].kind),
+            ));
+            edges.push(EdgeDecl {
+                name: format!("e{i}alt"),
+                src,
+                dst,
+                priority: 1 + rng.below(3) as i32,
+                condition,
+            });
+        }
+    }
+
+    // Bail-out edges: from a mid-ring state straight back to S0, releasing
+    // exactly what the ring walk holds at that point. Re-simulate the
+    // ledger to know it.
+    let mut ledger: Vec<Vec<usize>> = Vec::with_capacity(n_states);
+    let mut walk: Vec<usize> = Vec::new();
+    for i in 0..n_states {
+        ledger.push(walk.clone());
+        let ring_edge = edges
+            .iter()
+            .find(|e| e.name == format!("e{i}"))
+            .expect("ring edge");
+        for prim in &ring_edge.condition {
+            match prim {
+                AdlPrimitive::Allocate(name, _) => {
+                    if let Some(m) = managers.iter().position(|d| &d.name == name) {
+                        walk.push(m);
+                    }
+                }
+                AdlPrimitive::Release(name, _) | AdlPrimitive::Discard(name, _) => {
+                    if let Some(m) = managers.iter().position(|d| &d.name == name) {
+                        walk.retain(|&h| h != m);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for i in 1..n_states {
+        if rng.chance(1, 5) {
+            let condition = ledger[i]
+                .iter()
+                .rev()
+                .map(|&m| release_prim(rng, &managers[m]))
+                .collect();
+            edges.push(EdgeDecl {
+                name: format!("b{i}"),
+                src: states[i].clone(),
+                dst: states[0].clone(),
+                priority: -(1 + rng.below(2) as i32),
+                condition,
+            });
+        }
+    }
+
+    OsmDecl {
+        name: format!("op{class}"),
+        states,
+        initial: "S0".to_owned(),
+        edges,
+    }
+}
+
+/// Returning a token: mostly `release m[held]`, occasionally a discard
+/// (both count as giving the token back for path balance).
+fn release_prim(rng: &mut SplitMix64, manager: &ManagerDecl) -> AdlPrimitive {
+    if rng.chance(1, 6) {
+        AdlPrimitive::Discard(manager.name.clone(), AdlIdent::Held)
+    } else {
+        AdlPrimitive::Release(manager.name.clone(), AdlIdent::Held)
+    }
+}
+
+/// A deterministic fault plan. Probabilities are multiples of 1/16 so the
+/// decimal JSON spelling in the corpus round-trips `f64`-exactly.
+fn gen_faults(rng: &mut SplitMix64, max_cycles: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new(rng.next_u64());
+    let kinds = [
+        FaultKind::DenyAllocate,
+        FaultKind::DenyInquire,
+        FaultKind::DeferRelease,
+        FaultKind::DropToken,
+        FaultKind::CorruptToken,
+    ];
+    for _ in 0..rng.range(1, 2) {
+        let kind = *rng.pick(&kinds);
+        let probability = rng.range(1, 4) as f64 / 16.0;
+        let rule = if rng.chance(1, 3) {
+            let start = rng.below(max_cycles / 2 + 1);
+            let end = start + rng.range(1, max_cycles / 2 + 1);
+            FaultRule::new(kind, probability).between(start, end)
+        } else {
+            FaultRule::new(kind, probability)
+        };
+        plan = plan.rule(rule);
+    }
+    if rng.chance(1, 8) {
+        let start = rng.below(max_cycles / 2 + 1);
+        plan = plan.blackhole(start, start + rng.range(2, 10));
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(0xABCD, &GenConfig::default());
+        let b = generate(0xABCD, &GenConfig::default());
+        assert_eq!(a, b);
+        assert!(a.source.starts_with("machine fuzz_"), "{}", a.source);
+        assert!(a.cut < a.max_cycles);
+        assert!(a.osms >= 1);
+    }
+
+    #[test]
+    fn every_generated_machine_is_verifier_clean_and_loads() {
+        for case in generate_batch(7, 40, &GenConfig::default()) {
+            let synth = osm_adl::load(&case.source)
+                .unwrap_or_else(|e| panic!("{}: exported source must load: {e}", case.name));
+            assert!(!synth.specs.is_empty());
+            for (name, spec) in &synth.specs {
+                let issues = verify_spec(spec);
+                assert!(
+                    issues.is_empty(),
+                    "{}/{name}: verifier issues {issues:?}\n{}",
+                    case.name,
+                    case.source
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_seeds_differ() {
+        let batch = generate_batch(1, 10, &GenConfig::default());
+        let mut seeds: Vec<u64> = batch.iter().map(|c| c.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 10, "derived seeds must not repeat");
+        assert!(batch.iter().any(|c| c.faults.is_some()));
+        assert!(batch.iter().any(|c| c.faults.is_none()));
+    }
+}

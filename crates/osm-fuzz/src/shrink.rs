@@ -1,0 +1,204 @@
+//! Greedy divergence minimization.
+//!
+//! Given a case the oracle rejects, the shrinker repeatedly tries
+//! simplifying transformations — drop the fault plan, cut the instance
+//! count, halve the budget, drop an OSM class, drop an edge, drop a
+//! primitive — keeping a candidate only when it still synthesizes, still
+//! passes [`osm_core::verify_spec`] (the oracle's precondition), and
+//! still diverges. The loop runs to a fixpoint, so the emitted case is
+//! locally minimal: removing any single remaining element makes the bug
+//! disappear. Shrinking is deterministic — transformations are tried in a
+//! fixed order and the first improvement is taken.
+
+use crate::gen::FuzzCase;
+use crate::oracle::check_cases;
+use osm_adl::{export, parse, synthesize, MachineDecl};
+use osm_core::verify_spec;
+
+/// Does the case still fail the oracle? (Any divergence counts — shrinking
+/// may walk from one manifestation of the bug to a simpler one.)
+fn still_diverges(case: &FuzzCase) -> bool {
+    !check_cases(std::slice::from_ref(case)).1.is_empty()
+}
+
+/// Re-synthesizes a mutated declaration into a runnable case, enforcing
+/// the oracle's verified-spec precondition. `None` when the mutation broke
+/// well-formedness — the shrinker just skips such candidates.
+fn rebuild(case: &FuzzCase, decl: &MachineDecl) -> Option<FuzzCase> {
+    let synth = synthesize(decl).ok()?;
+    if synth.specs.is_empty()
+        || synth
+            .specs
+            .iter()
+            .any(|(_, spec)| !verify_spec(spec).is_empty())
+    {
+        return None;
+    }
+    Some(FuzzCase {
+        source: export(&synth),
+        ..case.clone()
+    })
+}
+
+/// Structural mutation candidates for one declaration, simplest first.
+fn structural_candidates(decl: &MachineDecl) -> Vec<MachineDecl> {
+    let mut out = Vec::new();
+    // Drop a whole OSM class.
+    if decl.osms.len() > 1 {
+        for i in 0..decl.osms.len() {
+            let mut d = decl.clone();
+            d.osms.remove(i);
+            out.push(d);
+        }
+    }
+    // Drop a single edge.
+    for (c, class) in decl.osms.iter().enumerate() {
+        if class.edges.len() > 1 {
+            for e in 0..class.edges.len() {
+                let mut d = decl.clone();
+                d.osms[c].edges.remove(e);
+                out.push(d);
+            }
+        }
+    }
+    // Drop a single primitive from an edge condition.
+    for (c, class) in decl.osms.iter().enumerate() {
+        for (e, edge) in class.edges.iter().enumerate() {
+            for p in 0..edge.condition.len() {
+                let mut d = decl.clone();
+                d.osms[c].edges[e].condition.remove(p);
+                out.push(d);
+            }
+        }
+    }
+    // Drop an unreferenced manager.
+    for m in 0..decl.managers.len() {
+        let name = &decl.managers[m].name;
+        let referenced = decl.osms.iter().any(|class| {
+            class.edges.iter().any(|edge| {
+                edge.condition.iter().any(|prim| {
+                    use osm_adl::AdlPrimitive::*;
+                    match prim {
+                        Allocate(n, _) | Inquire(n, _) | Release(n, _) | Discard(n, _) => n == name,
+                        DiscardAll => false,
+                    }
+                })
+            })
+        });
+        if !referenced && decl.managers.len() > 1 {
+            let mut d = decl.clone();
+            d.managers.remove(m);
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// Shrinks a divergent case to a locally minimal one. Returns the input
+/// unchanged if it does not actually diverge.
+pub fn shrink(case: &FuzzCase) -> FuzzCase {
+    if !still_diverges(case) {
+        return case.clone();
+    }
+    let mut best = case.clone();
+    loop {
+        let mut improved = false;
+
+        // Scalar simplifications, cheapest first.
+        let mut scalars: Vec<FuzzCase> = Vec::new();
+        if best.faults.is_some() {
+            scalars.push(FuzzCase {
+                faults: None,
+                ..best.clone()
+            });
+        }
+        if best.osms > 1 {
+            scalars.push(FuzzCase {
+                osms: 1,
+                ..best.clone()
+            });
+            scalars.push(FuzzCase {
+                osms: best.osms / 2,
+                ..best.clone()
+            });
+        }
+        if best.max_cycles > 2 {
+            scalars.push(FuzzCase {
+                max_cycles: best.max_cycles / 2,
+                cut: (best.cut / 2).max(1),
+                ..best.clone()
+            });
+        }
+        if best.cut > 1 {
+            scalars.push(FuzzCase {
+                cut: best.cut / 2,
+                ..best.clone()
+            });
+        }
+        for candidate in scalars {
+            if still_diverges(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if improved {
+            continue;
+        }
+
+        // Structural simplifications on the parsed declaration.
+        let Ok(decl) = parse(&best.source) else {
+            break;
+        };
+        for mutated in structural_candidates(&decl) {
+            let Some(candidate) = rebuild(&best, &mutated) else {
+                continue;
+            };
+            if still_diverges(&candidate) {
+                best = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn non_divergent_case_is_returned_unchanged() {
+        let case = generate(0x5117, &GenConfig::default());
+        assert_eq!(shrink(&case), case);
+    }
+
+    #[test]
+    fn structural_candidates_cover_classes_edges_and_primitives() {
+        let case = generate(0xCAFE, &GenConfig::default());
+        let decl = parse(&case.source).unwrap();
+        let candidates = structural_candidates(&decl);
+        let edges: usize = decl.osms.iter().map(|c| c.edges.len()).sum();
+        let prims: usize = decl
+            .osms
+            .iter()
+            .flat_map(|c| &c.edges)
+            .map(|e| e.condition.len())
+            .sum();
+        // Every primitive and (when droppable) every edge yields a
+        // candidate; classes only when there are several.
+        assert!(candidates.len() >= prims, "{} < {prims}", candidates.len());
+        if decl.osms.len() > 1 {
+            assert!(candidates.len() >= decl.osms.len() + edges + prims);
+        }
+        // And each candidate either rebuilds or is skipped — no panics.
+        for mutated in candidates {
+            let _ = rebuild(&case, &mutated);
+        }
+    }
+}

@@ -37,6 +37,17 @@ pub enum JournalError {
         /// What was wrong.
         why: String,
     },
+    /// A size that the on-disk format stores as a `u32` (the header's job
+    /// count, a record's payload length) exceeded `u32::MAX`. Writing it
+    /// would silently truncate into a journal that round-trips wrong, so
+    /// the encoder refuses up front instead (the journal-side analogue of
+    /// the PR-3 `as u32` ID-truncation cleanup in osm-core).
+    TooLarge {
+        /// Which length field overflowed (`"job count"`, `"record payload"`).
+        what: &'static str,
+        /// The actual value that does not fit.
+        len: u64,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -52,6 +63,11 @@ impl fmt::Display for JournalError {
             JournalError::CorruptRecord { offset, why } => {
                 write!(f, "corrupt journal record at byte {offset}: {why}")
             }
+            JournalError::TooLarge { what, len } => write!(
+                f,
+                "journal {what} {len} exceeds the format's u32 limit ({})",
+                u32::MAX
+            ),
         }
     }
 }

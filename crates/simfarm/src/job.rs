@@ -58,6 +58,11 @@ pub enum ModelKind {
     MiniRiscIss,
     /// The VLIW OSM model.
     Vliw,
+    /// A machine synthesized on the fly from an inline ADL description
+    /// carried by [`WorkloadSpec::AdlMachine`]. This is how generated
+    /// machines (the `osm-fuzz` differential fuzzer, corpus replays) ride
+    /// the farm's serial/parallel matrix as first-class jobs.
+    Adl,
 }
 
 impl ModelKind {
@@ -68,6 +73,7 @@ impl ModelKind {
             ModelKind::Ppc750 => "ppc750",
             ModelKind::MiniRiscIss => "minirisc",
             ModelKind::Vliw => "vliw",
+            ModelKind::Adl => "adl",
         }
     }
 
@@ -78,6 +84,7 @@ impl ModelKind {
             "ppc750" => Some(ModelKind::Ppc750),
             "minirisc" => Some(ModelKind::MiniRiscIss),
             "vliw" => Some(ModelKind::Vliw),
+            "adl" => Some(ModelKind::Adl),
             _ => None,
         }
     }
@@ -116,6 +123,22 @@ pub enum WorkloadSpec {
     /// job-named payload, and the supervised runner turns that into
     /// [`JobOutcome::Panicked`].
     ChaosPanic,
+    /// An inline ADL machine description for the [`ModelKind::Adl`] model:
+    /// the source text is parsed and synthesized at run time, `osms`
+    /// instances are spawned round-robin across the declared classes (with
+    /// the inert behavior — the workload *is* the machine structure), and
+    /// the machine is driven to the job's cycle budget. Constructed
+    /// programmatically (by the `osm-fuzz` harness and corpus replays);
+    /// there is no manifest spelling carrying inline source, so
+    /// [`WorkloadSpec::parse`] never produces it and [`WorkloadSpec::spelling`]
+    /// renders a digest-based label (`adl:<osms>@<source-digest>`) that
+    /// keeps sweep journals bound to the exact source text.
+    AdlMachine {
+        /// The machine description (ADL source text).
+        source: String,
+        /// How many OSM instances to spawn (round-robin over classes).
+        osms: u32,
+    },
 }
 
 impl WorkloadSpec {
@@ -146,13 +169,19 @@ impl WorkloadSpec {
         Ok(WorkloadSpec::Named(s.to_owned()))
     }
 
-    /// The manifest spelling.
+    /// The manifest spelling. [`WorkloadSpec::AdlMachine`] has no inline
+    /// manifest form; its spelling is a stable digest-based label binding
+    /// journals and reports to the exact source text.
     pub fn spelling(&self) -> String {
         match self {
             WorkloadSpec::Named(n) => n.clone(),
             WorkloadSpec::Random { block_len } => format!("random:{block_len}"),
             WorkloadSpec::Ilp { iters, body } => format!("ilp:{iters}:{body}"),
             WorkloadSpec::ChaosPanic => "chaos:panic".to_owned(),
+            WorkloadSpec::AdlMachine { source, osms } => {
+                let digest = fnv_mix(FNV_OFFSET, source.as_bytes());
+                format!("adl:{osms}@{digest:016x}")
+            }
         }
     }
 
@@ -164,6 +193,9 @@ impl WorkloadSpec {
             }
             WorkloadSpec::ChaosPanic => {
                 Err("chaos:panic never resolves to a program".to_owned())
+            }
+            WorkloadSpec::AdlMachine { .. } => {
+                Err("adl workloads only run on the adl model".to_owned())
             }
             WorkloadSpec::Named(name) => {
                 if name == "specint" {
@@ -264,6 +296,27 @@ impl SimJob {
     /// tests and chaos manifests).
     pub fn chaos_panic(name: impl Into<String>) -> SimJob {
         let mut job = SimJob::new(ModelKind::MiniRiscIss, WorkloadSpec::ChaosPanic, 1);
+        job.name = name.into();
+        job
+    }
+
+    /// Convenience: an inline-ADL machine job spawning `osms` operation
+    /// instances (round-robin over the declared classes). This is how the
+    /// model fuzzer rides the farm's serial/parallel matrix.
+    pub fn adl(
+        name: impl Into<String>,
+        source: impl Into<String>,
+        osms: u32,
+        max_cycles: u64,
+    ) -> SimJob {
+        let mut job = SimJob::new(
+            ModelKind::Adl,
+            WorkloadSpec::AdlMachine {
+                source: source.into(),
+                osms,
+            },
+            max_cycles,
+        );
         job.name = name.into();
         job
     }
@@ -567,7 +620,77 @@ fn run_job_inner(job: &SimJob, timing: Option<&mut JobTiming>) -> JobResult {
         ModelKind::Ppc750 => run_ppc750(job, &mut timer),
         ModelKind::MiniRiscIss => run_iss(job, &mut timer),
         ModelKind::Vliw => run_vliw(job, &mut timer),
+        ModelKind::Adl => run_adl(job, &mut timer),
     }
+}
+
+/// Runs an inline-ADL machine job: load the source, spawn `osms` instances
+/// round-robin over the declared classes with the inert behavior, and drive
+/// to the cycle budget. ADL machines have no halt concept, so healthy runs
+/// end in [`JobOutcome::BudgetExhausted`]; deadlocks, watchdog stalls and
+/// synthesis failures surface through the usual typed outcomes. Faults (if
+/// any) install on the first declared manager, mirroring the fetch-side
+/// convention of the named models.
+fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+    use osm_core::{FaultInjector, InertBehavior, Machine, ManagerId};
+
+    let WorkloadSpec::AdlMachine { source, osms } = &job.workload else {
+        return JobResult::failed(
+            job,
+            format!(
+                "the adl model needs an inline `WorkloadSpec::AdlMachine` workload, got `{}`",
+                job.workload.spelling()
+            ),
+        );
+    };
+    let synth = match osm_adl::load(source) {
+        Ok(s) => s,
+        Err(e) => return JobResult::failed(job, format!("adl load failed: {e}")),
+    };
+    if synth.specs.is_empty() {
+        return JobResult::failed(job, "adl machine declares no osm classes".to_owned());
+    }
+    let mut machine: Machine<()> = Machine::new(());
+    synth.install_managers(&mut machine);
+    for k in 0..*osms {
+        let (_, spec) = &synth.specs[(k as usize) % synth.specs.len()];
+        machine.add_osm(spec, InertBehavior);
+    }
+    machine.set_scheduler_mode(job.scheduler);
+    machine.enable_trace_with(Trace::digest_only());
+    machine.set_stall_limit(job.stall_budget);
+    if job.observability {
+        machine.enable_event_log();
+        machine.enable_metrics();
+        machine.enable_stall_attribution();
+    }
+    let handle = job.faults.clone().and_then(|plan| {
+        (!machine.managers.is_empty())
+            .then(|| FaultInjector::install(&mut machine.managers, ManagerId(0), plan))
+    });
+    timer.setup_done();
+    let (outcome, _last) = drive_osm(job, |target| {
+        let remaining = target.saturating_sub(machine.cycle());
+        machine.run(remaining)?;
+        Ok((false, machine.cycle(), ()))
+    });
+    timer.sim_done();
+    let result = JobResult {
+        name: job.name.clone(),
+        model: job.model,
+        workload: job.workload.spelling(),
+        outcome,
+        cycles: machine.cycle(),
+        retired: machine.stats.transitions,
+        exit_code: 0,
+        digest: machine.take_trace().map(|t| t.digest()).unwrap_or(0),
+        attempts: 1,
+        stats: Some(machine.stats.clone()),
+        metrics: machine.metrics_report(),
+        fault_stats: handle.map(|h| h.stats()),
+    };
+    timer.teardown_done();
+    result
 }
 
 fn run_sa1100(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
@@ -869,6 +992,93 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.retired, b.retired);
         assert_ne!(a.digest, 0);
+    }
+
+    const ADL_PIPE: &str = "
+        machine pipe {
+            manager mf : exclusive(1);
+            manager mx : counting(2);
+            osm op {
+                states I, F, X;
+                initial I;
+                edge fetch : I -> F { allocate mf[0]; }
+                edge issue : F -> X { allocate mx[any]; release mf[held]; }
+                edge done : X -> I { release mx[held]; }
+            }
+        }
+    ";
+
+    #[test]
+    fn adl_job_runs_and_is_deterministic_across_scheduler_modes() {
+        let mut seed_job = SimJob::adl("pipe", ADL_PIPE, 4, 200);
+        seed_job.scheduler = SchedulerMode::Seed;
+        let mut fast_job = seed_job.clone();
+        fast_job.scheduler = SchedulerMode::Fast;
+        let a = run_job(&seed_job);
+        let b = run_job(&fast_job);
+        assert_eq!(a.outcome, JobOutcome::BudgetExhausted);
+        assert_eq!(b.outcome, JobOutcome::BudgetExhausted);
+        assert_eq!(a.cycles, 200);
+        assert_ne!(a.digest, 0);
+        assert_eq!(a.digest, b.digest, "Seed and Fast diverged on an ADL job");
+        assert!(a.retired > 0);
+    }
+
+    #[test]
+    fn adl_job_observability_and_faults_ride_along() {
+        let mut job = SimJob::adl("pipe-obs", ADL_PIPE, 2, 100);
+        job.observability = true;
+        job.faults = Some(osm_core::FaultPlan::new(9).deny_allocate(0.5));
+        let r = run_job(&job);
+        assert_eq!(r.outcome, JobOutcome::BudgetExhausted);
+        assert!(r.metrics.is_some());
+        assert!(r.fault_stats.is_some());
+        // Fault plans are deterministic too.
+        let r2 = run_job(&job);
+        assert_eq!(r.digest, r2.digest);
+    }
+
+    #[test]
+    fn adl_job_rejects_bad_source_and_wrong_workload() {
+        let bad = SimJob::adl("broken", "machine oops {", 1, 10);
+        let r = run_job(&bad);
+        match r.outcome {
+            JobOutcome::Failed(msg) => assert!(msg.contains("adl load failed"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        let mismatched = SimJob::new(ModelKind::Adl, WorkloadSpec::Random { block_len: 8 }, 10);
+        let r = run_job(&mismatched);
+        assert!(matches!(r.outcome, JobOutcome::Failed(_)));
+        // And the inline workload refuses to resolve for program models.
+        let cross = SimJob::new(
+            ModelKind::MiniRiscIss,
+            WorkloadSpec::AdlMachine {
+                source: ADL_PIPE.into(),
+                osms: 1,
+            },
+            10,
+        );
+        let r = run_job(&cross);
+        assert!(matches!(r.outcome, JobOutcome::Failed(_)));
+    }
+
+    #[test]
+    fn adl_workload_spelling_is_digest_stable() {
+        let a = WorkloadSpec::AdlMachine {
+            source: ADL_PIPE.into(),
+            osms: 4,
+        };
+        let b = WorkloadSpec::AdlMachine {
+            source: ADL_PIPE.into(),
+            osms: 4,
+        };
+        assert_eq!(a.spelling(), b.spelling());
+        assert!(a.spelling().starts_with("adl:4@"));
+        let c = WorkloadSpec::AdlMachine {
+            source: format!("{ADL_PIPE} "),
+            osms: 4,
+        };
+        assert_ne!(a.spelling(), c.spelling(), "source changes must change the spelling");
     }
 
     #[test]

@@ -81,25 +81,46 @@ pub fn jobs_digest(jobs: &[SimJob]) -> u64 {
     fnv(canon.as_bytes())
 }
 
+/// Checked length narrowing for the format's `u32` size fields. A plain
+/// `as u32` here would silently wrap an oversized sweep or record into a
+/// journal whose header/length prefix lies about its contents and
+/// round-trips wrong; refuse with a typed error instead.
+fn len_u32(what: &'static str, len: usize) -> Result<u32, JournalError> {
+    u32::try_from(len).map_err(|_| JournalError::TooLarge {
+        what,
+        len: len as u64,
+    })
+}
+
 /// The journal header bytes for a job list.
-pub fn header_bytes(jobs: &[SimJob]) -> Vec<u8> {
+///
+/// # Errors
+/// [`JournalError::TooLarge`] if the job count does not fit the header's
+/// `u32` field.
+pub fn header_bytes(jobs: &[SimJob]) -> Result<Vec<u8>, JournalError> {
+    let job_count = len_u32("job count", jobs.len())?;
     let mut out = Vec::with_capacity(HEADER_LEN);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&VERSION.to_le_bytes());
-    out.extend_from_slice(&(jobs.len() as u32).to_le_bytes());
+    out.extend_from_slice(&job_count.to_le_bytes());
     out.extend_from_slice(&jobs_digest(jobs).to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// One completed job, encoded as a self-contained record
 /// (`len | payload | digest`).
-pub fn record_bytes(index: usize, result: &JobResult) -> Vec<u8> {
+///
+/// # Errors
+/// [`JournalError::TooLarge`] if the encoded payload does not fit the
+/// record's `u32` length prefix.
+pub fn record_bytes(index: usize, result: &JobResult) -> Result<Vec<u8>, JournalError> {
     let payload = result_to_json(index, result).to_string().into_bytes();
+    let payload_len = len_u32("record payload", payload.len())?;
     let mut out = Vec::with_capacity(4 + payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload_len.to_le_bytes());
     out.extend_from_slice(&payload);
     out.extend_from_slice(&fnv(&payload).to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// Replays journal bytes against the job list they claim to cover.
@@ -196,7 +217,7 @@ impl JournalWriter {
     pub fn create(path: impl AsRef<Path>, jobs: &[SimJob]) -> Result<JournalWriter, JournalError> {
         let path = path.as_ref().to_path_buf();
         let mut file = File::create(&path)?;
-        file.write_all(&header_bytes(jobs))?;
+        file.write_all(&header_bytes(jobs)?)?;
         file.flush()?;
         Ok(JournalWriter { file, path })
     }
@@ -221,7 +242,7 @@ impl JournalWriter {
 
     /// Appends one completed job atomically (single write + flush).
     pub fn record(&mut self, index: usize, result: &JobResult) -> Result<(), JournalError> {
-        self.file.write_all(&record_bytes(index, result))?;
+        self.file.write_all(&record_bytes(index, result)?)?;
         self.file.flush()?;
         Ok(())
     }
@@ -236,13 +257,22 @@ impl JournalWriter {
 // JSON encoding of completed jobs
 // ---------------------------------------------------------------------------
 
+/// Encodes a u64 counter losslessly: a JSON number while exact in `f64`,
+/// a `"0x…"` hex string beyond 2^53 (the same fallback the farm report
+/// already uses for digests). [`get_u64`] accepts both spellings.
 fn num(v: u64) -> Json {
-    Json::Num(v as f64)
+    Json::lossless_u64(v)
+}
+
+/// Decodes either counter spelling: an exact JSON number, or the hex-string
+/// fallback [`num`] emits above 2^53.
+fn json_u64(j: &Json) -> Option<u64> {
+    j.lossless_as_u64()
 }
 
 fn get_u64(j: &Json, key: &str) -> Result<u64, String> {
     j.get(key)
-        .and_then(Json::as_u64)
+        .and_then(json_u64)
         .ok_or_else(|| format!("missing or non-integer `{key}`"))
 }
 
@@ -367,9 +397,8 @@ fn stats_from_json(j: &Json) -> Result<Stats, String> {
     stats.restarts = get_u64(j, "restarts")?;
     if let Some(Json::Obj(named)) = j.get("named") {
         for (name, value) in named {
-            let value = value
-                .as_u64()
-                .ok_or_else(|| format!("non-integer named counter `{name}`"))?;
+            let value =
+                json_u64(value).ok_or_else(|| format!("non-integer named counter `{name}`"))?;
             stats.incr_dyn(name, value);
         }
     }
@@ -489,9 +518,9 @@ mod tests {
     }
 
     fn journal_bytes_for(jobs: &[SimJob], upto: usize) -> Vec<u8> {
-        let mut bytes = header_bytes(jobs);
+        let mut bytes = header_bytes(jobs).unwrap();
         for (i, job) in jobs.iter().take(upto).enumerate() {
-            bytes.extend_from_slice(&record_bytes(i, &run_job(job)));
+            bytes.extend_from_slice(&record_bytes(i, &run_job(job)).unwrap());
         }
         bytes
     }
@@ -545,7 +574,7 @@ mod tests {
             assert_eq!(replayed.outcome, original.outcome);
             assert_eq!(replayed.cycles, original.cycles);
             // Re-encoding the replayed result reproduces the exact record.
-            assert_eq!(record_bytes(i, replayed), record_bytes(i, &original));
+            assert_eq!(record_bytes(i, replayed).unwrap(), record_bytes(i, &original).unwrap());
         }
     }
 
@@ -584,6 +613,58 @@ mod tests {
         }
         // Same list parses fine.
         assert!(parse_bytes(&bytes, &jobs).is_ok());
+    }
+
+    /// Regression: u64 counters above 2^53 must round-trip through the
+    /// journal's JSON payload bit-exactly. The old `Json::Num(v as f64)`
+    /// encoding silently rounded them (2^53 + 1 re-read as 2^53), so a
+    /// resumed long-haul sweep would consolidate wrong totals.
+    #[test]
+    fn counters_above_2_pow_53_round_trip_losslessly() {
+        let big = (1u64 << 53) + 1;
+        assert_ne!(big as f64 as u64, big, "2^53+1 is not exact in f64");
+        let jobs = sample_jobs();
+        let mut result = run_job(&jobs[0]);
+        result.cycles = big;
+        result.retired = big;
+        let mut stats = Stats::new();
+        stats.transitions = big;
+        result.stats = Some(stats);
+        let mut bytes = header_bytes(&jobs).unwrap();
+        bytes.extend_from_slice(&record_bytes(0, &result).unwrap());
+        let (completed, _) = parse_bytes(&bytes, &jobs).unwrap();
+        let replayed = &completed[&0];
+        assert_eq!(replayed.cycles, big);
+        assert_eq!(replayed.retired, big);
+        assert_eq!(replayed.stats.as_ref().map(|s| s.transitions), Some(big));
+        // The spelling in the payload is the 0x-hex fallback, not a
+        // rounded number.
+        let payload = String::from_utf8_lossy(&bytes);
+        assert!(payload.contains(&format!("\"0x{big:x}\"")), "{payload}");
+    }
+
+    /// Regression: the format's u32 length fields refuse values they would
+    /// otherwise silently truncate (`jobs.len() as u32`,
+    /// `payload.len() as u32`).
+    #[test]
+    fn oversized_length_fields_are_refused_not_truncated() {
+        match len_u32("job count", u32::MAX as usize + 1) {
+            Err(JournalError::TooLarge { what, len }) => {
+                assert_eq!(what, "job count");
+                assert_eq!(len, u64::from(u32::MAX) + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // In-range lengths pass through exactly.
+        assert_eq!(len_u32("record payload", 42).unwrap(), 42);
+        assert_eq!(
+            len_u32("record payload", u32::MAX as usize).unwrap(),
+            u32::MAX
+        );
+        // And the public encoders stay fine for ordinary inputs.
+        let jobs = sample_jobs();
+        assert!(header_bytes(&jobs).is_ok());
+        assert!(record_bytes(0, &run_job(&jobs[0])).is_ok());
     }
 
     #[test]

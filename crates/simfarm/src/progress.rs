@@ -223,6 +223,39 @@ mod tests {
         assert!(done.contains("8/8 jobs | 4.0k cycles/s | 2.0s elapsed"), "{done}");
     }
 
+    /// Regression: a first-tick render (`elapsed_s == 0.0`) or a snapshot
+    /// with no completions (`done == 0`) must never print `inf`/`NaN`
+    /// cycles/s or ETA — the rate needs `elapsed_s > 0`, the ETA divides
+    /// by `done`. Both divisions are guarded; pin the rendered lines.
+    #[test]
+    fn render_line_never_prints_inf_or_nan() {
+        // First tick: zero elapsed, zero done — no rate, no ETA.
+        let first_tick = render_line(0, 8, 0, 0, 0.0);
+        assert_eq!(first_tick, "simfarm: 0/8 jobs | 0.0s elapsed");
+        // Clock moved but nothing finished: rate is fine (0/elapsed), but
+        // the ETA (elapsed/done) must stay suppressed.
+        let no_done = render_line(0, 8, 0, 0, 1.5);
+        assert_eq!(no_done, "simfarm: 0/8 jobs | 0 cycles/s | 1.5s elapsed");
+        // Cycles recorded while elapsed is still zero (sub-resolution
+        // first completion): rate division must stay suppressed.
+        let fast_first = render_line(1, 8, 0, 1_000, 0.0);
+        assert_eq!(fast_first, "simfarm: 1/8 jobs | 0.0s elapsed");
+        for line in [first_tick, no_done, fast_first] {
+            assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        }
+    }
+
+    /// Regression companion: a freshly-created meter's own status line (the
+    /// heartbeat body) goes through the same guards end to end.
+    #[test]
+    fn fresh_meter_status_line_is_finite() {
+        let meter = ProgressMeter::new(4, false);
+        let line = meter.status_line();
+        assert!(line.starts_with("simfarm: 0/4 jobs"), "{line}");
+        assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        assert!(!line.contains("ETA"), "{line}");
+    }
+
     #[test]
     fn human_rate_scales() {
         assert_eq!(human_rate(950.0), "950");

@@ -195,36 +195,36 @@ impl FarmReport {
                 obj.insert("workload".into(), Json::Str(job.workload.clone()));
                 obj.insert("outcome".into(), Json::Str(job.outcome.label()));
                 obj.insert("attempts".into(), Json::Num(f64::from(job.attempts)));
-                obj.insert("cycles".into(), Json::Num(job.cycles as f64));
-                obj.insert("retired".into(), Json::Num(job.retired as f64));
+                obj.insert("cycles".into(), Json::lossless_u64(job.cycles));
+                obj.insert("retired".into(), Json::lossless_u64(job.retired));
                 obj.insert("exit_code".into(), Json::Num(f64::from(job.exit_code)));
                 obj.insert("digest".into(), Json::Str(format!("{:016x}", job.digest)));
                 if let Some(stats) = &job.stats {
-                    obj.insert("transitions".into(), Json::Num(stats.transitions as f64));
-                    obj.insert("idle_steps".into(), Json::Num(stats.idle_steps as f64));
+                    obj.insert("transitions".into(), Json::lossless_u64(stats.transitions));
+                    obj.insert("idle_steps".into(), Json::lossless_u64(stats.idle_steps));
                 }
                 if let Some(metrics) = &job.metrics {
                     let mut m = BTreeMap::new();
-                    m.insert("completions".into(), Json::Num(metrics.completions as f64));
-                    m.insert("token_grants".into(), Json::Num(metrics.token_grants as f64));
+                    m.insert("completions".into(), Json::lossless_u64(metrics.completions));
+                    m.insert("token_grants".into(), Json::lossless_u64(metrics.token_grants));
                     m.insert(
                         "token_denials".into(),
-                        Json::Num(metrics.token_denials as f64),
+                        Json::lossless_u64(metrics.token_denials),
                     );
                     obj.insert("metrics".into(), Json::Obj(m));
                 }
                 if let Some(faults) = &job.fault_stats {
-                    obj.insert("faults_injected".into(), Json::Num(faults.total() as f64));
+                    obj.insert("faults_injected".into(), Json::lossless_u64(faults.total()));
                 }
                 Json::Obj(obj)
             })
             .collect();
         let mut totals = BTreeMap::new();
-        totals.insert("cycles".into(), Json::Num(self.total_cycles as f64));
-        totals.insert("retired".into(), Json::Num(self.total_retired as f64));
+        totals.insert("cycles".into(), Json::lossless_u64(self.total_cycles));
+        totals.insert("retired".into(), Json::lossless_u64(self.total_retired));
         totals.insert(
             "transitions".into(),
-            Json::Num(self.total_stats.transitions as f64),
+            Json::lossless_u64(self.total_stats.transitions),
         );
         totals.insert("failures".into(), Json::Num(self.failures as f64));
         totals.insert("quarantined".into(), Json::Num(self.quarantined as f64));
@@ -257,7 +257,7 @@ impl FarmReport {
                     let mut obj = BTreeMap::new();
                     obj.insert("manager".into(), Json::Str(c.manager.clone()));
                     obj.insert("op".into(), Json::Str(c.op.clone()));
-                    obj.insert("cycles".into(), Json::Num(c.cycles as f64));
+                    obj.insert("cycles".into(), Json::lossless_u64(c.cycles));
                     Json::Obj(obj)
                 })
                 .collect(),
@@ -327,7 +327,7 @@ impl FarmReport {
                     "teardown_ms".into(),
                     Json::Num(timing.teardown_ns as f64 / 1e6),
                 );
-                obj.insert("cycles".into(), Json::Num(span.cycles as f64));
+                obj.insert("cycles".into(), Json::lossless_u64(span.cycles));
                 if span.wall_ns() > 0 {
                     let rate = span.cycles as f64 / (span.wall_ns() as f64 / 1e9);
                     rates.push(rate);
@@ -631,6 +631,56 @@ mod tests {
         let parsed = bench::json::parse(&measured.to_json().to_string()).unwrap();
         let rate = parsed.get("cycles_per_second").unwrap().as_num().unwrap();
         assert!((rate - measured.total_cycles as f64 / 2.0).abs() < 1e-9);
+    }
+
+    /// Regression: the text renderings (`Display`, `summary_text`) must
+    /// mirror the JSON side's guard and omit the throughput line entirely
+    /// when wall time was never measured — `total_cycles / 0.0` would
+    /// otherwise print `inf` cycles/s.
+    #[test]
+    fn text_paths_omit_throughput_when_wall_unmeasured() {
+        let jobs = vec![SimJob::minirisc_random(0, 32, 20_000)];
+        let results = run_serial(&jobs);
+        let unmeasured = FarmReport::consolidate(results.clone(), 1, 0.0);
+        assert_eq!(unmeasured.cycles_per_second(), 0.0);
+        for text in [unmeasured.to_string(), unmeasured.summary_text()] {
+            assert!(!text.contains("throughput"), "{text}");
+            assert!(!text.contains("inf"), "{text}");
+        }
+        let measured = FarmReport::consolidate(results, 1, 2.0);
+        assert!(measured.to_string().contains("throughput:"));
+        assert!(measured.summary_text().contains("throughput:"));
+    }
+
+    /// Regression: u64 counters above 2^53 must survive the JSON rendering
+    /// losslessly (hex-string fallback) instead of silently rounding
+    /// through `f64`.
+    #[test]
+    fn json_counters_above_2_pow_53_stay_lossless() {
+        let big = (1u64 << 53) + 1; // odd: rounds to 2^53 under `as f64`
+        let mut result = run_job(&SimJob::minirisc_random(0, 32, 20_000));
+        result.cycles = big;
+        let mut report = FarmReport::consolidate(vec![result], 1, 0.0);
+        report.total_cycles = big;
+        report.stall_causes = vec![FleetStallCause {
+            manager: "mf".into(),
+            op: "alloc".into(),
+            cycles: big,
+        }];
+        let parsed = bench::json::parse(&report.to_json().to_string()).unwrap();
+        let job = &parsed.get("jobs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(job.get("cycles").unwrap().lossless_as_u64(), Some(big));
+        assert_eq!(
+            parsed.get("totals").unwrap().get("cycles").unwrap().lossless_as_u64(),
+            Some(big)
+        );
+        let cause = &parsed.get("stall_causes").unwrap().as_arr().unwrap()[0];
+        assert_eq!(cause.get("cycles").unwrap().lossless_as_u64(), Some(big));
+        // Small counters keep the plain-number spelling (schema back-compat).
+        assert!(matches!(
+            parsed.get("totals").unwrap().get("retired").unwrap(),
+            Json::Num(_)
+        ));
     }
 
     #[test]

@@ -34,9 +34,9 @@ fn mixed_jobs() -> Vec<SimJob> {
 /// The full journal a completed sweep of `jobs` would write, built
 /// in-memory and deterministically (serial completion order).
 fn full_journal_bytes(jobs: &[SimJob]) -> Vec<u8> {
-    let mut bytes = header_bytes(jobs);
+    let mut bytes = header_bytes(jobs).unwrap();
     for (i, result) in run_serial(jobs).iter().enumerate() {
-        bytes.extend_from_slice(&record_bytes(i, result));
+        bytes.extend_from_slice(&record_bytes(i, result).unwrap());
     }
     bytes
 }
@@ -83,13 +83,13 @@ fn kill_and_resume_is_byte_identical_at_every_record_boundary() {
     let serial = run_serial(&jobs);
     let path = temp_path("boundary");
     for kept in 0..=jobs.len() {
-        let mut bytes = header_bytes(&jobs);
+        let mut bytes = header_bytes(&jobs).unwrap();
         for (i, result) in serial.iter().take(kept).enumerate() {
-            bytes.extend_from_slice(&record_bytes(i, result));
+            bytes.extend_from_slice(&record_bytes(i, result).unwrap());
         }
         // A torn half-record on the end, as a kill mid-append would leave.
         if kept < jobs.len() {
-            let next = record_bytes(kept, &serial[kept]);
+            let next = record_bytes(kept, &serial[kept]).unwrap();
             bytes.extend_from_slice(&next[..next.len() / 2]);
         }
         std::fs::write(&path, &bytes).unwrap();
@@ -130,11 +130,11 @@ fn truncation_at_every_byte_boundary_is_torn_tolerated() {
         .map(|i| SimJob::minirisc_random(i, 32, 10_000))
         .collect();
     let serial = run_serial(&jobs);
-    let header = header_bytes(&jobs);
+    let header = header_bytes(&jobs).unwrap();
     let records: Vec<Vec<u8>> = serial
         .iter()
         .enumerate()
-        .map(|(i, r)| record_bytes(i, r))
+        .map(|(i, r)| record_bytes(i, r).unwrap())
         .collect();
     let mut bytes = header.clone();
     for r in &records {
@@ -162,7 +162,7 @@ fn truncation_at_every_byte_boundary_is_torn_tolerated() {
         assert_eq!(valid_len as usize, boundaries[expected], "cut at byte {cut}");
         // Recovered records are bit-exact.
         for (i, result) in &completed {
-            assert_eq!(record_bytes(*i, result), records[*i], "record {i} at cut {cut}");
+            assert_eq!(record_bytes(*i, result).unwrap(), records[*i], "record {i} at cut {cut}");
         }
     }
 }
@@ -184,13 +184,13 @@ proptest! {
             .map(|i| SimJob::minirisc_random(i, 32, 10_000))
             .collect();
         let serial = run_serial(&jobs);
-        let header_len = header_bytes(&jobs).len();
+        let header_len = header_bytes(&jobs).unwrap().len();
         let records: Vec<Vec<u8>> = serial
             .iter()
             .enumerate()
-            .map(|(i, r)| record_bytes(i, r))
+            .map(|(i, r)| record_bytes(i, r).unwrap())
             .collect();
-        let mut bytes = header_bytes(&jobs);
+        let mut bytes = header_bytes(&jobs).unwrap();
         for r in &records {
             bytes.extend_from_slice(r);
         }
@@ -206,7 +206,7 @@ proptest! {
                 );
                 for (i, result) in &completed {
                     prop_assert_eq!(
-                        record_bytes(*i, result),
+                        record_bytes(*i, result).unwrap(),
                         records[*i].clone(),
                         "bit flip at byte {} bit {} altered record {}",
                         idx, bit, i
