@@ -7,6 +7,7 @@
 //!
 //! [`minirisc`-style sparse memory]: https://docs.rs/minirisc
 
+use crate::state::{put_u32, put_u64, put_u8, StateReader};
 use std::fmt;
 
 /// Geometry and timing of a cache.
@@ -204,6 +205,76 @@ impl Cache {
             l.valid = false;
         }
     }
+
+    /// Serializes the mutable state — line tags/validity/LRU stamps, the
+    /// stamp counter and the statistics — as a flat little-endian byte
+    /// string. Geometry is configuration, not state, and is excluded: the
+    /// bytes restore only into a cache of identical shape.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.lines.len() * 13 + 5 * 8);
+        put_u32(&mut out, self.lines.len() as u32);
+        for l in &self.lines {
+            put_u32(&mut out, l.tag);
+            put_u8(&mut out, l.valid as u8);
+            put_u64(&mut out, l.stamp);
+        }
+        put_u64(&mut out, self.stamp);
+        for v in [
+            self.stats.accesses,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+        ] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Restores state written by [`Cache::export_state`] into a cache of the
+    /// same geometry. Returns `false` — leaving `self` untouched — if the
+    /// bytes are truncated, malformed, carry trailing garbage, or were
+    /// exported from a differently-shaped cache.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let Some(n) = r.take_u32() else { return false };
+        if n as usize != self.lines.len() {
+            return false;
+        }
+        let mut lines = Vec::with_capacity(self.lines.len());
+        for _ in 0..n {
+            let (Some(tag), Some(valid), Some(stamp)) =
+                (r.take_u32(), r.take_u8(), r.take_u64())
+            else {
+                return false;
+            };
+            if valid > 1 {
+                return false;
+            }
+            lines.push(Line {
+                tag,
+                valid: valid == 1,
+                stamp,
+            });
+        }
+        let Some(stamp) = r.take_u64() else { return false };
+        let (Some(accesses), Some(hits), Some(misses), Some(evictions)) =
+            (r.take_u64(), r.take_u64(), r.take_u64(), r.take_u64())
+        else {
+            return false;
+        };
+        if !r.is_done() {
+            return false;
+        }
+        self.lines = lines;
+        self.stamp = stamp;
+        self.stats = CacheStats {
+            accesses,
+            hits,
+            misses,
+            evictions,
+        };
+        true
+    }
 }
 
 impl fmt::Display for Cache {
@@ -303,5 +374,50 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("2-way"));
         assert!(s.contains("16B lines"));
+    }
+
+    #[test]
+    fn state_round_trips_tags_lru_and_stats() {
+        let mut c = tiny(2);
+        c.access(0x00);
+        c.access(0x40);
+        c.access(0x00); // 0x00 most recent
+        let bytes = c.export_state();
+
+        let mut fresh = tiny(2);
+        assert!(fresh.import_state(&bytes));
+        assert_eq!(fresh.stats, c.stats);
+        assert!(fresh.probe(0x00));
+        assert!(fresh.probe(0x40));
+        // LRU order survived: the next conflict evicts 0x40, not 0x00.
+        fresh.access(0x80);
+        c.access(0x80);
+        assert_eq!(fresh.probe(0x00), c.probe(0x00));
+        assert!(!fresh.probe(0x40));
+    }
+
+    #[test]
+    fn import_rejects_damage_and_leaves_state_alone() {
+        let mut c = tiny(1);
+        c.access(0x100);
+        let bytes = c.export_state();
+        let before = c.stats;
+
+        // Truncated.
+        assert!(!c.import_state(&bytes[..bytes.len() - 1]));
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(!c.import_state(&long));
+        // Non-boolean validity byte.
+        let mut bad = bytes.clone();
+        bad[8] = 2; // first line's `valid` flag
+        assert!(!c.import_state(&bad));
+        // Wrong geometry.
+        let mut other = tiny(2);
+        assert!(!other.import_state(&bytes));
+
+        assert_eq!(c.stats, before);
+        assert!(c.probe(0x100));
     }
 }

@@ -20,6 +20,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cache;
+mod state;
 mod system;
 mod tlb;
 

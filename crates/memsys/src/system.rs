@@ -6,6 +6,7 @@
 //! latencies into blocked token releases.
 
 use crate::cache::{Cache, CacheConfig, CacheOutcome};
+use crate::state::{put_bytes, StateReader};
 use crate::tlb::{Tlb, TlbConfig};
 
 /// Configuration of a [`MemSystem`].
@@ -154,6 +155,48 @@ impl MemSystem {
         };
         tlb + cache
     }
+
+    /// Serializes the mutable state of all four components as length-prefixed
+    /// sections (I-cache, D-cache, ITLB, DTLB). The bus latency is
+    /// configuration and is not included; restoring requires a subsystem of
+    /// identical geometry. This is the byte form of the checkpoint-grade
+    /// `Clone` this type already guarantees.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &self.icache.export_state());
+        put_bytes(&mut out, &self.dcache.export_state());
+        put_bytes(&mut out, &self.itlb.export_state());
+        put_bytes(&mut out, &self.dtlb.export_state());
+        out
+    }
+
+    /// Restores state written by [`MemSystem::export_state`]. All-or-nothing:
+    /// on any malformed or geometry-mismatched section it returns `false`
+    /// and leaves `self` completely untouched.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let (Some(ic), Some(dc), Some(it), Some(dt)) = (
+            r.take_bytes(),
+            r.take_bytes(),
+            r.take_bytes(),
+            r.take_bytes(),
+        ) else {
+            return false;
+        };
+        if !r.is_done() {
+            return false;
+        }
+        let mut staged = self.clone();
+        if !(staged.icache.import_state(ic)
+            && staged.dcache.import_state(dc)
+            && staged.itlb.import_state(it)
+            && staged.dtlb.import_state(dt))
+        {
+            return false;
+        }
+        *self = staged;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +239,45 @@ mod tests {
         let mut replay = snap.clone();
         assert_eq!(replay.fetch_penalty(0x1000), 0);
         assert!(replay.data_penalty(0x4000) > 0);
+    }
+
+    #[test]
+    fn state_bytes_equal_clone_semantics() {
+        let mut m = MemSystem::new(MemSystemConfig::tiny());
+        m.fetch_penalty(0x1000);
+        m.data_penalty(0x4000);
+        let bytes = m.export_state();
+
+        let mut restored = MemSystem::new(MemSystemConfig::tiny());
+        assert!(restored.import_state(&bytes));
+        let mut cloned = m.clone();
+        // Both continuations see identical timing from here on.
+        for addr in [0x1000u32, 0x1234, 0x4000, 0x9000, 0x4008] {
+            assert_eq!(restored.fetch_penalty(addr), cloned.fetch_penalty(addr));
+            assert_eq!(restored.data_penalty(addr), cloned.data_penalty(addr));
+        }
+        assert_eq!(restored.icache.stats, cloned.icache.stats);
+        assert_eq!(restored.dtlb.stats, cloned.dtlb.stats);
+    }
+
+    #[test]
+    fn import_is_all_or_nothing() {
+        let mut m = MemSystem::new(MemSystemConfig::tiny());
+        m.fetch_penalty(0x1000);
+        let bytes = m.export_state();
+        let before_i = m.icache.stats;
+
+        assert!(!m.import_state(&bytes[..bytes.len() - 3]));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(!m.import_state(&long));
+        // Geometry mismatch in a *later* section must not commit the earlier
+        // ones.
+        let mut other = MemSystem::new(MemSystemConfig::strongarm_like());
+        assert!(!other.import_state(&bytes));
+        assert_eq!(other.icache.stats.accesses, 0);
+
+        assert_eq!(m.icache.stats, before_i);
     }
 
     #[test]

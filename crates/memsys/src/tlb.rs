@@ -4,6 +4,8 @@
 //! identity-mapped, so a "translation" is just the page number — what matters
 //! to the micro-architecture models is the hit/miss latency.
 
+use crate::state::{put_u32, put_u64, StateReader};
+
 /// Configuration of a TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbConfig {
@@ -98,6 +100,59 @@ impl Tlb {
         let vpn = addr / self.cfg.page_bytes as u32;
         self.entries.iter().any(|(v, _)| *v == vpn)
     }
+
+    /// Serializes the mutable state — the entry vector *in storage order*
+    /// (eviction uses `swap_remove`, so order is semantic), the stamp counter
+    /// and the statistics. Geometry is excluded; see [`Tlb::import_state`].
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.entries.len() * 12 + 4 * 8);
+        put_u32(&mut out, self.entries.len() as u32);
+        for &(vpn, stamp) in &self.entries {
+            put_u32(&mut out, vpn);
+            put_u64(&mut out, stamp);
+        }
+        put_u64(&mut out, self.stamp);
+        for v in [self.stats.accesses, self.stats.hits, self.stats.misses] {
+            put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Restores state written by [`Tlb::export_state`] into a TLB of the
+    /// same capacity. Returns `false` — leaving `self` untouched — if the
+    /// bytes are truncated, carry trailing garbage, or hold more entries
+    /// than this TLB's configuration allows.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let Some(n) = r.take_u32() else { return false };
+        if n as usize > self.cfg.entries {
+            return false;
+        }
+        let mut entries = Vec::with_capacity(self.cfg.entries);
+        for _ in 0..n {
+            let (Some(vpn), Some(stamp)) = (r.take_u32(), r.take_u64()) else {
+                return false;
+            };
+            entries.push((vpn, stamp));
+        }
+        let Some(stamp) = r.take_u64() else { return false };
+        let (Some(accesses), Some(hits), Some(misses)) =
+            (r.take_u64(), r.take_u64(), r.take_u64())
+        else {
+            return false;
+        };
+        if !r.is_done() {
+            return false;
+        }
+        self.entries = entries;
+        self.stamp = stamp;
+        self.stats = TlbStats {
+            accesses,
+            hits,
+            misses,
+        };
+        true
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +205,51 @@ mod tests {
             page_bytes: 4096,
             miss_penalty: 1,
         });
+    }
+
+    #[test]
+    fn state_round_trips_including_eviction_order() {
+        let mut t = tiny();
+        t.access(0x1000);
+        t.access(0x2000);
+        t.access(0x1000); // refresh page 1
+        let bytes = t.export_state();
+
+        let mut fresh = tiny();
+        assert!(fresh.import_state(&bytes));
+        assert_eq!(fresh.stats, t.stats);
+        // The restored TLB makes the same eviction decision as the original:
+        // the stale page 2 goes, the refreshed page 1 stays.
+        fresh.access(0x3000);
+        t.access(0x3000);
+        assert!(fresh.probe(0x1000) && t.probe(0x1000));
+        assert!(!fresh.probe(0x2000) && !t.probe(0x2000));
+    }
+
+    #[test]
+    fn import_rejects_damage_and_oversize() {
+        let mut t = tiny();
+        t.access(0x1000);
+        let bytes = t.export_state();
+        let before = t.stats;
+
+        assert!(!t.import_state(&bytes[..bytes.len() - 2]));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(!t.import_state(&long));
+
+        // More entries than this TLB can hold.
+        let mut big = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            miss_penalty: 30,
+        });
+        for p in 0..5u32 {
+            big.access(p << 12);
+        }
+        assert!(!t.import_state(&big.export_state()));
+
+        assert_eq!(t.stats, before);
+        assert!(t.probe(0x1000));
     }
 }

@@ -7,6 +7,7 @@
 
 use crate::instr::{AluOp, Instr, MemWidth, MulOp};
 use crate::mem::Memory;
+use crate::persist::{put_u32, StateReader};
 use crate::reg::{FReg, Reg};
 
 /// Architectural register state.
@@ -56,6 +57,48 @@ impl CpuState {
     #[inline]
     pub fn set_fpr(&mut self, r: FReg, v: f32) {
         self.fpr[r.index()] = v;
+    }
+
+    /// Serializes the register file and PC as a fixed-size little-endian
+    /// byte string (FPRs by their IEEE-754 bit patterns, so NaN payloads
+    /// round-trip exactly).
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 * 4 + 32 * 4 + 4);
+        for v in self.gpr {
+            put_u32(&mut out, v);
+        }
+        for v in self.fpr {
+            put_u32(&mut out, v.to_bits());
+        }
+        put_u32(&mut out, self.pc);
+        out
+    }
+
+    /// Restores state written by [`CpuState::export_state`]. Returns `false`
+    /// — leaving `self` untouched — on any size mismatch or a nonzero `r0`.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let mut gpr = [0u32; 32];
+        for slot in &mut gpr {
+            let Some(v) = r.take_u32() else { return false };
+            *slot = v;
+        }
+        if gpr[0] != 0 {
+            return false; // r0 is architecturally zero
+        }
+        let mut fpr = [0f32; 32];
+        for slot in &mut fpr {
+            let Some(v) = r.take_u32() else { return false };
+            *slot = f32::from_bits(v);
+        }
+        let Some(pc) = r.take_u32() else { return false };
+        if !r.is_done() {
+            return false;
+        }
+        self.gpr = gpr;
+        self.fpr = fpr;
+        self.pc = pc;
+        true
     }
 }
 

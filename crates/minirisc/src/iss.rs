@@ -10,6 +10,7 @@ use crate::encode::{decode, DecodeError};
 use crate::exec::{execute, CpuState, Outcome};
 use crate::instr::Instr;
 use crate::mem::Memory;
+use crate::persist::{put_bytes, put_u32, put_u64, put_u8, StateReader};
 use crate::program::Program;
 use crate::reg::Reg;
 use std::error::Error;
@@ -189,6 +190,51 @@ impl<M: Memory> Iss<M> {
     }
 }
 
+impl Iss<crate::mem::SparseMemory> {
+    /// Serializes the complete simulator state (CPU, sparse memory, halt
+    /// latch, exit code, retired count, output stream) so an interrupted
+    /// functional run can continue from the exact instruction boundary.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &self.cpu.export_state());
+        put_bytes(&mut out, &self.mem.export_state());
+        put_u8(&mut out, self.halted as u8);
+        put_u32(&mut out, self.exit_code);
+        put_u64(&mut out, self.retired);
+        put_bytes(&mut out, &self.output);
+        out
+    }
+
+    /// Restores state written by [`Iss::export_state`]. All-or-nothing:
+    /// returns `false` and leaves `self` untouched on any malformed input.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let (Some(cpu_bytes), Some(mem_bytes)) = (r.take_bytes(), r.take_bytes()) else {
+            return false;
+        };
+        let (Some(halted), Some(exit_code), Some(retired), Some(output)) =
+            (r.take_u8(), r.take_u32(), r.take_u64(), r.take_bytes())
+        else {
+            return false;
+        };
+        if halted > 1 || !r.is_done() {
+            return false;
+        }
+        let mut cpu = self.cpu.clone();
+        let mut mem = crate::mem::SparseMemory::new();
+        if !cpu.import_state(cpu_bytes) || !mem.import_state(mem_bytes) {
+            return false;
+        }
+        self.cpu = cpu;
+        self.mem = mem;
+        self.halted = halted == 1;
+        self.exit_code = exit_code;
+        self.retired = retired;
+        self.output = output.to_vec();
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +357,83 @@ mod tests {
         let retired = iss.retired;
         iss.step().unwrap();
         assert_eq!(iss.retired, retired);
+    }
+
+    #[test]
+    fn state_round_trip_continues_mid_run() {
+        let p = assemble(
+            "
+            li r1, 10      ; n
+            li r2, 0       ; acc
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bne r1, r0, loop
+            li r10, 2      ; putuint
+            add r11, r2, r0
+            syscall
+            li r10, 0      ; exit
+            syscall
+        ",
+            0x1000,
+        )
+        .unwrap();
+        let mut reference = Iss::with_program(SparseMemory::new(), &p);
+        reference.run(1000).unwrap();
+
+        let mut head = Iss::with_program(SparseMemory::new(), &p);
+        for _ in 0..7 {
+            head.step().unwrap();
+        }
+        let bytes = head.export_state();
+        drop(head);
+
+        // A fresh ISS over a fresh memory, rebuilt purely from the bytes.
+        let mut tail = Iss::new(SparseMemory::new(), 0);
+        assert!(tail.import_state(&bytes));
+        assert_eq!(tail.retired, 7);
+        tail.run(1000).unwrap();
+        assert_eq!(tail.retired, reference.retired);
+        assert_eq!(tail.exit_code, reference.exit_code);
+        assert_eq!(tail.output, reference.output);
+        assert_eq!(tail.cpu, reference.cpu);
+    }
+
+    #[test]
+    fn import_rejects_damage() {
+        let p = assemble("li r1, 1\nhalt\n", 0).unwrap();
+        let mut iss = Iss::with_program(SparseMemory::new(), &p);
+        iss.step().unwrap();
+        let bytes = iss.export_state();
+        let before = iss.cpu.clone();
+
+        assert!(!iss.import_state(&bytes[..bytes.len() - 1]));
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(!iss.import_state(&long));
+        // Corrupt r0 (first GPR of the length-prefixed CPU section).
+        let mut bad = bytes.clone();
+        bad[4] = 1;
+        assert!(!iss.import_state(&bad));
+        assert_eq!(iss.cpu, before);
+    }
+
+    #[test]
+    fn sparse_memory_export_is_canonical() {
+        // Same contents, different insertion order → identical bytes.
+        let mut a = SparseMemory::new();
+        a.write_u32(0x1000, 7);
+        a.write_u32(0x9000, 9);
+        let mut b = SparseMemory::new();
+        b.write_u32(0x9000, 9);
+        b.write_u32(0x1000, 7);
+        assert_eq!(a.export_state(), b.export_state());
+
+        let mut c = SparseMemory::new();
+        assert!(c.import_state(&a.export_state()));
+        assert_eq!(c.read_u32(0x9000), 9);
+        assert_eq!(c.page_count(), 2);
+        assert!(!c.import_state(&a.export_state()[..10]));
     }
 
     #[test]

@@ -35,6 +35,7 @@ mod exec;
 mod instr;
 mod iss;
 mod mem;
+mod persist;
 mod program;
 mod reg;
 

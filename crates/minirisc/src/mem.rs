@@ -1,5 +1,6 @@
 //! Byte-addressable memory abstraction and a sparse backing store.
 
+use crate::persist::{put_u32, StateReader};
 use std::collections::HashMap;
 
 const PAGE_BITS: u32 = 12;
@@ -90,6 +91,46 @@ impl SparseMemory {
         self.pages
             .entry(addr >> PAGE_BITS)
             .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Serializes every materialized page, *sorted by page number* so two
+    /// memories with equal contents export byte-identical state regardless
+    /// of the hash map's insertion history.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut numbers: Vec<u32> = self.pages.keys().copied().collect();
+        numbers.sort_unstable();
+        let mut out = Vec::with_capacity(4 + numbers.len() * (4 + PAGE_SIZE));
+        put_u32(&mut out, numbers.len() as u32);
+        for n in numbers {
+            put_u32(&mut out, n);
+            out.extend_from_slice(&self.pages[&n][..]);
+        }
+        out
+    }
+
+    /// Replaces the entire contents with state written by
+    /// [`SparseMemory::export_state`]. Returns `false` — leaving `self`
+    /// untouched — if the bytes are truncated, carry trailing garbage, or
+    /// repeat a page number.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = StateReader::new(bytes);
+        let Some(count) = r.take_u32() else { return false };
+        let mut pages = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let (Some(n), Some(data)) = (r.take_u32(), r.take(PAGE_SIZE)) else {
+                return false;
+            };
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(data);
+            if pages.insert(n, page).is_some() {
+                return false;
+            }
+        }
+        if !r.is_done() {
+            return false;
+        }
+        self.pages = pages;
+        true
     }
 }
 

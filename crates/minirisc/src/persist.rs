@@ -1,0 +1,66 @@
+//! Crate-internal little-endian byte cursor backing the `export_state` /
+//! `import_state` methods of [`crate::CpuState`], [`crate::SparseMemory`]
+//! and [`crate::Iss`]. Deliberately self-contained (this crate is a
+//! dependency-free leaf); the sealed, versioned outer checkpoint format
+//! lives with the simulators that embed these components.
+
+/// Forward-only read cursor; every accessor returns `None` on overrun.
+#[derive(Debug)]
+pub(crate) struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() - self.pos < n {
+            return None;
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(out)
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Option<u32> {
+        self.take(4).map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a u32-length-prefixed byte section.
+    pub(crate) fn take_bytes(&mut self) -> Option<&'a [u8]> {
+        let n = self.take_u32()?;
+        self.take(n as usize)
+    }
+}
+
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}

@@ -343,6 +343,42 @@ mod tests {
     }
 
     #[test]
+    fn synthesized_machine_checkpoints_through_bytes() {
+        // ADL machines have unit shared state and core-pool managers only,
+        // so the sealed byte format must round-trip them with an empty
+        // shared section.
+        let decl = parse(PIPE).unwrap();
+        let synth = synthesize(&decl).unwrap();
+        let build = || {
+            let mut machine: Machine<()> = Machine::new(());
+            synth.install_managers(&mut machine);
+            let spec = synth.spec("op").unwrap();
+            machine.add_osm(spec, InertBehavior);
+            machine.add_osm(spec, InertBehavior);
+            machine
+        };
+        let mut machine = build();
+        machine.run(2).unwrap();
+        let ckpt = machine.checkpoint().unwrap();
+        let bytes = machine.encode_checkpoint(&ckpt, &[]).unwrap();
+        machine.run(3).unwrap();
+        let reference: Vec<String> = machine
+            .osms()
+            .map(|o| o.state_name().to_owned())
+            .collect();
+
+        let mut fresh = build();
+        let decoded = fresh
+            .decode_checkpoint(&bytes, |b: &[u8]| b.is_empty().then_some(()))
+            .unwrap();
+        fresh.restore(&decoded).unwrap();
+        assert_eq!(fresh.cycle(), 2);
+        fresh.run(3).unwrap();
+        let replay: Vec<String> = fresh.osms().map(|o| o.state_name().to_owned()).collect();
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
     fn unknown_manager_rejected() {
         let src = "
             machine m {

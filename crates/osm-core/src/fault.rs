@@ -479,6 +479,44 @@ impl TokenManager for FaultInjector {
         true
     }
 
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<InjectorState>()?;
+        let inner = self.inner.encode_snapshot(&state.inner)?;
+        let mut w = crate::persist::ByteWriter::new();
+        w.put_u8(b'F');
+        w.put_u64(state.cycle);
+        w.put_u32(state.corrupt_map.len() as u32);
+        for &(corrupted, real) in &state.corrupt_map {
+            w.put_u64(corrupted);
+            w.put_u64(real);
+        }
+        w.put_bytes(&inner);
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = crate::persist::ByteReader::new(bytes);
+        if r.take_u8()? != b'F' {
+            return None;
+        }
+        let cycle = r.take_u64()?;
+        let n = r.take_u32()? as usize;
+        let mut corrupt_map = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let corrupted = r.take_u64()?;
+            let real = r.take_u64()?;
+            corrupt_map.push((corrupted, real));
+        }
+        let inner = self.inner.decode_snapshot(r.take_bytes()?)?;
+        r.is_done().then(|| {
+            ManagerSnapshot::of(InjectorState {
+                cycle,
+                corrupt_map,
+                inner,
+            })
+        })
+    }
+
     // Transparent on purpose: hardware-layer clock hooks downcast managers
     // to concrete types; wrapping must not break them. The injector itself
     // is steered through its FaultHandle instead.

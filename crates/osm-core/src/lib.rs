@@ -78,6 +78,7 @@ mod machine;
 mod manager;
 pub mod observe;
 mod osm;
+pub mod persist;
 mod pools;
 mod snapshot;
 mod spec;
@@ -95,7 +96,8 @@ pub use extract::{
 };
 pub use ids::{EdgeId, ManagerId, OsmId, SlotId, StateId};
 pub use kernel::{DeKernel, EventFn, EventScheduler};
-pub use machine::{HardwareLayer, Machine};
+pub use machine::{HardwareLayer, Machine, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
+pub use persist::{ByteReader, ByteWriter};
 pub use manager::{ManagerTable, TokenManager};
 pub use observe::{
     EventLog, ManagerUtilization, MetricsCollector, MetricsReport, ObservedEvent, Observer,

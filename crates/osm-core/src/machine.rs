@@ -821,7 +821,246 @@ impl<S: Clone + 'static> Machine<S> {
         self.scratch.invalidate_schedule();
         Ok(())
     }
+
+    /// Serializes a [`Checkpoint`] taken from this machine into the
+    /// versioned on-disk format: magic, format version, length-prefixed
+    /// sections, FNV-1a seal. The shared hardware-layer state is supplied
+    /// pre-encoded (`shared_bytes`) because `S` is model-specific; each
+    /// manager and stateful behavior serializes its own opaque payload
+    /// through the [`TokenManager::encode_snapshot`] /
+    /// [`Behavior::encode_snapshot`] hooks.
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotUnsupported`] if a manager or behavior lacks an
+    /// encoding hook; [`ModelError::SnapshotMismatch`] if the checkpoint's
+    /// shape does not match this machine.
+    pub fn encode_checkpoint(
+        &self,
+        ckpt: &Checkpoint<S>,
+        shared_bytes: &[u8],
+    ) -> Result<Vec<u8>, ModelError> {
+        use crate::persist::ByteWriter;
+        use crate::snapshot::BehaviorSnapshot;
+
+        if ckpt.osms.len() != self.osms.len() || ckpt.managers.len() != self.managers.len() {
+            return Err(ModelError::SnapshotMismatch {
+                what: format!(
+                    "checkpoint shape ({} OSMs, {} managers) does not match the machine \
+                     ({} OSMs, {} managers)",
+                    ckpt.osms.len(),
+                    ckpt.managers.len(),
+                    self.osms.len(),
+                    self.managers.len()
+                ),
+            });
+        }
+        let mut w = ByteWriter::new();
+        w.put_bytes(CHECKPOINT_MAGIC);
+        w.put_u32(CHECKPOINT_VERSION);
+        w.put_u64(ckpt.cycle);
+        w.put_u64(ckpt.age_counter);
+        w.put_u64(ckpt.last_transition_cycle);
+        w.put_u64(ckpt.last_completion_cycle);
+        w.put_u64(ckpt.stats.cycles);
+        w.put_u64(ckpt.stats.transitions);
+        w.put_u64(ckpt.stats.condition_failures);
+        w.put_u64(ckpt.stats.vetoed_edges);
+        w.put_u64(ckpt.stats.idle_steps);
+        w.put_u64(ckpt.stats.restarts);
+        let named: Vec<(&str, u64)> = ckpt.stats.named().collect();
+        w.put_u32(named.len() as u32);
+        for (name, value) in named {
+            w.put_str(name);
+            w.put_u64(value);
+        }
+        w.put_bytes(shared_bytes);
+        w.put_u32(ckpt.osms.len() as u32);
+        for (osm, snap) in self.osms.iter().zip(&ckpt.osms) {
+            w.put_u32(snap.state.0);
+            w.put_u64(snap.age);
+            w.put_u64(snap.tag);
+            w.put_u64(snap.last_move_cycle);
+            w.put_u32(snap.buffer.len() as u32);
+            for held in &snap.buffer {
+                w.put_u64(held.ident.0);
+                w.put_u32(held.token.manager.0);
+                w.put_u64(held.token.raw);
+            }
+            w.put_u32(snap.slots.len() as u32);
+            for slot in &snap.slots {
+                w.put_u64(slot.0);
+            }
+            match &snap.behavior {
+                BehaviorSnapshot::Stateless => w.put_u8(0),
+                state @ BehaviorSnapshot::State(_) => {
+                    let Some(bytes) = osm.behavior.encode_snapshot(state) else {
+                        return Err(ModelError::SnapshotUnsupported {
+                            manager: format!("behavior of {}", osm.id),
+                        });
+                    };
+                    w.put_u8(1);
+                    w.put_bytes(&bytes);
+                }
+            }
+        }
+        w.put_u32(ckpt.managers.len() as u32);
+        for ((id, manager), snap) in self.managers.iter().zip(&ckpt.managers) {
+            let Some(bytes) = manager.encode_snapshot(snap) else {
+                return Err(ModelError::SnapshotUnsupported {
+                    manager: format!("{} ({id})", manager.name()),
+                });
+            };
+            w.put_bytes(&bytes);
+        }
+        Ok(w.into_sealed_bytes())
+    }
+
+    /// Deserializes bytes produced by [`Machine::encode_checkpoint`] on a
+    /// machine of identical construction, producing a [`Checkpoint`] ready
+    /// for [`Machine::restore`]. `decode_shared` reconstructs the
+    /// model-specific shared state from its encoded section (typically
+    /// using the freshly built machine's own shared state as the template
+    /// for static configuration).
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotMismatch`] on any malformed, truncated,
+    /// tampered or shape-incompatible input;
+    /// [`ModelError::SnapshotUnsupported`] if a manager or behavior lacks a
+    /// decoding hook.
+    pub fn decode_checkpoint(
+        &self,
+        bytes: &[u8],
+        decode_shared: impl FnOnce(&[u8]) -> Option<S>,
+    ) -> Result<Checkpoint<S>, ModelError> {
+        use crate::ids::StateId;
+        use crate::persist::{unseal, ByteReader};
+        use crate::snapshot::BehaviorSnapshot;
+        use crate::token::{HeldToken, Token, TokenIdent};
+
+        fn bad(what: impl Into<String>) -> ModelError {
+            ModelError::SnapshotMismatch { what: what.into() }
+        }
+        let truncated = || bad("checkpoint file truncated");
+
+        let payload = unseal(bytes).ok_or_else(|| bad("checkpoint seal invalid or missing"))?;
+        let mut r = ByteReader::new(payload);
+        if r.take_bytes().ok_or_else(truncated)? != CHECKPOINT_MAGIC {
+            return Err(bad("not a checkpoint file (bad magic)"));
+        }
+        let version = r.take_u32().ok_or_else(truncated)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "checkpoint format version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        let cycle = r.take_u64().ok_or_else(truncated)?;
+        let age_counter = r.take_u64().ok_or_else(truncated)?;
+        let last_transition_cycle = r.take_u64().ok_or_else(truncated)?;
+        let last_completion_cycle = r.take_u64().ok_or_else(truncated)?;
+        let mut stats = Stats::new();
+        stats.cycles = r.take_u64().ok_or_else(truncated)?;
+        stats.transitions = r.take_u64().ok_or_else(truncated)?;
+        stats.condition_failures = r.take_u64().ok_or_else(truncated)?;
+        stats.vetoed_edges = r.take_u64().ok_or_else(truncated)?;
+        stats.idle_steps = r.take_u64().ok_or_else(truncated)?;
+        stats.restarts = r.take_u64().ok_or_else(truncated)?;
+        let named_count = r.take_u32().ok_or_else(truncated)?;
+        for _ in 0..named_count {
+            let name = r.take_str().ok_or_else(truncated)?;
+            let value = r.take_u64().ok_or_else(truncated)?;
+            stats.incr_dyn(name, value);
+        }
+        let shared_bytes = r.take_bytes().ok_or_else(truncated)?;
+        let shared = decode_shared(shared_bytes)
+            .ok_or_else(|| bad("shared hardware-layer state rejected its encoding"))?;
+        let osm_count = r.take_u32().ok_or_else(truncated)? as usize;
+        if osm_count != self.osms.len() {
+            return Err(bad(format!(
+                "checkpoint has {osm_count} OSMs, machine has {}",
+                self.osms.len()
+            )));
+        }
+        let mut osms = Vec::with_capacity(osm_count);
+        for osm in &self.osms {
+            let state = StateId(r.take_u32().ok_or_else(truncated)?);
+            let age = r.take_u64().ok_or_else(truncated)?;
+            let tag = r.take_u64().ok_or_else(truncated)?;
+            let last_move_cycle = r.take_u64().ok_or_else(truncated)?;
+            let buffer_len = r.take_u32().ok_or_else(truncated)? as usize;
+            let mut buffer = Vec::with_capacity(buffer_len.min(1 << 16));
+            for _ in 0..buffer_len {
+                let ident = TokenIdent(r.take_u64().ok_or_else(truncated)?);
+                let manager = ManagerId(r.take_u32().ok_or_else(truncated)?);
+                let raw = r.take_u64().ok_or_else(truncated)?;
+                buffer.push(HeldToken {
+                    ident,
+                    token: Token::new(manager, raw),
+                });
+            }
+            let slot_len = r.take_u32().ok_or_else(truncated)? as usize;
+            let mut slots = Vec::with_capacity(slot_len.min(1 << 16));
+            for _ in 0..slot_len {
+                slots.push(TokenIdent(r.take_u64().ok_or_else(truncated)?));
+            }
+            let behavior = match r.take_u8().ok_or_else(truncated)? {
+                0 => BehaviorSnapshot::Stateless,
+                1 => {
+                    let section = r.take_bytes().ok_or_else(truncated)?;
+                    osm.behavior.decode_snapshot(section).ok_or_else(|| {
+                        ModelError::SnapshotUnsupported {
+                            manager: format!("behavior of {}", osm.id),
+                        }
+                    })?
+                }
+                tag => return Err(bad(format!("unknown behavior snapshot tag {tag}"))),
+            };
+            osms.push(OsmCheckpoint {
+                state,
+                age,
+                tag,
+                buffer,
+                slots,
+                behavior,
+                last_move_cycle,
+            });
+        }
+        let manager_count = r.take_u32().ok_or_else(truncated)? as usize;
+        if manager_count != self.managers.len() {
+            return Err(bad(format!(
+                "checkpoint has {manager_count} managers, machine has {}",
+                self.managers.len()
+            )));
+        }
+        let mut managers = Vec::with_capacity(manager_count);
+        for (id, manager) in self.managers.iter() {
+            let section = r.take_bytes().ok_or_else(truncated)?;
+            let snap = manager.decode_snapshot(section).ok_or_else(|| {
+                ModelError::SnapshotUnsupported {
+                    manager: format!("{} ({id})", manager.name()),
+                }
+            })?;
+            managers.push(snap);
+        }
+        if !r.is_done() {
+            return Err(bad("trailing bytes after the last checkpoint section"));
+        }
+        Ok(Checkpoint {
+            cycle,
+            age_counter,
+            last_transition_cycle,
+            last_completion_cycle,
+            stats,
+            shared,
+            osms,
+            managers,
+        })
+    }
 }
+
+/// Magic bytes opening every serialized checkpoint.
+pub const CHECKPOINT_MAGIC: &[u8] = b"OSMCKPT1";
+/// Current serialized-checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 impl<S: HardwareLayer + 'static> Machine<S> {
     /// Advances one full cycle: hardware layer clock, manager clock hooks,

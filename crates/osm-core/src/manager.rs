@@ -123,6 +123,27 @@ pub trait TokenManager: Any + Send {
         false
     }
 
+    /// Serializes a snapshot this manager produced via
+    /// [`TokenManager::snapshot_state`] into a stable byte encoding for the
+    /// on-disk checkpoint format ([`crate::Machine::encode_checkpoint`]).
+    /// The manager is the codec for its own opaque payload. The default
+    /// `None` declares the payload non-serializable (in-memory checkpoints
+    /// keep working; on-disk encoding fails with
+    /// [`crate::ModelError::SnapshotUnsupported`]).
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let _ = snap;
+        None
+    }
+
+    /// Deserializes bytes produced by [`TokenManager::encode_snapshot`]
+    /// back into a snapshot this manager can [`TokenManager::restore_state`]
+    /// from. `None` on any malformed or foreign input; the default refuses
+    /// everything.
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let _ = bytes;
+        None
+    }
+
     /// Upcast for concrete-type access from behaviors.
     fn as_any(&self) -> &dyn Any;
 

@@ -49,6 +49,26 @@ pub trait Behavior<S>: Send + 'static {
     fn restore(&mut self, snap: &BehaviorSnapshot) -> bool {
         matches!(snap, BehaviorSnapshot::Stateless)
     }
+
+    /// Serializes a [`BehaviorSnapshot::State`] payload this behavior
+    /// produced via [`Behavior::snapshot`] into a stable byte encoding for
+    /// the on-disk checkpoint format. Only called for `State` snapshots —
+    /// the machine-level codec handles the stateless case itself, so
+    /// stateless behaviors need no override. The default `None` declares
+    /// the state non-serializable.
+    fn encode_snapshot(&self, snap: &BehaviorSnapshot) -> Option<Vec<u8>> {
+        let _ = snap;
+        None
+    }
+
+    /// Deserializes bytes produced by [`Behavior::encode_snapshot`] back
+    /// into a snapshot this behavior can [`Behavior::restore`] from. Only
+    /// called for sections encoded from `State` snapshots. `None` on
+    /// malformed or foreign input; the default refuses everything.
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<BehaviorSnapshot> {
+        let _ = bytes;
+        None
+    }
 }
 
 /// A no-op behavior, useful for pure-structure models and tests.

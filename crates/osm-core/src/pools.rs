@@ -17,9 +17,61 @@
 
 use crate::ids::{ManagerId, OsmId};
 use crate::manager::TokenManager;
+use crate::persist::{ByteReader, ByteWriter};
 use crate::snapshot::{ManagerSnapshot, Snapshot};
 use crate::token::{Token, TokenIdent};
 use std::any::Any;
+
+// Leading kind byte of each pool's serialized snapshot, so a payload routed
+// to the wrong manager kind is refused at decode instead of downcast time.
+const KIND_EXCLUSIVE: u8 = b'X';
+const KIND_COUNTING: u8 = b'C';
+const KIND_SCOREBOARD: u8 = b'S';
+const KIND_RESET: u8 = b'R';
+
+fn put_slot(w: &mut ByteWriter, slot: &SlotState) {
+    match slot {
+        SlotState::Free => w.put_u8(0),
+        SlotState::Pending(o) => {
+            w.put_u8(1);
+            w.put_u32(o.0);
+        }
+        SlotState::Owned(o) => {
+            w.put_u8(2);
+            w.put_u32(o.0);
+        }
+        SlotState::Releasing(o) => {
+            w.put_u8(3);
+            w.put_u32(o.0);
+        }
+    }
+}
+
+fn take_slot(r: &mut ByteReader<'_>) -> Option<SlotState> {
+    Some(match r.take_u8()? {
+        0 => SlotState::Free,
+        1 => SlotState::Pending(OsmId(r.take_u32()?)),
+        2 => SlotState::Owned(OsmId(r.take_u32()?)),
+        3 => SlotState::Releasing(OsmId(r.take_u32()?)),
+        _ => return None,
+    })
+}
+
+fn put_slots(w: &mut ByteWriter, slots: &[SlotState]) {
+    w.put_u32(slots.len() as u32);
+    for s in slots {
+        put_slot(w, s);
+    }
+}
+
+fn take_slots(r: &mut ByteReader<'_>) -> Option<Vec<SlotState>> {
+    let n = r.take_u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(take_slot(r)?);
+    }
+    Some(out)
+}
 
 /// Ownership state of one token in an [`ExclusivePool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,6 +279,37 @@ impl TokenManager for ExclusivePool {
         Snapshot::restore(self, snap)
     }
 
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<ExclusivePoolState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_EXCLUSIVE);
+        put_slots(&mut w, &state.slots);
+        w.put_u32(state.release_blocked.len() as u32);
+        for &b in &state.release_blocked {
+            w.put_bool(b);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_EXCLUSIVE {
+            return None;
+        }
+        let slots = take_slots(&mut r)?;
+        let n = r.take_u32()? as usize;
+        let mut release_blocked = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            release_blocked.push(r.take_bool()?);
+        }
+        r.is_done().then(|| {
+            ManagerSnapshot::of(ExclusivePoolState {
+                slots,
+                release_blocked,
+            })
+        })
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -377,6 +460,33 @@ impl TokenManager for CountingPool {
 
     fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
         Snapshot::restore(self, snap)
+    }
+
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<CountingPoolState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_COUNTING);
+        w.put_u64(state.capacity);
+        w.put_u64(state.available);
+        w.put_bool(state.refill_each_cycle);
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_COUNTING {
+            return None;
+        }
+        let capacity = r.take_u64()?;
+        let available = r.take_u64()?;
+        let refill_each_cycle = r.take_bool()?;
+        r.is_done().then(|| {
+            ManagerSnapshot::of(CountingPoolState {
+                capacity,
+                available,
+                refill_each_cycle,
+            })
+        })
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -627,6 +737,33 @@ impl TokenManager for RegScoreboard {
         Snapshot::restore(self, snap)
     }
 
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<ScoreboardState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_SCOREBOARD);
+        w.put_u32(state.values.len() as u32);
+        for &v in &state.values {
+            w.put_u64(v);
+        }
+        put_slots(&mut w, &state.writer);
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_SCOREBOARD {
+            return None;
+        }
+        let n = r.take_u32()? as usize;
+        let mut values = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            values.push(r.take_u64()?);
+        }
+        let writer = take_slots(&mut r)?;
+        r.is_done()
+            .then(|| ManagerSnapshot::of(ScoreboardState { values, writer }))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -742,6 +879,30 @@ impl TokenManager for ResetManager {
 
     fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
         Snapshot::restore(self, snap)
+    }
+
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<ResetState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_RESET);
+        w.put_u32(state.armed.len() as u32);
+        for o in &state.armed {
+            w.put_u32(o.0);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_RESET {
+            return None;
+        }
+        let n = r.take_u32()? as usize;
+        let mut armed = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            armed.push(OsmId(r.take_u32()?));
+        }
+        r.is_done().then(|| ManagerSnapshot::of(ResetState { armed }))
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -129,6 +129,12 @@ impl<S> Checkpoint<S> {
         self.cycle
     }
 
+    /// The captured shared hardware-layer state (borrowed; model crates
+    /// encode it when serializing a checkpoint to bytes).
+    pub fn shared(&self) -> &S {
+        &self.shared
+    }
+
     /// Number of OSMs captured.
     pub fn osm_count(&self) -> usize {
         self.osms.len()

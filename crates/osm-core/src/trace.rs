@@ -106,6 +106,22 @@ impl Trace {
         Self::with_mode(TraceMode::DigestOnly)
     }
 
+    /// Creates a digest-only trace that *continues* an earlier trace:
+    /// `total` events have already been folded into running digest `hash`
+    /// (both read off the earlier trace via [`Trace::digest`] and
+    /// [`Trace::total`]). A run restored from an on-disk checkpoint seeds
+    /// its trace this way so the continuation's final digest equals an
+    /// uninterrupted run's.
+    pub fn digest_only_resumed(hash: u64, total: u64) -> Self {
+        Trace {
+            events: Vec::new(),
+            mode: TraceMode::DigestOnly,
+            next: 0,
+            total,
+            hash,
+        }
+    }
+
     /// The retention mode.
     pub fn mode(&self) -> TraceMode {
         self.mode
@@ -253,6 +269,24 @@ mod tests {
         assert_eq!(cycles, vec![4, 5, 6]);
         // The digest is over the full stream, not the retained window.
         assert_eq!(ring.digest(), full.digest());
+    }
+
+    #[test]
+    fn resumed_digest_continues_mid_stream() {
+        let mut full = Trace::digest_only();
+        for c in 0..6 {
+            full.push(ev(c, 1));
+        }
+        let mut head = Trace::digest_only();
+        for c in 0..3 {
+            head.push(ev(c, 1));
+        }
+        let mut tail = Trace::digest_only_resumed(head.digest(), head.total());
+        for c in 3..6 {
+            tail.push(ev(c, 1));
+        }
+        assert_eq!(tail.digest(), full.digest());
+        assert_eq!(tail.total(), full.total());
     }
 
     #[test]

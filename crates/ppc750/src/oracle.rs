@@ -12,6 +12,7 @@ use minirisc::{
     decode, effective_address, execute, CpuState, Instr, Memory, Outcome, Program, Reg,
     SparseMemory,
 };
+use osm_core::{ByteReader, ByteWriter};
 
 /// Everything the timing model needs to know about one executed instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +32,11 @@ pub struct OracleStep {
 }
 
 /// The functional execution oracle.
-#[derive(Debug)]
+///
+/// `Clone` captures the full functional state by value — required for
+/// machine checkpointing (the cloned oracle must not observe instructions
+/// executed after the checkpoint).
+#[derive(Debug, Clone)]
 pub struct Oracle {
     /// Architectural state (authoritative).
     pub cpu: CpuState,
@@ -140,6 +145,63 @@ impl Oracle {
             mem_addr,
             is_halting,
         }
+    }
+
+    /// Serializes the full functional state (architectural registers,
+    /// memory, halt/exit/output/error, executed count).
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&self.cpu.export_state());
+        w.put_bytes(&self.mem.export_state());
+        w.put_bool(self.halted);
+        w.put_u32(self.exit_code);
+        w.put_bytes(&self.output);
+        match &self.error {
+            None => w.put_bool(false),
+            Some(e) => {
+                w.put_bool(true);
+                w.put_str(e);
+            }
+        }
+        w.put_u64(self.executed);
+        w.into_bytes()
+    }
+
+    /// Restores state written by [`Oracle::export_state`]. All-or-nothing:
+    /// returns `false` leaving `self` untouched on any damage.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let mut staged = self.clone();
+        let Some(cpu) = r.take_bytes() else { return false };
+        if !staged.cpu.import_state(cpu) {
+            return false;
+        }
+        let Some(mem) = r.take_bytes() else { return false };
+        if !staged.mem.import_state(mem) {
+            return false;
+        }
+        let Some(halted) = r.take_bool() else { return false };
+        let Some(exit_code) = r.take_u32() else { return false };
+        let Some(output) = r.take_bytes() else { return false };
+        let error = match r.take_bool() {
+            Some(false) => None,
+            Some(true) => match r.take_str() {
+                Some(e) => Some(e.to_owned()),
+                None => return false,
+            },
+            None => return false,
+        };
+        let Some(executed) = r.take_u64() else { return false };
+        if !r.is_done() {
+            return false;
+        }
+        staged.halted = halted;
+        staged.exit_code = exit_code;
+        staged.output = output.to_vec();
+        staged.error = error;
+        staged.executed = executed;
+        *self = staged;
+        true
     }
 }
 

@@ -5,6 +5,8 @@
 //! direct targets are computed at fetch (standing in for the BTIC), so only
 //! the direction predictor carries state.
 
+use osm_core::{ByteReader, ByteWriter};
+
 /// A table of 2-bit saturating counters indexed by the instruction address.
 #[derive(Debug, Clone)]
 pub struct Bht {
@@ -52,6 +54,48 @@ impl Bht {
         } else {
             *c = c.saturating_sub(1);
         }
+    }
+
+    /// Serializes the counters and statistics (table size is configuration
+    /// and is excluded — the bytes restore only into an equally-sized BHT).
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.counters.len() as u32);
+        for &c in &self.counters {
+            w.put_u8(c);
+        }
+        w.put_u64(self.lookups);
+        w.put_u64(self.updates);
+        w.into_bytes()
+    }
+
+    /// Restores state written by [`Bht::export_state`]. Returns `false` —
+    /// leaving `self` untouched — on truncation, trailing garbage, a size
+    /// mismatch, or an out-of-range counter value.
+    pub fn import_state(&mut self, bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        let Some(n) = r.take_u32() else { return false };
+        if n as usize != self.counters.len() {
+            return false;
+        }
+        let mut counters = Vec::with_capacity(self.counters.len());
+        for _ in 0..n {
+            let Some(c) = r.take_u8() else { return false };
+            if c > 3 {
+                return false;
+            }
+            counters.push(c);
+        }
+        let (Some(lookups), Some(updates)) = (r.take_u64(), r.take_u64()) else {
+            return false;
+        };
+        if !r.is_done() {
+            return false;
+        }
+        self.counters = counters;
+        self.lookups = lookups;
+        self.updates = updates;
+        true
     }
 }
 

@@ -12,10 +12,17 @@
 //!   numbers of its unready producers at dispatch; its issue edge inquires
 //!   this manager until those producers have broadcast.
 
-use osm_core::{ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent, TokenManager};
+use osm_core::{
+    ByteReader, ByteWriter, ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent, TokenManager,
+};
 use std::any::Any;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
+
+/// Byte-codec kind tag for [`RenameFile`] snapshots (rename **m**ap).
+const KIND_RENAME_FILE: u8 = b'M';
+/// Byte-codec kind tag for [`ResultBus`] snapshots.
+const KIND_RESULT_BUS: u8 = b'B';
 
 /// One in-flight write to an architectural register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +136,44 @@ impl TokenManager for RenameFile {
         Snapshot::restore(self, snap)
     }
 
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<RenameFileState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_RENAME_FILE);
+        w.put_u32(state.writes.len() as u32);
+        for stack in &state.writes {
+            w.put_u32(stack.len() as u32);
+            for e in stack {
+                w.put_u32(e.osm.0);
+                w.put_u64(e.seq);
+                w.put_bool(e.ready);
+            }
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_RENAME_FILE {
+            return None;
+        }
+        let nregs = r.take_u32()? as usize;
+        let mut writes = Vec::with_capacity(nregs.min(1 << 20));
+        for _ in 0..nregs {
+            let depth = r.take_u32()? as usize;
+            let mut stack = VecDeque::with_capacity(depth.min(1 << 20));
+            for _ in 0..depth {
+                let osm = OsmId(r.take_u32()?);
+                let seq = r.take_u64()?;
+                let ready = r.take_bool()?;
+                stack.push_back(WriteEntry { osm, seq, ready });
+            }
+            writes.push(stack);
+        }
+        r.is_done()
+            .then(|| ManagerSnapshot::of(RenameFileState { writes }))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -239,6 +284,33 @@ impl TokenManager for ResultBus {
 
     fn restore_state(&mut self, snap: &ManagerSnapshot) -> bool {
         Snapshot::restore(self, snap)
+    }
+
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<ResultBusState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_RESULT_BUS);
+        w.put_u64(state.floor);
+        w.put_u32(state.done.len() as u32);
+        for &seq in &state.done {
+            w.put_u64(seq);
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_RESULT_BUS {
+            return None;
+        }
+        let floor = r.take_u64()?;
+        let n = r.take_u32()?;
+        let mut done = BTreeSet::new();
+        for _ in 0..n {
+            done.insert(r.take_u64()?);
+        }
+        r.is_done()
+            .then(|| ManagerSnapshot::of(ResultBusState { floor, done }))
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -356,6 +428,47 @@ mod tests {
         // Wrong register count is refused.
         let mut other = RenameFile::new("gpr", 4);
         assert!(!Snapshot::restore(&mut other, &snap));
+    }
+
+    #[test]
+    fn rename_byte_codec_roundtrip() {
+        let mut rf = RenameFile::new("gpr", 8);
+        rf.begin_write(3, OsmId(1), 10);
+        rf.begin_write(3, OsmId(2), 11);
+        rf.complete_write(3, 11);
+        rf.begin_write(5, OsmId(4), 12);
+        let snap = Snapshot::snapshot(&rf);
+        let bytes = rf.encode_snapshot(&snap).unwrap();
+        let decoded = rf.decode_snapshot(&bytes).unwrap();
+        let mut fresh = RenameFile::new("gpr", 8);
+        assert!(Snapshot::restore(&mut fresh, &decoded));
+        assert_eq!(fresh.depth(3), 2);
+        assert_eq!(fresh.depth(5), 1);
+        assert_eq!(fresh.pending_producer(3), None); // 11 was complete
+        assert_eq!(fresh.pending_producer(5), Some(12));
+        // Truncation and a wrong kind byte are rejected.
+        assert!(rf.decode_snapshot(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong = bytes.clone();
+        wrong[0] = KIND_RESULT_BUS;
+        assert!(rf.decode_snapshot(&wrong).is_none());
+    }
+
+    #[test]
+    fn result_bus_byte_codec_roundtrip() {
+        let mut bus = ResultBus::new("bus");
+        bus.complete(4);
+        bus.complete(9);
+        bus.retire_up_to(3);
+        let snap = Snapshot::snapshot(&bus);
+        let bytes = bus.encode_snapshot(&snap).unwrap();
+        let decoded = bus.decode_snapshot(&bytes).unwrap();
+        let mut fresh = ResultBus::new("bus");
+        assert!(Snapshot::restore(&mut fresh, &decoded));
+        assert!(fresh.is_done(2)); // below floor
+        assert!(fresh.is_done(4));
+        assert!(fresh.is_done(9));
+        assert!(!fresh.is_done(7));
+        assert!(bus.decode_snapshot(&bytes[..bytes.len() - 1]).is_none());
     }
 
     #[test]

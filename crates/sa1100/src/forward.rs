@@ -15,11 +15,18 @@
 //! index with [`UPDATE_BIT`] set for update tokens (see
 //! [`RegForwardFile::value_ident`] / [`RegForwardFile::update_ident`]).
 
-use osm_core::{ManagerId, ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent, TokenManager};
+use osm_core::{
+    ByteReader, ByteWriter, ManagerId, ManagerSnapshot, OsmId, Snapshot, Token, TokenIdent,
+    TokenManager,
+};
 use std::any::Any;
 
 /// Identifier bit distinguishing update tokens from value tokens.
 pub const UPDATE_BIT: u64 = 1 << 32;
+
+/// Kind byte leading this manager's serialized snapshot payload, so a
+/// payload misrouted to a different manager kind fails decoding.
+const KIND_FORWARD_FILE: u8 = b'W';
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WriterState {
@@ -225,6 +232,67 @@ impl TokenManager for RegForwardFile {
         Snapshot::restore(self, snap)
     }
 
+    fn encode_snapshot(&self, snap: &ManagerSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<RegForwardFileState>()?;
+        let mut w = ByteWriter::new();
+        w.put_u8(KIND_FORWARD_FILE);
+        w.put_bool(state.forwarding);
+        w.put_u32(state.writers.len() as u32);
+        for writer in &state.writers {
+            match *writer {
+                WriterState::Free => w.put_u8(0),
+                WriterState::Pending { osm } => {
+                    w.put_u8(1);
+                    w.put_u32(osm.0);
+                }
+                WriterState::Busy { osm, ready } => {
+                    w.put_u8(2);
+                    w.put_u32(osm.0);
+                    w.put_bool(ready);
+                }
+                WriterState::Releasing { osm, ready } => {
+                    w.put_u8(3);
+                    w.put_u32(osm.0);
+                    w.put_bool(ready);
+                }
+            }
+        }
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<ManagerSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        if r.take_u8()? != KIND_FORWARD_FILE {
+            return None;
+        }
+        let forwarding = r.take_bool()?;
+        let n = r.take_u32()? as usize;
+        let mut writers = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            writers.push(match r.take_u8()? {
+                0 => WriterState::Free,
+                1 => WriterState::Pending {
+                    osm: OsmId(r.take_u32()?),
+                },
+                2 => WriterState::Busy {
+                    osm: OsmId(r.take_u32()?),
+                    ready: r.take_bool()?,
+                },
+                3 => WriterState::Releasing {
+                    osm: OsmId(r.take_u32()?),
+                    ready: r.take_bool()?,
+                },
+                _ => return None,
+            });
+        }
+        r.is_done().then(|| {
+            ManagerSnapshot::of(RegForwardFileState {
+                writers,
+                forwarding,
+            })
+        })
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -355,6 +423,33 @@ mod tests {
         assert!(!f.prepare_release(OsmId(1), bogus));
         f.discard(OsmId(1), bogus); // must be a no-op, not an OOB panic
         assert!(f.inquire(OsmId(1), RegForwardFile::value_ident(0)));
+    }
+
+    #[test]
+    fn byte_codec_round_trips_every_writer_state() {
+        let mut f = file(true);
+        let t1 = f.prepare_allocate(OsmId(1), RegForwardFile::update_ident(1)).unwrap();
+        f.commit_allocate(OsmId(1), t1);
+        f.mark_ready(1);
+        let t2 = f.prepare_allocate(OsmId(2), RegForwardFile::update_ident(2)).unwrap();
+        f.commit_allocate(OsmId(2), t2);
+        assert!(f.prepare_release(OsmId(2), t2)); // Releasing{ready: false}
+        let _pending = f.prepare_allocate(OsmId(3), RegForwardFile::update_ident(3)).unwrap();
+
+        let snap = f.snapshot_state().unwrap();
+        let bytes = f.encode_snapshot(&snap).expect("codec supported");
+        let decoded = f.decode_snapshot(&bytes).expect("decodes");
+        let mut g = file(true);
+        assert!(g.restore_state(&decoded));
+        assert!(g.inquire(OsmId(9), RegForwardFile::value_ident(1))); // ready survived
+        assert!(!g.inquire(OsmId(9), RegForwardFile::value_ident(2)));
+        assert!(g.is_busy(3)); // pending writer survived
+
+        // Damage is refused.
+        assert!(f.decode_snapshot(&bytes[..bytes.len() - 1]).is_none());
+        let mut wrong_kind = bytes.clone();
+        wrong_kind[0] = b'X';
+        assert!(f.decode_snapshot(&wrong_kind).is_none());
     }
 
     #[test]

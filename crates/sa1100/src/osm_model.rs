@@ -18,15 +18,15 @@ use crate::config::{SaConfig, SimResult};
 use crate::forward::RegForwardFile;
 use minirisc::{
     Memory,
-    decode, effective_address, execute, CpuState, Instr, InstrClass, Outcome, Program, Reg,
-    SparseMemory,
+    decode, effective_address, encode, execute, CpuState, Instr, InstrClass, Outcome, Program,
+    Reg, SparseMemory,
 };
 use memsys::MemSystem;
 use osm_core::{
-    export, Behavior, BehaviorSnapshot, Checkpoint, Edge, ExclusivePool, FaultHandle,
-    FaultInjector, FaultPlan, HardwareLayer, IdentExpr, Machine, ManagerId, ManagerTable,
-    MetricsReport, ModelError, OsmView, ResetManager, RestartPolicy, SlotId, SpecBuilder,
-    StallHistogram, StateMachineSpec, TokenIdent, TransitionCtx,
+    export, Behavior, BehaviorSnapshot, ByteReader, ByteWriter, Checkpoint, Edge, ExclusivePool,
+    FaultHandle, FaultInjector, FaultPlan, HardwareLayer, IdentExpr, Machine, ManagerId,
+    ManagerTable, MetricsReport, ModelError, OsmView, ResetManager, RestartPolicy, SlotId,
+    SpecBuilder, StallHistogram, StateMachineSpec, TokenIdent, TransitionCtx,
 };
 use std::sync::Arc;
 
@@ -161,6 +161,79 @@ impl SaShared {
         for &osm in &self.young {
             reset.arm(osm);
         }
+    }
+
+    /// Serializes all mutable hardware-layer state (CPU, memories, fetch
+    /// redirection, timers, result counters). Static configuration —
+    /// manager ids, edge classification, `SaConfig` — is *not* included;
+    /// [`SaShared::decode_state`] takes it from a same-construction template.
+    pub fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&self.cpu.export_state());
+        w.put_bytes(&self.mem.export_state());
+        w.put_bytes(&self.memsys.export_state());
+        w.put_u32(self.next_fetch_pc);
+        w.put_bool(self.stop_fetch);
+        w.put_bool(self.halted);
+        w.put_u32(self.exit_code);
+        w.put_bytes(&self.output);
+        match &self.error {
+            None => w.put_bool(false),
+            Some(e) => {
+                w.put_bool(true);
+                w.put_str(e);
+            }
+        }
+        w.put_u32(self.young.len() as u32);
+        for osm in &self.young {
+            w.put_u32(osm.0);
+        }
+        w.put_u64(self.retired);
+        w.put_u64(self.squashed);
+        w.put_u32(self.fetch_timer);
+        w.put_u32(self.bstage_timer);
+        w.put_u32(self.mult_timer);
+        w.into_bytes()
+    }
+
+    /// Rebuilds shared state from bytes written by
+    /// [`SaShared::encode_state`]. `template` must come from a
+    /// same-construction simulator: it supplies the static configuration and
+    /// the memory-subsystem geometry the encoded state must match.
+    pub fn decode_state(bytes: &[u8], template: &SaShared) -> Option<SaShared> {
+        let mut r = ByteReader::new(bytes);
+        let mut s = template.clone();
+        if !s.cpu.import_state(r.take_bytes()?) {
+            return None;
+        }
+        if !s.mem.import_state(r.take_bytes()?) {
+            return None;
+        }
+        if !s.memsys.import_state(r.take_bytes()?) {
+            return None;
+        }
+        s.next_fetch_pc = r.take_u32()?;
+        s.stop_fetch = r.take_bool()?;
+        s.halted = r.take_bool()?;
+        s.exit_code = r.take_u32()?;
+        s.output = r.take_bytes()?.to_vec();
+        s.error = if r.take_bool()? {
+            Some(r.take_str()?.to_string())
+        } else {
+            None
+        };
+        let n = r.take_u32()? as usize;
+        let mut young = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            young.push(osm_core::OsmId(r.take_u32()?));
+        }
+        s.young = young;
+        s.retired = r.take_u64()?;
+        s.squashed = r.take_u64()?;
+        s.fetch_timer = r.take_u32()?;
+        s.bstage_timer = r.take_u32()?;
+        s.mult_timer = r.take_u32()?;
+        r.is_done().then_some(s)
     }
 }
 
@@ -319,6 +392,42 @@ impl Behavior<SaShared> for SaOp {
             }
             None => false,
         }
+    }
+
+    fn encode_snapshot(&self, snap: &BehaviorSnapshot) -> Option<Vec<u8>> {
+        let state = snap.downcast::<SaOp>()?;
+        let mut w = ByteWriter::new();
+        w.put_u32(state.pc);
+        w.put_u32(encode(state.instr).ok()?);
+        match state.mem_addr {
+            None => w.put_bool(false),
+            Some(a) => {
+                w.put_bool(true);
+                w.put_u32(a);
+            }
+        }
+        w.put_bool(state.is_halting);
+        Some(w.into_bytes())
+    }
+
+    fn decode_snapshot(&self, bytes: &[u8]) -> Option<BehaviorSnapshot> {
+        let mut r = ByteReader::new(bytes);
+        let pc = r.take_u32()?;
+        let instr = decode(r.take_u32()?).ok()?;
+        let mem_addr = if r.take_bool()? {
+            Some(r.take_u32()?)
+        } else {
+            None
+        };
+        let is_halting = r.take_bool()?;
+        r.is_done().then(|| {
+            BehaviorSnapshot::of(SaOp {
+                pc,
+                instr,
+                mem_addr,
+                is_halting,
+            })
+        })
     }
 
     fn edge_enabled(&self, edge: &Edge, _view: &OsmView<'_>, shared: &SaShared) -> bool {
@@ -531,6 +640,32 @@ impl SaOsmSim {
     /// match this machine.
     pub fn restore(&mut self, ckpt: &Checkpoint<SaShared>) -> Result<(), ModelError> {
         self.machine.restore(ckpt)
+    }
+
+    /// Serializes a full checkpoint to the versioned, digest-sealed on-disk
+    /// byte format (see [`osm_core::CHECKPOINT_MAGIC`]).
+    ///
+    /// # Errors
+    /// Propagates checkpoint errors; [`ModelError::SnapshotUnsupported`] if
+    /// any component lacks a byte codec.
+    pub fn checkpoint_bytes(&self) -> Result<Vec<u8>, ModelError> {
+        let ckpt = self.machine.checkpoint()?;
+        let shared_bytes = ckpt.shared().encode_state();
+        self.machine.encode_checkpoint(&ckpt, &shared_bytes)
+    }
+
+    /// Restores this simulator from bytes written by
+    /// [`SaOsmSim::checkpoint_bytes`] on a same-construction simulator.
+    ///
+    /// # Errors
+    /// [`ModelError::SnapshotMismatch`] if the bytes are damaged or were
+    /// taken from a differently-configured machine.
+    pub fn restore_checkpoint_bytes(&mut self, bytes: &[u8]) -> Result<(), ModelError> {
+        let template = &self.machine.shared;
+        let ckpt = self
+            .machine
+            .decode_checkpoint(bytes, |b| SaShared::decode_state(b, template))?;
+        self.machine.restore(&ckpt)
     }
 
     /// Installs a deterministic fault injector in front of manager
@@ -884,6 +1019,40 @@ mod tests {
         assert_eq!(recovered.exit_code, reference.exit_code);
         assert_eq!(recovered.retired, reference.retired);
         assert_eq!(recovered.output, reference.output);
+    }
+
+    #[test]
+    fn checkpoint_bytes_restore_into_fresh_sim_replays_exactly() {
+        let p = assemble(SUM_LOOP, 0x1000).unwrap();
+        let mut sim = SaOsmSim::new(SaConfig::paper(), &p);
+        for _ in 0..12 {
+            sim.step().unwrap();
+        }
+        let bytes = sim.checkpoint_bytes().unwrap();
+        let reference = sim.run_to_halt(100_000).unwrap();
+        drop(sim); // the original is gone — restore must work from bytes alone
+
+        let mut fresh = SaOsmSim::new(SaConfig::paper(), &p);
+        fresh.restore_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(fresh.machine().cycle(), 12);
+        let replay = fresh.run_to_halt(100_000).unwrap();
+        assert_eq!(replay, reference);
+
+        // Tampered bytes are rejected by the seal.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let mut victim = SaOsmSim::new(SaConfig::paper(), &p);
+        assert!(victim.restore_checkpoint_bytes(&bad).is_err());
+        // A differently-configured machine refuses the checkpoint.
+        let mut other = SaOsmSim::new(
+            SaConfig {
+                forwarding: false,
+                ..SaConfig::paper()
+            },
+            &p,
+        );
+        assert!(other.restore_checkpoint_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -91,12 +91,10 @@ fn fail(msg: &str) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // The poison jobs panic by design and the farm catches every unwind;
-    // swap the default hook's full backtrace for a one-line note so the CI
-    // log stays readable. The payload is preserved in the typed outcome.
-    std::panic::set_hook(Box::new(|info| {
-        eprintln!("chaos_smoke: supervised panic caught: {info}");
-    }));
+    // No custom panic hook: the farm's quiet hook captures supervised
+    // panics (payload + backtrace) into the typed outcome and prints
+    // nothing, so the CI log stays clean without help. Panics on unarmed
+    // threads — real bugs — still print normally.
     let jobs = jobs();
     println!("chaos_smoke: {} jobs (4 healthy, 3 poison)", jobs.len());
 

@@ -5,6 +5,10 @@
 //!                         [--journal FILE | --resume FILE] [--max-wall SECS]
 //!                         [--progress] [--heartbeat SECS]
 //!                         [--farm-trace FILE] [--timing-out FILE]
+//!                         [--isolation process|in-process]
+//!                         [--mem-limit MB] [--cpu-limit SECS]
+//!                         [--checkpoint-dir DIR]
+//! simfarm --run-one <manifest.json> <job-index> [--checkpoint-dir DIR]
 //! ```
 //!
 //! Prints a concise human summary to stdout by default; `--json` prints the
@@ -32,6 +36,22 @@
 //!   observability, as does `"farm_observability": true` in the manifest.
 //!   Timing output is explicitly **non-canonical**; the report renderings
 //!   stay byte-identical with observability on or off.
+//! * `--isolation process` runs every job attempt in a re-exec'd child
+//!   process (`simfarm --run-one`), so hard crashes — aborts, OOM kills,
+//!   stack overflows — are contained and surface as typed `killed`
+//!   outcomes instead of taking the coordinator down. `--mem-limit MB`
+//!   and `--cpu-limit SECS` apply `ulimit` budgets to each child;
+//!   the flags override the manifest's `isolation` / `memory_limit_mb` /
+//!   `cpu_limit_secs` knobs.
+//! * Jobs with `checkpoint_every > 0` seal durable mid-job checkpoints.
+//!   With `--journal`/`--resume` the checkpoint directory defaults to
+//!   `<journal>.ckpt/`; `--checkpoint-dir DIR` overrides it (or enables
+//!   checkpointing without a journal). On `--resume`, interrupted jobs
+//!   restart from their last durable checkpoint instead of cycle 0 and
+//!   report digests identical to an uninterrupted run.
+//! * `--run-one` is the internal child-process entry point used by
+//!   `--isolation process`; it runs one job attempt and speaks the
+//!   journal record framing on stdout.
 //!
 //! Exit codes: `0` complete and healthy, `1` complete with unhealthy jobs
 //! (failed/panicked/stalled/quarantined), `2` usage, `3` farm error (broken
@@ -39,8 +59,10 @@
 //! (resume with `--resume`).
 
 use simfarm::{
-    parse_manifest, run_farm, FarmObserver, FarmOptions, FarmReport, JournalWriter, ProgressMeter,
+    parse_manifest, run_farm, FarmObserver, FarmOptions, FarmReport, IsolationMode, JournalWriter,
+    ProcessIsolation, ProgressMeter,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,12 +73,24 @@ fn usage() -> ! {
         "usage: simfarm <manifest.json> [--workers N] [--serial] [--json] [--out FILE]\n\
          \x20                          [--journal FILE | --resume FILE] [--max-wall SECS]\n\
          \x20                          [--progress] [--heartbeat SECS]\n\
-         \x20                          [--farm-trace FILE] [--timing-out FILE]"
+         \x20                          [--farm-trace FILE] [--timing-out FILE]\n\
+         \x20                          [--isolation process|in-process]\n\
+         \x20                          [--mem-limit MB] [--cpu-limit SECS]\n\
+         \x20                          [--checkpoint-dir DIR]\n\
+         \x20      simfarm --run-one <manifest.json> <job-index> [--checkpoint-dir DIR]"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
+    // Child-process mode must win before any other parsing: the coordinator
+    // re-execs this same binary as `simfarm --run-one ...` for each isolated
+    // job attempt.
+    let raw: Vec<String> = std::env::args().collect();
+    if raw.get(1).map(String::as_str) == Some("--run-one") {
+        return ExitCode::from(simfarm::exec::run_one_main(&raw[2..]) as u8);
+    }
+
     let mut manifest_path: Option<String> = None;
     let mut workers_flag: Option<usize> = None;
     let mut serial = false;
@@ -69,6 +103,10 @@ fn main() -> ExitCode {
     let mut heartbeat: Option<f64> = None;
     let mut farm_trace: Option<String> = None;
     let mut timing_out: Option<String> = None;
+    let mut isolation_flag: Option<IsolationMode> = None;
+    let mut mem_limit: Option<u64> = None;
+    let mut cpu_limit: Option<u64> = None;
+    let mut checkpoint_dir_flag: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -111,6 +149,22 @@ fn main() -> ExitCode {
                 Some(path) => timing_out = Some(path),
                 None => usage(),
             },
+            "--isolation" => match args.next().as_deref().and_then(IsolationMode::parse) {
+                Some(mode) => isolation_flag = Some(mode),
+                None => usage(),
+            },
+            "--mem-limit" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(mb) if mb > 0 => mem_limit = Some(mb),
+                _ => usage(),
+            },
+            "--cpu-limit" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(secs) if secs > 0 => cpu_limit = Some(secs),
+                _ => usage(),
+            },
+            "--checkpoint-dir" => match args.next() {
+                Some(dir) => checkpoint_dir_flag = Some(dir),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ if manifest_path.is_none() && !arg.starts_with('-') => manifest_path = Some(arg),
             _ => usage(),
@@ -147,15 +201,21 @@ fn main() -> ExitCode {
     let mut options = FarmOptions::default();
     if let Some(path) = &journal_path {
         if resume {
-            match JournalWriter::resume(path, &manifest.jobs) {
-                Ok((writer, completed)) => {
+            match JournalWriter::resume_full(path, &manifest.jobs) {
+                Ok((writer, replay)) => {
                     eprintln!(
                         "simfarm: resuming from {path}: {} of {} job(s) already completed",
-                        completed.len(),
+                        replay.completed.len(),
                         manifest.jobs.len()
                     );
+                    for (&index, &cycle) in &replay.partials {
+                        let name = &manifest.jobs[index].name;
+                        eprintln!(
+                            "simfarm: job {index} ({name}) holds a durable checkpoint at cycle {cycle}"
+                        );
+                    }
                     options.journal = Some(writer);
-                    options.completed = completed;
+                    options.completed = replay.completed;
                 }
                 Err(e) => {
                     eprintln!("simfarm: cannot resume {path}: {e}");
@@ -169,6 +229,42 @@ fn main() -> ExitCode {
                     eprintln!("simfarm: cannot create journal {path}: {e}");
                     return ExitCode::from(3);
                 }
+            }
+        }
+    }
+
+    // Durable mid-job checkpoints: any job with `checkpoint_every > 0`
+    // needs a directory to seal its state into. An explicit
+    // `--checkpoint-dir` always wins; otherwise a journaled sweep derives
+    // `<journal>.ckpt/` so `--resume` finds the same files again.
+    let wants_checkpoints = manifest.jobs.iter().any(|j| j.checkpoint_every > 0);
+    let checkpoint_dir: Option<PathBuf> = match (&checkpoint_dir_flag, &journal_path) {
+        (Some(dir), _) => Some(PathBuf::from(dir)),
+        (None, Some(journal)) if wants_checkpoints => Some(PathBuf::from(format!("{journal}.ckpt"))),
+        _ => None,
+    };
+    if let Some(dir) = &checkpoint_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("simfarm: cannot create checkpoint dir {}: {e}", dir.display());
+            return ExitCode::from(3);
+        }
+        options.checkpoint_dir = Some(dir.clone());
+    }
+
+    // Process isolation: the flag overrides the manifest knob; resource
+    // budgets compose the same way. The child re-execs this very binary
+    // with `--run-one`.
+    let isolation_mode = isolation_flag.unwrap_or(manifest.isolation);
+    if isolation_mode == IsolationMode::Process {
+        match ProcessIsolation::current_exe(&manifest_path) {
+            Ok(mut iso) => {
+                iso.memory_limit_mb = mem_limit.or(manifest.memory_limit_mb);
+                iso.cpu_limit_secs = cpu_limit.or(manifest.cpu_limit_secs);
+                options.isolation = Some(iso);
+            }
+            Err(e) => {
+                eprintln!("simfarm: cannot locate own executable for --isolation process: {e}");
+                return ExitCode::from(3);
             }
         }
     }

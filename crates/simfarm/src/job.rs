@@ -8,6 +8,7 @@
 //! wall-clock deadline is a pure function of the [`SimJob`], which is what
 //! the farm's determinism-under-failure guarantee rests on.
 
+use crate::checkpoint::CheckpointCtl;
 use crate::observe::JobTiming;
 use osm_core::{
     FaultPlan, FaultStats, MetricsReport, ModelError, SchedulerMode, StallKind, Stats, Trace,
@@ -257,6 +258,18 @@ pub struct SimJob {
     /// deterministic, so retries only help against environmental flakes
     /// (and bound the cost of poison jobs either way).
     pub retries: u32,
+    /// Durable mid-job checkpoint cadence in cycles (ISS: instructions);
+    /// `0` (the default) disables checkpointing. When set and the farm runs
+    /// with a checkpoint directory, the job's machine state is sealed to
+    /// disk every `checkpoint_every` cycles
+    /// ([`crate::checkpoint`]), and an interrupted job restarts from its
+    /// last checkpoint with a digest identical to an uninterrupted run.
+    /// Like the wall deadline this is *operational*, not behavioral — it is
+    /// deliberately excluded from [`crate::journal::jobs_digest`], so
+    /// changing the cadence neither orphans a journal nor a checkpoint.
+    /// Ignored (with a warning at manifest level) for observability jobs:
+    /// event logs and metrics are not part of a machine checkpoint.
+    pub checkpoint_every: u64,
 }
 
 impl SimJob {
@@ -276,6 +289,7 @@ impl SimJob {
             stall_budget: Some(DEFAULT_STALL_BUDGET),
             deadline_ms: None,
             retries: DEFAULT_RETRIES,
+            checkpoint_every: 0,
         }
     }
 
@@ -342,7 +356,12 @@ pub struct StallSummary {
 }
 
 /// How a job finished.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality is manual: the nondeterministic diagnostic ride-alongs on
+/// [`JobOutcome::Panicked`] (captured backtrace) are ignored, so outcome
+/// comparisons — and everything built on them: retry decisions, byte-identity
+/// gates, journal round-trip tests — stay deterministic.
+#[derive(Debug, Clone)]
 pub enum JobOutcome {
     /// The program ran to its halt instruction within the budget.
     Halted,
@@ -356,6 +375,19 @@ pub enum JobOutcome {
         /// The panic payload, rendered (`<non-string panic payload>` when
         /// the payload was not a string).
         payload: String,
+        /// Backtrace captured by the farm's quiet panic hook at panic time
+        /// (honoring `RUST_BACKTRACE`, `None` when disabled). Diagnostic
+        /// only: ASLR makes it nondeterministic, so it is excluded from
+        /// equality, from [`JobOutcome::label`], and from the sweep journal.
+        backtrace: Option<String>,
+    },
+    /// An isolated worker subprocess died to a signal (resource-budget
+    /// abort, OOM kill, a hard deadline SIGKILL, a real native crash)
+    /// before delivering a result. Only produced by the process-isolation
+    /// executor — in-process jobs can't lose their host and live.
+    Killed {
+        /// The fatal signal number (e.g. 6 = SIGABRT, 9 = SIGKILL).
+        signal: i32,
     },
     /// The stall watchdog fired: no forward progress within the job's
     /// [`SimJob::stall_budget`].
@@ -378,6 +410,31 @@ pub enum JobOutcome {
     },
 }
 
+impl PartialEq for JobOutcome {
+    fn eq(&self, other: &JobOutcome) -> bool {
+        use JobOutcome::*;
+        match (self, other) {
+            (Halted, Halted) | (BudgetExhausted, BudgetExhausted) => true,
+            (Failed(a), Failed(b)) => a == b,
+            // Backtraces are diagnostic ride-alongs, deliberately ignored.
+            (Panicked { payload: a, .. }, Panicked { payload: b, .. }) => a == b,
+            (Killed { signal: a }, Killed { signal: b }) => a == b,
+            (Stalled(a), Stalled(b)) => a == b,
+            (
+                DeadlineExceeded { cycles: ca, deadline_ms: da },
+                DeadlineExceeded { cycles: cb, deadline_ms: db },
+            ) => ca == cb && da == db,
+            (
+                Quarantined { attempts: aa, last: la },
+                Quarantined { attempts: ab, last: lb },
+            ) => aa == ab && la == lb,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for JobOutcome {}
+
 impl JobOutcome {
     /// True for the two outcomes that complete a job's work (ran to halt,
     /// or consumed its whole cycle budget). Everything else is grounds for
@@ -394,7 +451,8 @@ impl JobOutcome {
             JobOutcome::Halted => "halted".into(),
             JobOutcome::BudgetExhausted => "budget-exhausted".into(),
             JobOutcome::Failed(msg) => format!("failed: {msg}"),
-            JobOutcome::Panicked { payload } => format!("panicked: {payload}"),
+            JobOutcome::Panicked { payload, .. } => format!("panicked: {payload}"),
+            JobOutcome::Killed { signal } => format!("killed: signal {signal}"),
             JobOutcome::Stalled(s) => {
                 format!("stalled: {} at cycle {} (budget {})", s.kind, s.cycle, s.budget)
             }
@@ -435,6 +493,11 @@ pub struct JobResult {
     /// Attempts the supervised runner made (1 when the first try sufficed;
     /// always 1 from bare [`run_job`]).
     pub attempts: u32,
+    /// Cycle this run restored a durable mid-job checkpoint from, when it
+    /// did ([`SimJob::checkpoint_every`]). Operational provenance, not
+    /// machine output: the digest/stats are identical either way, so the
+    /// canonical report renderings scrub it.
+    pub restored_from: Option<u64>,
     /// Scheduler statistics (OSM models only).
     pub stats: Option<Stats>,
     /// Derived metrics, when the job asked for observability.
@@ -457,6 +520,7 @@ impl JobResult {
             exit_code: 0,
             digest: 0,
             attempts: 1,
+            restored_from: None,
             stats: None,
             metrics: None,
             fault_stats: None,
@@ -548,20 +612,35 @@ fn outcome_from_model_error(e: ModelError) -> JobOutcome {
     }
 }
 
-/// Drives one OSM simulator in [`DEADLINE_CHUNK`]-cycle slices so the wall
-/// deadline is checked cooperatively. `chunk(target)` must advance the
-/// machine to `target` cycles (or halt/error) and report
-/// `(halted, cycle, result)`. Returns the outcome and the last chunk's
-/// result (`None` only if the very first chunk errored).
+/// The slice length jobs are driven in: [`DEADLINE_CHUNK`] cycles, or the
+/// checkpoint cadence when that is finer — a `checkpoint_every` below the
+/// chunk size must still produce save points (short fuzz-generated machines
+/// run their whole budget inside one chunk otherwise).
+fn checkpoint_stride(ctl: &Option<&mut CheckpointCtl<'_>>) -> u64 {
+    ctl.as_ref()
+        .map(|c| c.cadence().min(DEADLINE_CHUNK))
+        .unwrap_or(DEADLINE_CHUNK)
+        .max(1)
+}
+
+/// Drives one OSM simulator in `stride`-cycle slices (see
+/// [`checkpoint_stride`]) so the wall deadline is checked — and checkpoints
+/// come due — cooperatively. `chunk(target)` must advance the machine to
+/// `target` cycles (or halt/error) and report `(halted, cycle, result)`.
+/// `start_cycle` is where the machine already stands (nonzero after a
+/// checkpoint restore). Returns the outcome and the last chunk's result
+/// (`None` only if the very first chunk errored).
 fn drive_osm<R>(
     job: &SimJob,
+    start_cycle: u64,
+    stride: u64,
     mut chunk: impl FnMut(u64) -> Result<(bool, u64, R), ModelError>,
 ) -> (JobOutcome, Option<R>) {
     let deadline = Deadline::start(job.deadline_ms);
-    let mut cycles = 0u64;
+    let mut cycles = start_cycle;
     let mut last = None;
     loop {
-        let target = cycles.saturating_add(DEADLINE_CHUNK).min(job.max_cycles);
+        let target = cycles.saturating_add(stride).min(job.max_cycles);
         match chunk(target) {
             Ok((halted, cycle, res)) => {
                 cycles = cycle;
@@ -596,7 +675,7 @@ fn drive_osm<R>(
 /// isolates. Arms the job's stall budget on the model watchdog and checks
 /// the wall deadline cooperatively.
 pub fn run_job(job: &SimJob) -> JobResult {
-    run_job_inner(job, None)
+    run_job_inner(job, None, None)
 }
 
 /// [`run_job`] with a setup/sim/teardown wall-time breakdown for the farm
@@ -606,21 +685,45 @@ pub fn run_job(job: &SimJob) -> JobResult {
 /// simulation).
 pub fn run_job_timed(job: &SimJob) -> (JobResult, JobTiming) {
     let mut timing = JobTiming::default();
-    let result = run_job_inner(job, Some(&mut timing));
+    let result = run_job_inner(job, Some(&mut timing), None);
     (result, timing)
 }
 
-fn run_job_inner(job: &SimJob, timing: Option<&mut JobTiming>) -> JobResult {
+/// [`run_job`] under a durable checkpoint controller: restores from the
+/// controller's last valid checkpoint (if any), re-seeds the trace digest
+/// so the final digest equals an uninterrupted run's, and seals fresh
+/// checkpoints every [`SimJob::checkpoint_every`] cycles. With `ctl = None`
+/// this *is* [`run_job`], byte for byte.
+pub fn run_job_checkpointed(job: &SimJob, ctl: Option<&mut CheckpointCtl<'_>>) -> JobResult {
+    run_job_inner(job, None, ctl)
+}
+
+/// [`run_job_checkpointed`] with the farm observer's timing breakdown
+/// (checkpoint I/O lands in the sim phase; restore lands in setup).
+pub fn run_job_checkpointed_timed(
+    job: &SimJob,
+    ctl: Option<&mut CheckpointCtl<'_>>,
+) -> (JobResult, JobTiming) {
+    let mut timing = JobTiming::default();
+    let result = run_job_inner(job, Some(&mut timing), ctl);
+    (result, timing)
+}
+
+fn run_job_inner(
+    job: &SimJob,
+    timing: Option<&mut JobTiming>,
+    ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     if matches!(job.workload, WorkloadSpec::ChaosPanic) {
         panic!("chaos:panic workload fired (job `{}`)", job.name);
     }
     let mut timer = PhaseTimer::new(timing);
     match job.model {
-        ModelKind::Sa1100 => run_sa1100(job, &mut timer),
-        ModelKind::Ppc750 => run_ppc750(job, &mut timer),
-        ModelKind::MiniRiscIss => run_iss(job, &mut timer),
-        ModelKind::Vliw => run_vliw(job, &mut timer),
-        ModelKind::Adl => run_adl(job, &mut timer),
+        ModelKind::Sa1100 => run_sa1100(job, &mut timer, ctl),
+        ModelKind::Ppc750 => run_ppc750(job, &mut timer, ctl),
+        ModelKind::MiniRiscIss => run_iss(job, &mut timer, ctl),
+        ModelKind::Vliw => run_vliw(job, &mut timer, ctl),
+        ModelKind::Adl => run_adl(job, &mut timer, ctl),
     }
 }
 
@@ -631,7 +734,11 @@ fn run_job_inner(job: &SimJob, timing: Option<&mut JobTiming>) -> JobResult {
 /// synthesis failures surface through the usual typed outcomes. Faults (if
 /// any) install on the first declared manager, mirroring the fetch-side
 /// convention of the named models.
-fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+fn run_adl(
+    job: &SimJob,
+    timer: &mut PhaseTimer<'_>,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     use osm_core::{FaultInjector, InertBehavior, Machine, ManagerId};
 
     let WorkloadSpec::AdlMachine { source, osms } = &job.workload else {
@@ -657,7 +764,6 @@ fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         machine.add_osm(spec, InertBehavior);
     }
     machine.set_scheduler_mode(job.scheduler);
-    machine.enable_trace_with(Trace::digest_only());
     machine.set_stall_limit(job.stall_budget);
     if job.observability {
         machine.enable_event_log();
@@ -668,11 +774,42 @@ fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         (!machine.managers.is_empty())
             .then(|| FaultInjector::install(&mut machine.managers, ManagerId(0), plan))
     });
+    // Synthesized machines use the osm-core checkpoint codec directly (unit
+    // shared state encodes as zero bytes).
+    let mut trace = Trace::digest_only();
+    let mut start_cycle = 0u64;
+    let mut restored_from = None;
+    if let Some(ctl) = ctl.as_deref_mut() {
+        if let Some(ckpt) = ctl.load() {
+            let decoded = machine
+                .decode_checkpoint(&ckpt.machine, |b| b.is_empty().then_some(()))
+                .ok();
+            if decoded.is_some_and(|c| machine.restore(&c).is_ok()) {
+                trace = Trace::digest_only_resumed(ckpt.trace_hash, ckpt.trace_total);
+                start_cycle = ckpt.cycle;
+                restored_from = Some(ckpt.cycle);
+                ctl.mark_restored(ckpt.cycle);
+            }
+        }
+    }
+    machine.enable_trace_with(trace);
     timer.setup_done();
-    let (outcome, _last) = drive_osm(job, |target| {
+    let stride = checkpoint_stride(&ctl);
+    let (outcome, _last) = drive_osm(job, start_cycle, stride, |target| {
         let remaining = target.saturating_sub(machine.cycle());
         machine.run(remaining)?;
-        Ok((false, machine.cycle(), ()))
+        let cycle = machine.cycle();
+        if let Some(ctl) = ctl.as_deref_mut() {
+            if cycle < job.max_cycles && ctl.due(cycle) {
+                let bytes = machine
+                    .checkpoint()
+                    .and_then(|c| machine.encode_checkpoint(&c, &[]));
+                if let (Ok(bytes), Some(t)) = (bytes, machine.trace()) {
+                    ctl.save(cycle, t.digest(), t.total(), &bytes);
+                }
+            }
+        }
+        Ok((false, cycle, ()))
     });
     timer.sim_done();
     let result = JobResult {
@@ -685,6 +822,7 @@ fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         exit_code: 0,
         digest: machine.take_trace().map(|t| t.digest()).unwrap_or(0),
         attempts: 1,
+        restored_from,
         stats: Some(machine.stats.clone()),
         metrics: machine.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -693,24 +831,55 @@ fn run_adl(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     result
 }
 
-fn run_sa1100(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+fn run_sa1100(
+    job: &SimJob,
+    timer: &mut PhaseTimer<'_>,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
     };
     let mut sim = SaOsmSim::new(SaConfig::paper(), &workload.program());
     sim.machine_mut().set_scheduler_mode(job.scheduler);
-    sim.machine_mut().enable_trace_with(Trace::digest_only());
     sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.enable_observability();
     }
     let fetch = sim.ids.mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    // Restore the last durable checkpoint the machine accepts (faults must
+    // already be installed so the manager shapes match), then continue the
+    // trace digest from the checkpointed hash — the final digest equals an
+    // uninterrupted run's.
+    let mut trace = Trace::digest_only();
+    let mut start_cycle = 0u64;
+    let mut restored_from = None;
+    if let Some(ctl) = ctl.as_deref_mut() {
+        if let Some(ckpt) = ctl.load() {
+            if sim.restore_checkpoint_bytes(&ckpt.machine).is_ok() {
+                trace = Trace::digest_only_resumed(ckpt.trace_hash, ckpt.trace_total);
+                start_cycle = ckpt.cycle;
+                restored_from = Some(ckpt.cycle);
+                ctl.mark_restored(ckpt.cycle);
+            }
+        }
+    }
+    sim.machine_mut().enable_trace_with(trace);
     timer.setup_done();
-    let (outcome, last) = drive_osm(job, |target| {
+    let stride = checkpoint_stride(&ctl);
+    let (outcome, last) = drive_osm(job, start_cycle, stride, |target| {
         let res = sim.run_to_halt(target)?;
-        Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
+        let halted = sim.machine().shared.halted;
+        let cycle = sim.machine().cycle();
+        if let Some(ctl) = ctl.as_deref_mut() {
+            if !halted && cycle < job.max_cycles && ctl.due(cycle) {
+                if let (Ok(bytes), Some(t)) = (sim.checkpoint_bytes(), sim.machine().trace()) {
+                    ctl.save(cycle, t.digest(), t.total(), &bytes);
+                }
+            }
+        }
+        Ok((halted, cycle, res))
     });
     timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
@@ -736,6 +905,7 @@ fn run_sa1100(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
             .map(|t| t.digest())
             .unwrap_or(0),
         attempts: 1,
+        restored_from,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -744,14 +914,17 @@ fn run_sa1100(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     result
 }
 
-fn run_ppc750(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+fn run_ppc750(
+    job: &SimJob,
+    timer: &mut PhaseTimer<'_>,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
     };
     let mut sim = PpcOsmSim::new(PpcConfig::paper(), &workload.program());
     sim.machine_mut().set_scheduler_mode(job.scheduler);
-    sim.machine_mut().enable_trace_with(Trace::digest_only());
     sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.enable_observability();
@@ -761,10 +934,34 @@ fn run_ppc750(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         .faults
         .clone()
         .map(|plan| sim.inject_faults(fetch_queue, plan));
+    let mut trace = Trace::digest_only();
+    let mut start_cycle = 0u64;
+    let mut restored_from = None;
+    if let Some(ctl) = ctl.as_deref_mut() {
+        if let Some(ckpt) = ctl.load() {
+            if sim.restore_checkpoint_bytes(&ckpt.machine).is_ok() {
+                trace = Trace::digest_only_resumed(ckpt.trace_hash, ckpt.trace_total);
+                start_cycle = ckpt.cycle;
+                restored_from = Some(ckpt.cycle);
+                ctl.mark_restored(ckpt.cycle);
+            }
+        }
+    }
+    sim.machine_mut().enable_trace_with(trace);
     timer.setup_done();
-    let (outcome, last) = drive_osm(job, |target| {
+    let stride = checkpoint_stride(&ctl);
+    let (outcome, last) = drive_osm(job, start_cycle, stride, |target| {
         let res = sim.run_to_halt(target)?;
-        Ok((sim.machine().shared.halted, sim.machine().cycle(), res))
+        let halted = sim.machine().shared.halted;
+        let cycle = sim.machine().cycle();
+        if let Some(ctl) = ctl.as_deref_mut() {
+            if !halted && cycle < job.max_cycles && ctl.due(cycle) {
+                if let (Ok(bytes), Some(t)) = (sim.checkpoint_bytes(), sim.machine().trace()) {
+                    ctl.save(cycle, t.digest(), t.total(), &bytes);
+                }
+            }
+        }
+        Ok((halted, cycle, res))
     });
     timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
@@ -790,6 +987,7 @@ fn run_ppc750(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
             .map(|t| t.digest())
             .unwrap_or(0),
         attempts: 1,
+        restored_from,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -798,7 +996,11 @@ fn run_ppc750(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     result
 }
 
-fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+fn run_vliw(
+    job: &SimJob,
+    timer: &mut PhaseTimer<'_>,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     let WorkloadSpec::Ilp { iters, body } = job.workload else {
         return JobResult::failed(
             job,
@@ -811,7 +1013,6 @@ fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     let program = ilp_program(iters, body);
     let mut sim = VliwSim::new(VliwConfig::default(), &program);
     sim.machine_mut().set_scheduler_mode(job.scheduler);
-    sim.machine_mut().enable_trace_with(Trace::digest_only());
     sim.set_stall_limit(job.stall_budget);
     if job.observability {
         sim.machine_mut().enable_event_log();
@@ -820,10 +1021,34 @@ fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     }
     let fetch = sim.ids().mf;
     let handle = job.faults.clone().map(|plan| sim.inject_faults(fetch, plan));
+    let mut trace = Trace::digest_only();
+    let mut start_cycle = 0u64;
+    let mut restored_from = None;
+    if let Some(ctl) = ctl.as_deref_mut() {
+        if let Some(ckpt) = ctl.load() {
+            if sim.restore_checkpoint_bytes(&ckpt.machine).is_ok() {
+                trace = Trace::digest_only_resumed(ckpt.trace_hash, ckpt.trace_total);
+                start_cycle = ckpt.cycle;
+                restored_from = Some(ckpt.cycle);
+                ctl.mark_restored(ckpt.cycle);
+            }
+        }
+    }
+    sim.machine_mut().enable_trace_with(trace);
     timer.setup_done();
-    let (outcome, last) = drive_osm(job, |target| {
+    let stride = checkpoint_stride(&ctl);
+    let (outcome, last) = drive_osm(job, start_cycle, stride, |target| {
         let res = sim.run_to_halt(target)?;
-        Ok((sim.halted(), sim.machine().cycle(), res))
+        let halted = sim.halted();
+        let cycle = sim.machine().cycle();
+        if let Some(ctl) = ctl.as_deref_mut() {
+            if !halted && cycle < job.max_cycles && ctl.due(cycle) {
+                if let (Ok(bytes), Some(t)) = (sim.checkpoint_bytes(), sim.machine().trace()) {
+                    ctl.save(cycle, t.digest(), t.total(), &bytes);
+                }
+            }
+        }
+        Ok((halted, cycle, res))
     });
     timer.sim_done();
     let (cycles, retired, exit_code) = match &last {
@@ -849,6 +1074,7 @@ fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
             .map(|t| t.digest())
             .unwrap_or(0),
         attempts: 1,
+        restored_from,
         stats: Some(sim.machine().stats.clone()),
         metrics: sim.machine().metrics_report(),
         fault_stats: handle.map(|h| h.stats()),
@@ -857,17 +1083,35 @@ fn run_vliw(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
     result
 }
 
-fn run_iss(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
+fn run_iss(
+    job: &SimJob,
+    timer: &mut PhaseTimer<'_>,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
     use minirisc::{Iss, SparseMemory};
     let workload = match job.workload.resolve(job.seed) {
         Ok(w) => w,
         Err(e) => return JobResult::failed(job, e),
     };
     let mut iss = Iss::with_program(SparseMemory::new(), &workload.program());
-    timer.setup_done();
-    let deadline = Deadline::start(job.deadline_ms);
+    // ISS checkpoints carry the complete simulator state; the running
+    // `(pc, taken)` digest accumulator rides in the trace fields.
     let mut digest = FNV_OFFSET;
     let mut steps = 0u64;
+    let mut restored_from = None;
+    if let Some(ctl) = ctl.as_deref_mut() {
+        if let Some(ckpt) = ctl.load() {
+            if iss.import_state(&ckpt.machine) {
+                digest = ckpt.trace_hash;
+                steps = ckpt.trace_total;
+                restored_from = Some(ckpt.cycle);
+                ctl.mark_restored(ckpt.cycle);
+            }
+        }
+    }
+    timer.setup_done();
+    let deadline = Deadline::start(job.deadline_ms);
+    let stride = checkpoint_stride(&ctl);
     let outcome = loop {
         if iss.halted {
             break JobOutcome::Halted;
@@ -875,11 +1119,18 @@ fn run_iss(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         if steps >= job.max_cycles {
             break JobOutcome::BudgetExhausted;
         }
-        if steps.is_multiple_of(DEADLINE_CHUNK) && steps > 0 && deadline.expired() {
-            break JobOutcome::DeadlineExceeded {
-                cycles: steps,
-                deadline_ms: job.deadline_ms.unwrap_or(0),
-            };
+        if steps.is_multiple_of(stride) && steps > 0 {
+            if deadline.expired() {
+                break JobOutcome::DeadlineExceeded {
+                    cycles: steps,
+                    deadline_ms: job.deadline_ms.unwrap_or(0),
+                };
+            }
+            if let Some(ctl) = ctl.as_deref_mut() {
+                if ctl.due(steps) {
+                    ctl.save(steps, digest, steps, &iss.export_state());
+                }
+            }
         }
         match iss.step() {
             Ok(executed) => {
@@ -901,6 +1152,7 @@ fn run_iss(job: &SimJob, timer: &mut PhaseTimer<'_>) -> JobResult {
         exit_code: iss.exit_code,
         digest,
         attempts: 1,
+        restored_from,
         stats: None,
         metrics: None,
         fault_stats: None,
@@ -1168,10 +1420,14 @@ mod tests {
             attempts: 2,
             last: Box::new(JobOutcome::Panicked {
                 payload: "chaos".into(),
+                backtrace: None,
             }),
         };
         assert_eq!(q.label(), "quarantined after 2 attempt(s); last: panicked: chaos");
         assert!(!q.is_healthy());
         assert!(JobOutcome::BudgetExhausted.is_healthy());
+        let k = JobOutcome::Killed { signal: 9 };
+        assert_eq!(k.label(), "killed: signal 9");
+        assert!(!k.is_healthy());
     }
 }

@@ -30,6 +30,24 @@
 //! the rendered metrics fields, fault totals), which is what makes a
 //! resumed sweep's consolidated report byte-identical to an uninterrupted
 //! run's.
+//!
+//! ## Record kinds
+//!
+//! Two payload shapes share the record framing, discriminated by the JSON
+//! `record` field:
+//!
+//! * **result** (no `record` field, the original shape) — one completed
+//!   [`JobResult`] plus its index;
+//! * **partial** (`"record": "partial"`) — durable mid-job progress: job
+//!   `index` sealed a checkpoint at `cycle`
+//!   ([`crate::SimJob::checkpoint_every`]). On replay a partial never marks
+//!   a job done — it reports where an interrupted job can restart from; a
+//!   result record for the same index supersedes it.
+//!
+//! Journals are durable, not just ordered: the header is fsynced (and the
+//! containing directory fsynced, so the journal's own direntry survives a
+//! host crash) at create, and every record append is fsynced before the
+//! farm moves on.
 
 use crate::error::JournalError;
 use crate::job::{JobOutcome, JobResult, ModelKind, SimJob, StallSummary};
@@ -59,7 +77,9 @@ fn fnv(bytes: &[u8]) -> u64 {
 /// FNV-1a digest of the canonical job-list encoding: every field that
 /// affects a job's behavior, in job order. Two job lists with equal digests
 /// produce interchangeable journals; the header check rejects everything
-/// else.
+/// else. Deliberately excluded: [`SimJob::checkpoint_every`] — the
+/// checkpoint cadence is operational (like the worker count), so tuning it
+/// between runs neither orphans a journal nor a durable checkpoint.
 pub fn jobs_digest(jobs: &[SimJob]) -> u64 {
     let mut canon = String::new();
     for job in jobs {
@@ -123,17 +143,62 @@ pub fn record_bytes(index: usize, result: &JobResult) -> Result<Vec<u8>, Journal
     Ok(out)
 }
 
+/// One durable mid-job progress record (`"record": "partial"`): job `index`
+/// sealed a checkpoint at `cycle`.
+///
+/// # Errors
+/// [`JournalError::TooLarge`] if the encoded payload does not fit the
+/// record's `u32` length prefix.
+pub fn partial_record_bytes(index: usize, cycle: u64) -> Result<Vec<u8>, JournalError> {
+    let mut obj = BTreeMap::new();
+    obj.insert("record".into(), Json::Str("partial".into()));
+    obj.insert("index".into(), num(index as u64));
+    obj.insert("cycle".into(), num(cycle));
+    let payload = Json::Obj(obj).to_string().into_bytes();
+    let payload_len = len_u32("record payload", payload.len())?;
+    let mut out = Vec::with_capacity(4 + payload.len() + 8);
+    out.extend_from_slice(&payload_len.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&fnv(&payload).to_le_bytes());
+    Ok(out)
+}
+
+/// The full replay of a journal: completed results, the latest durable
+/// mid-job progress for jobs that did *not* complete, and the valid byte
+/// prefix length.
+#[derive(Debug, Clone)]
+pub struct JournalReplay {
+    /// Completed results by job index (last record wins on duplicates).
+    pub completed: BTreeMap<usize, JobResult>,
+    /// Latest checkpointed cycle by job index, for jobs with durable
+    /// partial progress but no completed result. Their machine state lives
+    /// in the checkpoint directory; this is the journal's account of it.
+    pub partials: BTreeMap<usize, u64>,
+    /// Byte length of the valid prefix (resume truncates to this).
+    pub valid_len: u64,
+}
+
 /// Replays journal bytes against the job list they claim to cover.
 ///
 /// Returns the completed results by job index plus the byte length of the
 /// valid prefix (a resume truncates the file to that length before
 /// appending, so a torn tail is physically discarded). Duplicate indices
 /// keep the last record — a job finished in a torn run and re-run after
-/// resume writes the identical result twice.
+/// resume writes the identical result twice. Partial-progress records are
+/// dropped by this compatibility wrapper; use [`parse_bytes_full`] to see
+/// them.
 pub fn parse_bytes(
     bytes: &[u8],
     jobs: &[SimJob],
 ) -> Result<(BTreeMap<usize, JobResult>, u64), JournalError> {
+    let replay = parse_bytes_full(bytes, jobs)?;
+    Ok((replay.completed, replay.valid_len))
+}
+
+/// Replays journal bytes in full: completed results *and* mid-job partial
+/// progress (see the module docs for the record taxonomy and tolerance
+/// rules — torn tails kept as valid prefix, corrupt records rejected).
+pub fn parse_bytes_full(bytes: &[u8], jobs: &[SimJob]) -> Result<JournalReplay, JournalError> {
     if bytes.len() < HEADER_LEN {
         return Err(JournalError::BadHeader {
             why: format!("{} bytes is shorter than the {HEADER_LEN}-byte header", bytes.len()),
@@ -161,7 +226,49 @@ pub fn parse_bytes(
     }
 
     let mut completed = BTreeMap::new();
-    let mut off = HEADER_LEN;
+    let mut partials = BTreeMap::new();
+    let valid_len = parse_frames(bytes, HEADER_LEN, jobs, |record| match record {
+        StreamRecord::Partial { index, cycle } => {
+            partials.insert(index, cycle);
+        }
+        StreamRecord::Result(index, result) => {
+            completed.insert(index, *result);
+        }
+    })?;
+    // A completed result supersedes any partial progress for the same job.
+    partials.retain(|index, _| !completed.contains_key(index));
+    Ok(JournalReplay {
+        completed,
+        partials,
+        valid_len,
+    })
+}
+
+/// One parsed record frame: the two payload shapes of the module docs.
+#[derive(Debug)]
+pub(crate) enum StreamRecord {
+    /// Durable mid-job progress: job `index` sealed a checkpoint at `cycle`.
+    Partial {
+        /// Job index the progress belongs to.
+        index: usize,
+        /// Checkpointed control step.
+        cycle: u64,
+    },
+    /// One completed job result.
+    Result(usize, Box<JobResult>),
+}
+
+/// The shared frame loop: walks `len | payload | digest` records from
+/// `start`, feeding each decoded record to `sink`, and returns the byte
+/// length of the valid prefix. Torn tails (stream ends mid-frame) end the
+/// walk; complete-but-corrupt frames are rejected.
+fn parse_frames(
+    bytes: &[u8],
+    start: usize,
+    jobs: &[SimJob],
+    mut sink: impl FnMut(StreamRecord),
+) -> Result<u64, JournalError> {
+    let mut off = start;
     while off < bytes.len() {
         let remaining = bytes.len() - off;
         if remaining < 4 {
@@ -185,11 +292,36 @@ pub fn parse_bytes(
         };
         let text = std::str::from_utf8(payload).map_err(|e| corrupt(e.to_string()))?;
         let json = parse(text).map_err(|e| corrupt(e.to_string()))?;
-        let (index, result) = result_from_json(&json, jobs).map_err(corrupt)?;
-        completed.insert(index, result);
+        if json.get("record").and_then(Json::as_str) == Some("partial") {
+            let index = get_u64(&json, "index").map_err(&corrupt)? as usize;
+            if index >= jobs.len() {
+                return Err(corrupt(format!(
+                    "partial index {index} out of range ({} jobs)",
+                    jobs.len()
+                )));
+            }
+            let cycle = get_u64(&json, "cycle").map_err(&corrupt)?;
+            sink(StreamRecord::Partial { index, cycle });
+        } else {
+            let (index, result) = result_from_json(&json, jobs).map_err(corrupt)?;
+            sink(StreamRecord::Result(index, Box::new(result)));
+        }
         off += 4 + len + 8;
     }
-    Ok((completed, off as u64))
+    Ok(off as u64)
+}
+
+/// Parses a **headerless** stream of journal-framed records — the
+/// process-isolation executor's child→parent result protocol
+/// ([`crate::exec`]). The frames are exactly the journal's record frames;
+/// a child killed mid-write leaves a torn tail, tolerated the same way.
+pub(crate) fn parse_record_stream(
+    bytes: &[u8],
+    jobs: &[SimJob],
+) -> Result<Vec<StreamRecord>, JournalError> {
+    let mut records = Vec::new();
+    parse_frames(bytes, 0, jobs, |record| records.push(record))?;
+    Ok(records)
 }
 
 /// Reads and replays a sweep journal file.
@@ -212,38 +344,67 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Creates (or truncates) a journal for this job list and writes the
-    /// header.
+    /// Creates (or truncates) a journal for this job list, writes the
+    /// header, and makes both the header and the journal's directory entry
+    /// durable (fsync of the file, then of the containing directory — a
+    /// host crash right after create must not leave a resumable sweep
+    /// pointing at a journal that was never durably linked).
     pub fn create(path: impl AsRef<Path>, jobs: &[SimJob]) -> Result<JournalWriter, JournalError> {
         let path = path.as_ref().to_path_buf();
         let mut file = File::create(&path)?;
         file.write_all(&header_bytes(jobs)?)?;
-        file.flush()?;
+        file.sync_all()?;
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            crate::checkpoint::fsync_dir(parent);
+        }
         Ok(JournalWriter { file, path })
     }
 
     /// Opens an existing journal for resumption: validates the header
     /// against `jobs`, replays the completed records, truncates any torn
     /// tail, and positions the handle for appending. Returns the writer and
-    /// the completed results by job index.
+    /// the completed results by job index. Use [`JournalWriter::resume_full`]
+    /// to also see mid-job partial progress.
     pub fn resume(
         path: impl AsRef<Path>,
         jobs: &[SimJob],
     ) -> Result<(JournalWriter, BTreeMap<usize, JobResult>), JournalError> {
+        let (writer, replay) = JournalWriter::resume_full(path, jobs)?;
+        Ok((writer, replay.completed))
+    }
+
+    /// [`JournalWriter::resume`] returning the full [`JournalReplay`]
+    /// (completed results plus the latest durable mid-job progress of
+    /// interrupted jobs).
+    pub fn resume_full(
+        path: impl AsRef<Path>,
+        jobs: &[SimJob],
+    ) -> Result<(JournalWriter, JournalReplay), JournalError> {
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let (completed, valid_len) = parse_bytes(&bytes, jobs)?;
-        file.set_len(valid_len)?;
-        file.seek(SeekFrom::Start(valid_len))?;
-        Ok((JournalWriter { file, path }, completed))
+        let replay = parse_bytes_full(&bytes, jobs)?;
+        file.set_len(replay.valid_len)?;
+        file.seek(SeekFrom::Start(replay.valid_len))?;
+        file.sync_data()?;
+        Ok((JournalWriter { file, path }, replay))
     }
 
-    /// Appends one completed job atomically (single write + flush).
+    /// Appends one completed job atomically (single write) and fsyncs it —
+    /// once this returns, the result survives a host crash, not just a
+    /// process crash.
     pub fn record(&mut self, index: usize, result: &JobResult) -> Result<(), JournalError> {
         self.file.write_all(&record_bytes(index, result)?)?;
-        self.file.flush()?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Appends one durable mid-job progress record (job `index` sealed a
+    /// checkpoint at `cycle`), fsynced like [`JournalWriter::record`].
+    pub fn record_partial(&mut self, index: usize, cycle: u64) -> Result<(), JournalError> {
+        self.file.write_all(&partial_record_bytes(index, cycle)?)?;
+        self.file.sync_data()?;
         Ok(())
     }
 
@@ -312,9 +473,15 @@ fn outcome_to_json(outcome: &JobOutcome) -> Json {
             obj.insert("kind".into(), Json::Str("failed".into()));
             obj.insert("message".into(), Json::Str(message.clone()));
         }
-        JobOutcome::Panicked { payload } => {
+        JobOutcome::Panicked { payload, .. } => {
+            // The captured backtrace is deliberately not journaled: it is
+            // ASLR-dependent, and journal records must stay deterministic.
             obj.insert("kind".into(), Json::Str("panicked".into()));
             obj.insert("payload".into(), Json::Str(payload.clone()));
+        }
+        JobOutcome::Killed { signal } => {
+            obj.insert("kind".into(), Json::Str("killed".into()));
+            obj.insert("signal".into(), num(u64::from(signal.unsigned_abs())));
         }
         JobOutcome::Stalled(s) => {
             obj.insert("kind".into(), Json::Str("stalled".into()));
@@ -348,6 +515,11 @@ fn outcome_from_json(j: &Json) -> Result<JobOutcome, String> {
         "failed" => Ok(JobOutcome::Failed(get_str(j, "message")?.to_owned())),
         "panicked" => Ok(JobOutcome::Panicked {
             payload: get_str(j, "payload")?.to_owned(),
+            backtrace: None,
+        }),
+        "killed" => Ok(JobOutcome::Killed {
+            signal: i32::try_from(get_u64(j, "signal")?)
+                .map_err(|_| "signal out of range".to_owned())?,
         }),
         "stalled" => Ok(JobOutcome::Stalled(StallSummary {
             kind: stall_kind_parse(get_str(j, "stall_kind")?)?,
@@ -464,6 +636,9 @@ fn result_to_json(index: usize, r: &JobResult) -> Json {
     obj.insert("exit_code".into(), num(u64::from(r.exit_code)));
     obj.insert("digest".into(), Json::Str(format!("{:016x}", r.digest)));
     obj.insert("attempts".into(), num(u64::from(r.attempts)));
+    if let Some(cycle) = r.restored_from {
+        obj.insert("restored_from".into(), num(cycle));
+    }
     if let Some(stats) = &r.stats {
         obj.insert("stats".into(), stats_to_json(stats));
     }
@@ -499,6 +674,10 @@ fn result_from_json(j: &Json, jobs: &[SimJob]) -> Result<(usize, JobResult), Str
         digest,
         attempts: u32::try_from(get_u64(j, "attempts")?)
             .map_err(|_| "attempts out of range".to_owned())?,
+        restored_from: j
+            .get("restored_from")
+            .map(|v| json_u64(v).ok_or_else(|| "non-integer `restored_from`".to_owned()))
+            .transpose()?,
         stats: j.get("stats").map(stats_from_json).transpose()?,
         metrics: j.get("metrics").map(metrics_from_json).transpose()?,
         fault_stats: j.get("faults").map(faults_from_json).transpose()?,
@@ -533,7 +712,9 @@ mod tests {
             JobOutcome::Failed("some \"quoted\" error\nwith newline".into()),
             JobOutcome::Panicked {
                 payload: "chaos:panic workload fired".into(),
+                backtrace: None,
             },
+            JobOutcome::Killed { signal: 9 },
             JobOutcome::Stalled(StallSummary {
                 kind: StallKind::Livelock,
                 cycle: 1234,
@@ -549,7 +730,12 @@ mod tests {
                 attempts: 2,
                 last: Box::new(JobOutcome::Panicked {
                     payload: "inner".into(),
+                    backtrace: None,
                 }),
+            },
+            JobOutcome::Quarantined {
+                attempts: 3,
+                last: Box::new(JobOutcome::Killed { signal: 6 }),
             },
         ];
         for outcome in outcomes {
@@ -668,6 +854,63 @@ mod tests {
     }
 
     #[test]
+    fn partial_records_replay_and_results_supersede_them() {
+        let jobs = sample_jobs();
+        let mut bytes = header_bytes(&jobs).unwrap();
+        bytes.extend_from_slice(&partial_record_bytes(0, 2048).unwrap());
+        bytes.extend_from_slice(&partial_record_bytes(1, 4096).unwrap());
+        bytes.extend_from_slice(&partial_record_bytes(1, 8192).unwrap());
+        let replay = parse_bytes_full(&bytes, &jobs).unwrap();
+        assert!(replay.completed.is_empty());
+        assert_eq!(replay.partials[&0], 2048);
+        assert_eq!(replay.partials[&1], 8192, "later partial wins");
+
+        // A completed result supersedes the partial for its index.
+        bytes.extend_from_slice(&record_bytes(1, &run_job(&jobs[1])).unwrap());
+        let replay = parse_bytes_full(&bytes, &jobs).unwrap();
+        assert_eq!(replay.partials.keys().copied().collect::<Vec<_>>(), vec![0]);
+        assert!(replay.completed.contains_key(&1));
+
+        // The compatibility wrapper sees only completed results.
+        let (completed, valid_len) = parse_bytes(&bytes, &jobs).unwrap();
+        assert_eq!(completed.len(), 1);
+        assert_eq!(valid_len as usize, bytes.len());
+
+        // A torn partial record is tolerated like any torn tail.
+        let torn = &bytes[..bytes.len() - 3];
+        assert!(parse_bytes_full(torn, &jobs).is_ok());
+
+        // An out-of-range partial index is corruption, not silence.
+        let mut oor = header_bytes(&jobs).unwrap();
+        oor.extend_from_slice(&partial_record_bytes(99, 1).unwrap());
+        assert!(matches!(
+            parse_bytes_full(&oor, &jobs),
+            Err(JournalError::CorruptRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn journal_create_record_resume_in_a_fresh_directory_is_durable() {
+        // Exercises the fsync paths end to end: create (file + directory
+        // sync), per-record sync, partial records, and a resume that sees
+        // both record kinds.
+        let dir = std::env::temp_dir().join(format!("simfarm-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let jobs = sample_jobs();
+        {
+            let mut w = JournalWriter::create(&path, &jobs).unwrap();
+            w.record_partial(2, 4096).unwrap();
+            w.record(0, &run_job(&jobs[0])).unwrap();
+        }
+        let (w, replay) = JournalWriter::resume_full(&path, &jobs).unwrap();
+        assert_eq!(w.path(), path);
+        assert_eq!(replay.completed.keys().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(replay.partials[&2], 4096);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn jobs_digest_tracks_every_supervision_field() {
         let base = sample_jobs();
         let d0 = jobs_digest(&base);
@@ -683,5 +926,10 @@ mod tests {
             mutate(&mut jobs[0]);
             assert_ne!(jobs_digest(&jobs), d0);
         }
+        // The checkpoint cadence is operational, not behavioral: tuning it
+        // must not orphan an existing journal.
+        let mut jobs = base.clone();
+        jobs[0].checkpoint_every = 10_000;
+        assert_eq!(jobs_digest(&jobs), d0);
     }
 }

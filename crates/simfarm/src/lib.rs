@@ -23,6 +23,16 @@
 //!   tolerating torn trailing writes and rejecting corrupt records;
 //! * [`CancelToken`] — cooperative cancellation: workers finish in-flight
 //!   jobs, the journal is flushed, and the sweep exits resumable;
+//! * [`CheckpointCtl`] — durable mid-job checkpoints: jobs with
+//!   [`SimJob::checkpoint_every`] set seal a versioned, digest-checked
+//!   snapshot every N cycles (temp file + fsync + atomic rename), journal
+//!   partial progress, and restore after a crash to finish with a digest
+//!   identical to an uninterrupted run's;
+//! * [`ProcessIsolation`] — opt-in hard-crash isolation: every job attempt
+//!   runs in a re-exec'd `simfarm --run-one` child under optional `ulimit`
+//!   memory/CPU budgets, so SIGKILL/OOM/aborts surface as the typed
+//!   [`JobOutcome::Killed`] and feed the ordinary retry/quarantine ladder
+//!   instead of taking the coordinator down;
 //! * [`FarmReport`] — deterministic aggregation: per-job FNV trace digests,
 //!   [`osm_core::Stats`] and [`osm_core::MetricsReport`]s merged in
 //!   **job-index order**, regardless of completion order, plus a fleet
@@ -50,8 +60,10 @@
 //! same deterministic job, quarantine decisions depend only on outcomes,
 //! and the journal stores results losslessly. The single documented
 //! exception is the wall-clock deadline ([`SimJob::deadline_ms`]), which is
-//! host-speed dependent by nature. The `simfarm_smoke` and `chaos_smoke`
-//! binaries enforce these equivalences in CI.
+//! host-speed dependent by nature. The `simfarm_smoke`, `chaos_smoke` and
+//! `crash_smoke` binaries enforce these equivalences in CI — the last one
+//! under SIGKILL of a worker child mid-job and of the coordinator
+//! mid-sweep.
 //!
 //! ## Quickstart
 //!
@@ -72,7 +84,9 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 mod error;
+pub mod exec;
 mod job;
 pub mod journal;
 mod manifest;
@@ -82,12 +96,15 @@ mod queue;
 mod report;
 mod supervise;
 
+pub use checkpoint::{CheckpointCtl, JobCheckpoint};
 pub use error::{FarmError, JournalError};
+pub use exec::{IsolationMode, ProcessIsolation};
 pub use job::{
-    run_job, run_job_timed, JobOutcome, JobResult, ModelKind, SimJob, StallSummary, WorkloadSpec,
-    DEFAULT_RETRIES, DEFAULT_STALL_BUDGET,
+    run_job, run_job_checkpointed, run_job_checkpointed_timed, run_job_timed, JobOutcome,
+    JobResult, ModelKind, SimJob, StallSummary, WorkloadSpec, DEFAULT_RETRIES,
+    DEFAULT_STALL_BUDGET,
 };
-pub use journal::{read_journal, JournalWriter};
+pub use journal::{read_journal, JournalReplay, JournalWriter};
 pub use manifest::{parse_manifest, Manifest, ManifestError};
 pub use observe::{
     AttemptSpan, FarmObserver, FarmSchedule, JobSpan, JobTiming, WorkerTelemetry,

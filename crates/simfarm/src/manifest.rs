@@ -31,7 +31,21 @@
 //!   of manifests whose reports must be byte-reproducible.
 //! * `"retries"` — how many times an unhealthy job is deterministically
 //!   re-run before quarantine ([`crate::DEFAULT_RETRIES`] when omitted).
+//!
+//! ## Hard-crash survival knobs
+//!
+//! * `"checkpoint_every"` (per-job and in `defaults`) — durable mid-job
+//!   checkpoint cadence in cycles; `0` (the default) disables
+//!   checkpointing ([`crate::SimJob::checkpoint_every`]). Ignored for
+//!   observability jobs.
+//! * `"isolation"` (top level) — `"in-process"` (default) or `"process"`:
+//!   run every job attempt in a re-exec'd subprocess so hard crashes
+//!   become typed outcomes ([`crate::exec`]). CLI flags override.
+//! * `"memory_limit_mb"` / `"cpu_limit_secs"` (top level) — resource
+//!   budgets applied to each isolated subprocess (`0` = unlimited, the
+//!   default). Meaningful only with `"isolation": "process"`.
 
+use crate::exec::IsolationMode;
 use crate::job::{ModelKind, SimJob, WorkloadSpec, DEFAULT_RETRIES, DEFAULT_STALL_BUDGET};
 use bench::json::{parse, Json};
 use osm_core::{FaultPlan, SchedulerMode};
@@ -49,6 +63,15 @@ pub struct Manifest {
     /// `"observability"`, which enables the *machine*-level event log and
     /// metrics inside each job.
     pub farm_observability: bool,
+    /// Top-level `"isolation"` knob: how workers execute job attempts
+    /// (CLI flags override). [`IsolationMode::InProcess`] by default.
+    pub isolation: IsolationMode,
+    /// Top-level `"memory_limit_mb"`: address-space budget per isolated
+    /// subprocess (`None` = unlimited).
+    pub memory_limit_mb: Option<u64>,
+    /// Top-level `"cpu_limit_secs"`: CPU budget per isolated subprocess
+    /// (`None` = unlimited).
+    pub cpu_limit_secs: Option<u64>,
     /// The job list, in manifest order.
     pub jobs: Vec<SimJob>,
 }
@@ -85,6 +108,7 @@ struct Defaults {
     stall_budget: Option<u64>,
     deadline_ms: Option<u64>,
     retries: u32,
+    checkpoint_every: u64,
 }
 
 impl Default for Defaults {
@@ -96,6 +120,7 @@ impl Default for Defaults {
             stall_budget: Some(DEFAULT_STALL_BUDGET),
             deadline_ms: None,
             retries: DEFAULT_RETRIES,
+            checkpoint_every: 0,
         }
     }
 }
@@ -168,7 +193,30 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
                 .and_then(|n| u32::try_from(n).ok())
                 .ok_or_else(|| ManifestError::new("defaults.retries must be a small integer"))?;
         }
+        if let Some(v) = d.get("checkpoint_every") {
+            defaults.checkpoint_every = v.as_u64().ok_or_else(|| {
+                ManifestError::new("defaults.checkpoint_every must be a non-negative integer")
+            })?;
+        }
     }
+
+    let isolation = match root.get("isolation") {
+        None => IsolationMode::default(),
+        Some(v) => v
+            .as_str()
+            .and_then(IsolationMode::parse)
+            .ok_or_else(|| {
+                ManifestError::new("`isolation` must be \"in-process\" or \"process\"")
+            })?,
+    };
+    let memory_limit_mb = match root.get("memory_limit_mb") {
+        None => None,
+        Some(v) => zero_is_off(v, "`memory_limit_mb`")?,
+    };
+    let cpu_limit_secs = match root.get("cpu_limit_secs") {
+        None => None,
+        Some(v) => zero_is_off(v, "`cpu_limit_secs`")?,
+    };
 
     let jobs_json = root
         .get("jobs")
@@ -188,6 +236,9 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, ManifestError> {
     Ok(Manifest {
         workers,
         farm_observability,
+        isolation,
+        memory_limit_mb,
+        cpu_limit_secs,
         jobs,
     })
 }
@@ -219,6 +270,7 @@ fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, Manif
     job.stall_budget = defaults.stall_budget;
     job.deadline_ms = defaults.deadline_ms;
     job.retries = defaults.retries;
+    job.checkpoint_every = defaults.checkpoint_every;
     job.name = format!("{}/{}#{}", model.name(), workload_name, index);
 
     if let Some(v) = j.get("name") {
@@ -256,6 +308,14 @@ fn parse_job(j: &Json, index: usize, defaults: Defaults) -> Result<SimJob, Manif
             .as_u64()
             .and_then(|n| u32::try_from(n).ok())
             .ok_or_else(|| ManifestError::new(format!("{} must be a small integer", ctx("retries"))))?;
+    }
+    if let Some(v) = j.get("checkpoint_every") {
+        job.checkpoint_every = v.as_u64().ok_or_else(|| {
+            ManifestError::new(format!(
+                "{} must be a non-negative integer",
+                ctx("checkpoint_every")
+            ))
+        })?;
     }
     if let Some(v) = j.get("faults") {
         job.faults = Some(parse_faults(v, &ctx("faults"))?);
@@ -415,6 +475,52 @@ mod tests {
             parse_manifest(r#"{"jobs":[{"model":"sa1100","workload":"specint"}]}"#).unwrap();
         assert_eq!(plain.jobs[0].stall_budget, Some(DEFAULT_STALL_BUDGET));
         assert_eq!(plain.jobs[0].retries, DEFAULT_RETRIES);
+    }
+
+    #[test]
+    fn crash_survival_knobs_parse_with_defaults_and_overrides() {
+        let text = r#"{
+            "isolation": "process",
+            "memory_limit_mb": 512,
+            "cpu_limit_secs": 30,
+            "defaults": { "checkpoint_every": 10000 },
+            "jobs": [
+                { "model": "sa1100", "workload": "specint" },
+                { "model": "minirisc", "workload": "random:64",
+                  "checkpoint_every": 0 },
+                { "model": "vliw", "workload": "ilp:100:4",
+                  "checkpoint_every": 2500 }
+            ]
+        }"#;
+        let m = parse_manifest(text).unwrap();
+        assert_eq!(m.isolation, IsolationMode::Process);
+        assert_eq!(m.memory_limit_mb, Some(512));
+        assert_eq!(m.cpu_limit_secs, Some(30));
+        assert_eq!(m.jobs[0].checkpoint_every, 10_000, "defaults apply");
+        assert_eq!(m.jobs[1].checkpoint_every, 0, "per-job opt-out");
+        assert_eq!(m.jobs[2].checkpoint_every, 2_500, "per-job override");
+
+        // Untouched manifests: in-process, unlimited, no checkpointing.
+        let plain =
+            parse_manifest(r#"{"jobs":[{"model":"sa1100","workload":"specint"}]}"#).unwrap();
+        assert_eq!(plain.isolation, IsolationMode::InProcess);
+        assert_eq!(plain.memory_limit_mb, None);
+        assert_eq!(plain.cpu_limit_secs, None);
+        assert_eq!(plain.jobs[0].checkpoint_every, 0);
+
+        // Bad spellings are rejected with the field named.
+        let err = parse_manifest(
+            r#"{"isolation": "container",
+                "jobs":[{"model":"sa1100","workload":"specint"}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("isolation"), "{err}");
+        let err = parse_manifest(
+            r#"{"jobs":[{"model":"sa1100","workload":"specint",
+                         "checkpoint_every": -3}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("checkpoint_every"), "{err}");
     }
 
     #[test]

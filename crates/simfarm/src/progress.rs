@@ -272,7 +272,10 @@ mod tests {
         meter.record(&result(
             JobOutcome::Quarantined {
                 attempts: 2,
-                last: Box::new(JobOutcome::Panicked { payload: "p".into() }),
+                last: Box::new(JobOutcome::Panicked {
+                    payload: "p".into(),
+                    backtrace: None,
+                }),
             },
             0,
         ));

@@ -26,14 +26,27 @@
 //! [`FarmError::MissingResult`] — the seed's `panic!("job {idx} produced no
 //! result")` assembly hole, demoted from crash to error.
 
+use crate::checkpoint::CheckpointCtl;
 use crate::error::FarmError;
+use crate::exec::{self, ProcessIsolation};
 use crate::job::{JobResult, SimJob};
 use crate::journal::JournalWriter;
 use crate::observe::{FarmObserver, FarmSchedule, JobSpan, WorkerTelemetry};
-use crate::supervise::{run_job_supervised, run_job_supervised_observed, CancelToken};
+use crate::supervise::{
+    run_job_supervised, run_job_supervised_ckpt, run_job_supervised_observed, CancelToken,
+};
 use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Mutex;
+
+/// What a worker reports to the coordinator: a completed job, or durable
+/// mid-job progress (a checkpoint was sealed at `cycle`) to be journaled
+/// as a partial record.
+enum Msg {
+    Result(usize, Box<JobResult>),
+    Partial(usize, u64),
+}
 
 /// Everything optional a supervised sweep can carry: a cancellation token,
 /// previously-completed results to skip (durable resume), a journal to
@@ -62,6 +75,18 @@ pub struct FarmOptions {
     /// absent the workers run the exact pre-observer hot loop — results are
     /// bit-identical either way (timing never feeds back into execution).
     pub observer: Option<FarmObserver>,
+    /// Directory for durable mid-job checkpoints. When present, every job
+    /// that opted in ([`SimJob::checkpoint_every`]) seals a checkpoint on
+    /// cadence, the coordinator journals a partial-progress record per
+    /// seal, and a resumed (or retried) job restores from its last durable
+    /// checkpoint instead of cycle 0. `None` disables mid-job
+    /// checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// When present, every job attempt runs in a re-exec'd subprocess
+    /// under the given resource budgets ([`crate::exec`]); hard crashes
+    /// become [`crate::JobOutcome::Killed`]. `None` (the default) runs
+    /// jobs in-process on the worker threads.
+    pub isolation: Option<ProcessIsolation>,
 }
 
 impl std::fmt::Debug for FarmOptions {
@@ -72,6 +97,8 @@ impl std::fmt::Debug for FarmOptions {
             .field("journal", &self.journal)
             .field("on_result", &self.on_result.is_some())
             .field("observer", &self.observer.is_some())
+            .field("checkpoint_dir", &self.checkpoint_dir)
+            .field("isolation", &self.isolation.is_some())
             .finish()
     }
 }
@@ -181,6 +208,8 @@ pub fn run_farm(
         mut journal,
         mut on_result,
         observer,
+        checkpoint_dir,
+        isolation,
     } = options;
     let mut completed: BTreeMap<usize, JobResult> = completed
         .into_iter()
@@ -213,7 +242,7 @@ pub fn run_farm(
             )
         })
         .collect();
-    let (tx, rx) = mpsc::channel::<(usize, JobResult)>();
+    let (tx, rx) = mpsc::channel::<Msg>();
 
     let mut journal_error: Option<FarmError> = None;
     std::thread::scope(|scope| {
@@ -222,16 +251,37 @@ pub fn run_farm(
             let deques = &deques;
             let cancel = cancel.clone();
             let observer = observer.clone();
+            let ckpt_dir = checkpoint_dir.as_deref();
+            let isolation = isolation.as_ref();
             scope.spawn(move || match observer {
-                None => worker_plain(deques, me, &cancel, &tx, jobs),
-                Some(obs) => worker_observed(deques, me, &cancel, &tx, jobs, &obs),
+                None => worker_plain(deques, me, &cancel, &tx, jobs, ckpt_dir, isolation),
+                Some(obs) => {
+                    worker_observed(deques, me, &cancel, &tx, jobs, &obs, ckpt_dir, isolation)
+                }
             });
         }
         drop(tx);
 
         // Drain while the workers run: journal + hook + slot, in completion
         // order. The loop ends when the last worker drops its sender.
-        for (idx, result) in rx {
+        for msg in rx {
+            let (idx, result) = match msg {
+                Msg::Partial(idx, cycle) => {
+                    // Partial progress is advisory (the checkpoint file is
+                    // already durable); a failing journal still cancels —
+                    // the account must not silently diverge from disk.
+                    if journal_error.is_none() {
+                        if let Some(journal) = journal.as_mut() {
+                            if let Err(e) = journal.record_partial(idx, cycle) {
+                                journal_error = Some(e.into());
+                                cancel.cancel();
+                            }
+                        }
+                    }
+                    continue;
+                }
+                Msg::Result(idx, result) => (idx, *result),
+            };
             if journal_error.is_none() {
                 if let Some(journal) = journal.as_mut() {
                     if let Err(e) = journal.record(idx, &result) {
@@ -270,19 +320,48 @@ pub fn run_farm(
     Ok(run)
 }
 
+/// Builds the optional checkpoint controller for one in-process job,
+/// wiring its save notifications to the coordinator as partial-progress
+/// messages.
+fn job_ckpt_ctl<'a>(
+    jobs: &[SimJob],
+    idx: usize,
+    ckpt_dir: Option<&Path>,
+    tx: &'a mpsc::Sender<Msg>,
+) -> Option<CheckpointCtl<'a>> {
+    let dir = ckpt_dir?;
+    Some(
+        CheckpointCtl::new(&jobs[idx], idx, dir)?
+            .with_notify(move |cycle| {
+                let _ = tx.send(Msg::Partial(idx, cycle));
+            }),
+    )
+}
+
 /// The worker body when no observer is attached: the pre-observability hot
 /// loop, with no clock reads and no telemetry bookkeeping.
+#[allow(clippy::too_many_arguments)]
 fn worker_plain(
     deques: &[Mutex<VecDeque<usize>>],
     me: usize,
     cancel: &CancelToken,
-    tx: &mpsc::Sender<(usize, JobResult)>,
+    tx: &mpsc::Sender<Msg>,
     jobs: &[SimJob],
+    ckpt_dir: Option<&Path>,
+    isolation: Option<&ProcessIsolation>,
 ) {
     while !cancel.is_cancelled() {
         let Some((idx, _stolen)) = next_job(deques, me) else { break };
-        let result = run_job_supervised(&jobs[idx]);
-        if tx.send((idx, result)).is_err() {
+        let result = match isolation {
+            Some(iso) => exec::run_child_supervised(iso, jobs, idx, ckpt_dir, &mut |cycle| {
+                let _ = tx.send(Msg::Partial(idx, cycle));
+            }),
+            None => {
+                let mut ctl = job_ckpt_ctl(jobs, idx, ckpt_dir, tx);
+                run_job_supervised_ckpt(&jobs[idx], ctl.as_mut())
+            }
+        };
+        if tx.send(Msg::Result(idx, Box::new(result))).is_err() {
             break;
         }
     }
@@ -292,13 +371,16 @@ fn worker_plain(
 /// plus busy/idle accounting, pop-vs-steal counting, and one recorded
 /// [`JobSpan`] per completed job. Timing is read only at job boundaries —
 /// the simulation itself is bit-identical to the plain path.
+#[allow(clippy::too_many_arguments)]
 fn worker_observed(
     deques: &[Mutex<VecDeque<usize>>],
     me: usize,
     cancel: &CancelToken,
-    tx: &mpsc::Sender<(usize, JobResult)>,
+    tx: &mpsc::Sender<Msg>,
     jobs: &[SimJob],
     obs: &FarmObserver,
+    ckpt_dir: Option<&Path>,
+    isolation: Option<&ProcessIsolation>,
 ) {
     let mut telemetry = WorkerTelemetry {
         worker: me,
@@ -314,7 +396,22 @@ fn worker_observed(
         } else {
             telemetry.own_pops += 1;
         }
-        let (result, attempts) = run_job_supervised_observed(&jobs[idx], || obs.now_ns());
+        let (result, attempts) = match isolation {
+            Some(iso) => exec::run_child_supervised_observed(
+                iso,
+                jobs,
+                idx,
+                ckpt_dir,
+                &mut |cycle| {
+                    let _ = tx.send(Msg::Partial(idx, cycle));
+                },
+                || obs.now_ns(),
+            ),
+            None => {
+                let mut ctl = job_ckpt_ctl(jobs, idx, ckpt_dir, tx);
+                run_job_supervised_observed(&jobs[idx], ctl.as_mut(), || obs.now_ns())
+            }
+        };
         let finished_ns = obs.now_ns();
         telemetry.busy_ns += finished_ns.saturating_sub(started_ns);
         telemetry.jobs_completed += 1;
@@ -330,7 +427,7 @@ fn worker_observed(
             outcome: result.outcome.label(),
             cycles: result.cycles,
         });
-        if tx.send((idx, result)).is_err() {
+        if tx.send(Msg::Result(idx, Box::new(result))).is_err() {
             break;
         }
     }

@@ -54,6 +54,16 @@ pub struct FarmReport {
     pub failures: usize,
     /// Jobs the supervisor quarantined (a subset of `failures`).
     pub quarantined: usize,
+    /// Jobs whose final outcome was a hard kill under process isolation
+    /// ([`JobOutcome::Killed`], directly or as the last quarantined
+    /// attempt). A subset of `failures`; a pure fold of outcomes, so
+    /// canonical like the other counts.
+    pub killed: usize,
+    /// Jobs that restored from a durable mid-job checkpoint
+    /// ([`JobResult::restored_from`]). Operational provenance — how the
+    /// sweep got here, not what it computed — so the canonical renderings
+    /// scrub it, exactly like `restored`.
+    pub checkpoint_restores: usize,
     /// Jobs restored from a sweep journal instead of run in this process
     /// (0 for a fresh sweep).
     pub restored: usize,
@@ -83,6 +93,8 @@ impl FarmReport {
         let mut total_retired = 0u64;
         let mut failures = 0usize;
         let mut quarantined = 0usize;
+        let mut killed = 0usize;
+        let mut checkpoint_restores = 0usize;
         let mut causes: BTreeMap<(String, String), u64> = BTreeMap::new();
         for job in &jobs {
             total_cycles += job.cycles;
@@ -92,6 +104,19 @@ impl FarmReport {
             }
             if matches!(job.outcome, JobOutcome::Quarantined { .. }) {
                 quarantined += 1;
+            }
+            let was_killed = match &job.outcome {
+                JobOutcome::Killed { .. } => true,
+                JobOutcome::Quarantined { last, .. } => {
+                    matches!(last.as_ref(), JobOutcome::Killed { .. })
+                }
+                _ => false,
+            };
+            if was_killed {
+                killed += 1;
+            }
+            if job.restored_from.is_some() {
+                checkpoint_restores += 1;
             }
             if let Some(stats) = &job.stats {
                 total_stats.cycles += stats.cycles;
@@ -123,6 +148,8 @@ impl FarmReport {
             total_retired,
             failures,
             quarantined,
+            killed,
+            checkpoint_restores,
             restored: 0,
             pending: 0,
             workers,
@@ -161,12 +188,24 @@ impl FarmReport {
     /// time, restored-from-journal count, observer schedule) scrubbed; the
     /// basis of the byte-identity gates. The deterministic roll-ups
     /// (`stall_causes`) survive — they are pure folds of job results.
+    ///
+    /// Also scrubbed: per-job attempt counts and checkpoint-restore
+    /// provenance. A job killed mid-run (worker crash, `kill -9`) and then
+    /// retried or resumed reaches the *same* final result as an
+    /// uninterrupted run, but via more attempts and a mid-job restore —
+    /// operational history, not computation, so it must not move a
+    /// canonical byte.
     fn canonical(&self) -> FarmReport {
         let mut c = self.clone();
         c.workers = 0;
         c.wall_seconds = 0.0;
         c.restored = 0;
+        c.checkpoint_restores = 0;
         c.schedule = None;
+        for job in &mut c.jobs {
+            job.attempts = 0;
+            job.restored_from = None;
+        }
         c
     }
 
@@ -199,6 +238,9 @@ impl FarmReport {
                 obj.insert("retired".into(), Json::lossless_u64(job.retired));
                 obj.insert("exit_code".into(), Json::Num(f64::from(job.exit_code)));
                 obj.insert("digest".into(), Json::Str(format!("{:016x}", job.digest)));
+                if let Some(cycle) = job.restored_from {
+                    obj.insert("restored_from".into(), Json::lossless_u64(cycle));
+                }
                 if let Some(stats) = &job.stats {
                     obj.insert("transitions".into(), Json::lossless_u64(stats.transitions));
                     obj.insert("idle_steps".into(), Json::lossless_u64(stats.idle_steps));
@@ -228,12 +270,17 @@ impl FarmReport {
         );
         totals.insert("failures".into(), Json::Num(self.failures as f64));
         totals.insert("quarantined".into(), Json::Num(self.quarantined as f64));
+        totals.insert("killed".into(), Json::Num(self.killed as f64));
         totals.insert("pending".into(), Json::Num(self.pending as f64));
         let mut root = BTreeMap::new();
         root.insert("jobs".into(), Json::Arr(jobs));
         root.insert("totals".into(), Json::Obj(totals));
         root.insert("workers".into(), Json::Num(self.workers as f64));
         root.insert("restored".into(), Json::Num(self.restored as f64));
+        root.insert(
+            "checkpoint_restores".into(),
+            Json::Num(self.checkpoint_restores as f64),
+        );
         root.insert("wall_seconds".into(), Json::Num(self.wall_seconds));
         // Omitted (not 0) when wall time was never measured: a sweep
         // consolidated with `wall_seconds: 0.0` has no throughput to claim.
@@ -382,6 +429,13 @@ impl FarmReport {
                 self.restored, self.pending
             );
         }
+        if self.checkpoint_restores > 0 {
+            let _ = writeln!(
+                out,
+                "checkpoints: {} job(s) resumed mid-job from durable checkpoints",
+                self.checkpoint_restores
+            );
+        }
         if self.quarantined > 0 {
             let _ = writeln!(out, "quarantine: {} job(s)", self.quarantined);
             for job in &self.jobs {
@@ -389,6 +443,9 @@ impl FarmReport {
                     let _ = writeln!(out, "    {} — {}", job.name, job.outcome.label());
                 }
             }
+        }
+        if self.killed > 0 {
+            let _ = writeln!(out, "killed: {} job(s) died under process isolation", self.killed);
         }
         let _ = writeln!(
             out,
@@ -463,6 +520,7 @@ fn marker(outcome: &JobOutcome) -> &'static str {
         JobOutcome::BudgetExhausted => " (budget)",
         JobOutcome::Failed(_) => " (FAILED)",
         JobOutcome::Panicked { .. } => " (PANICKED)",
+        JobOutcome::Killed { .. } => " (KILLED)",
         JobOutcome::Stalled(_) => " (STALLED)",
         JobOutcome::DeadlineExceeded { .. } => " (DEADLINE)",
         JobOutcome::Quarantined { .. } => " (QUARANTINED)",
@@ -484,6 +542,13 @@ impl fmt::Display for FarmReport {
                 f,
                 "resume: {} restored from journal, {} pending",
                 self.restored, self.pending
+            )?;
+        }
+        if self.checkpoint_restores > 0 {
+            writeln!(
+                f,
+                "checkpoints: {} job(s) resumed mid-job from durable checkpoints",
+                self.checkpoint_restores
             )?;
         }
         writeln!(
@@ -514,6 +579,9 @@ impl fmt::Display for FarmReport {
                     writeln!(f, "    {} — {}", job.name, job.outcome.label())?;
                 }
             }
+        }
+        if self.killed > 0 {
+            writeln!(f, "killed: {} job(s) died under process isolation", self.killed)?;
         }
         writeln!(
             f,

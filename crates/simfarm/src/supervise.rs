@@ -10,12 +10,16 @@
 //! therefore the final [`JobResult`] — is a pure function of the
 //! [`SimJob`], independent of worker count and scheduling.
 
-use crate::job::{run_job, run_job_timed, JobOutcome, JobResult, SimJob};
+use crate::checkpoint::CheckpointCtl;
+use crate::job::{
+    run_job_checkpointed, run_job_checkpointed_timed, JobOutcome, JobResult, SimJob,
+};
 use crate::observe::{AttemptSpan, JobTiming};
 use std::any::Any;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 
 /// A cooperative cancellation token shared between the farm and its
 /// operator (CLI signal timers, tests, embedding services). Cancelling does
@@ -54,33 +58,81 @@ fn payload_string(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
-/// One isolated attempt: a panic anywhere inside [`run_job`] is caught and
-/// reported as [`JobOutcome::Panicked`].
-fn run_attempt(job: &SimJob) -> JobResult {
-    match catch_unwind(AssertUnwindSafe(|| run_job(job))) {
+thread_local! {
+    /// Armed while this thread runs a supervised attempt: the quiet panic
+    /// hook stores the captured backtrace here instead of printing.
+    static PANIC_CAPTURE: RefCell<Option<Option<String>>> = const { RefCell::new(None) };
+}
+
+/// Installs the farm's process-global quiet panic hook (once, idempotent).
+///
+/// The default hook prints `thread '...' panicked at ...` plus a backtrace
+/// to stderr — with a fleet of workers deliberately absorbing chaos-job
+/// panics that interleaves into operator-facing noise for events the farm
+/// fully contains. The quiet hook checks a thread-local arm flag: for a
+/// supervised attempt it captures the backtrace (honoring `RUST_BACKTRACE`)
+/// into the flag for [`JobOutcome::Panicked`] and prints nothing; panics on
+/// any *unarmed* thread (real bugs in the farm itself) still reach the
+/// previously-installed hook untouched.
+fn install_quiet_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let armed = PANIC_CAPTURE.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                match slot.as_mut() {
+                    Some(capture) => {
+                        use std::backtrace::{Backtrace, BacktraceStatus};
+                        let bt = Backtrace::capture();
+                        *capture = (bt.status() == BacktraceStatus::Captured)
+                            .then(|| bt.to_string());
+                        true
+                    }
+                    None => false,
+                }
+            });
+            if !armed {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f` with the quiet panic hook armed for this thread, returning its
+/// value or the rendered panic payload plus the backtrace captured at the
+/// panic site.
+fn quiet_catch<T>(f: impl FnOnce() -> T) -> Result<T, (String, Option<String>)> {
+    install_quiet_panic_hook();
+    PANIC_CAPTURE.with(|slot| *slot.borrow_mut() = Some(None));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let captured = PANIC_CAPTURE.with(|slot| slot.borrow_mut().take()).flatten();
+    result.map_err(|payload| (payload_string(payload), captured))
+}
+
+/// One isolated attempt: a panic anywhere inside the job runner is caught
+/// (silently — see [`install_quiet_panic_hook`]) and reported as
+/// [`JobOutcome::Panicked`] with the payload and captured backtrace.
+pub(crate) fn run_attempt(job: &SimJob, ctl: Option<&mut CheckpointCtl<'_>>) -> JobResult {
+    match quiet_catch(AssertUnwindSafe(|| run_job_checkpointed(job, ctl))) {
         Ok(result) => result,
-        Err(payload) => JobResult::aborted(
-            job,
-            JobOutcome::Panicked {
-                payload: payload_string(payload),
-            },
-        ),
+        Err((payload, backtrace)) => {
+            JobResult::aborted(job, JobOutcome::Panicked { payload, backtrace })
+        }
     }
 }
 
 /// One isolated, *timed* attempt: like [`run_attempt`] but with the
 /// setup/sim/teardown breakdown. A panicking attempt loses its breakdown
 /// (the timing lived on the unwound stack) and reports zeros.
-fn run_attempt_timed(job: &SimJob) -> (JobResult, JobTiming) {
-    match catch_unwind(AssertUnwindSafe(|| run_job_timed(job))) {
+fn run_attempt_timed(
+    job: &SimJob,
+    ctl: Option<&mut CheckpointCtl<'_>>,
+) -> (JobResult, JobTiming) {
+    match quiet_catch(AssertUnwindSafe(|| run_job_checkpointed_timed(job, ctl))) {
         Ok(pair) => pair,
-        Err(payload) => (
-            JobResult::aborted(
-                job,
-                JobOutcome::Panicked {
-                    payload: payload_string(payload),
-                },
-            ),
+        Err((payload, backtrace)) => (
+            JobResult::aborted(job, JobOutcome::Panicked { payload, backtrace }),
             JobTiming::default(),
         ),
     }
@@ -90,7 +142,7 @@ fn run_attempt_timed(job: &SimJob) -> (JobResult, JobTiming) {
 /// runners: up to `1 + job.retries` attempts, quarantine once every attempt
 /// came back unhealthy. `attempt_fn` receives the 1-based attempt number
 /// and must already be crash-isolated.
-fn supervise(job: &SimJob, mut attempt_fn: impl FnMut(u32) -> JobResult) -> JobResult {
+pub(crate) fn supervise(job: &SimJob, mut attempt_fn: impl FnMut(u32) -> JobResult) -> JobResult {
     let attempts_allowed = job.retries.saturating_add(1);
     let mut attempt = 0u32;
     loop {
@@ -117,7 +169,18 @@ fn supervise(job: &SimJob, mut attempt_fn: impl FnMut(u32) -> JobResult) -> JobR
 /// (cycles, digest, stats) with its outcome wrapped in
 /// [`JobOutcome::Quarantined`].
 pub fn run_job_supervised(job: &SimJob) -> JobResult {
-    supervise(job, |_| run_attempt(job))
+    supervise(job, |_| run_attempt(job, None))
+}
+
+/// [`run_job_supervised`] under an optional durable checkpoint controller:
+/// every attempt restores from the job's last valid checkpoint (so a retry
+/// after a mid-job crash continues from where the machine durably stood,
+/// not from cycle 0) and keeps sealing new checkpoints as it advances.
+pub(crate) fn run_job_supervised_ckpt(
+    job: &SimJob,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
+) -> JobResult {
+    supervise(job, |_| run_attempt(job, ctl.as_deref_mut()))
 }
 
 /// [`run_job_supervised`] with farm observability: returns the same
@@ -126,12 +189,13 @@ pub fn run_job_supervised(job: &SimJob) -> JobResult {
 /// by the farm when a [`crate::FarmObserver`] is attached.
 pub(crate) fn run_job_supervised_observed(
     job: &SimJob,
+    mut ctl: Option<&mut CheckpointCtl<'_>>,
     now_ns: impl Fn() -> u64,
 ) -> (JobResult, Vec<AttemptSpan>) {
     let mut spans = Vec::new();
     let result = supervise(job, |attempt| {
         let start_ns = now_ns();
-        let (result, timing) = run_attempt_timed(job);
+        let (result, timing) = run_attempt_timed(job, ctl.as_deref_mut());
         spans.push(AttemptSpan {
             attempt,
             start_ns,
@@ -169,7 +233,7 @@ mod tests {
             JobOutcome::Quarantined { attempts, last } => {
                 assert_eq!(*attempts, 3);
                 match last.as_ref() {
-                    JobOutcome::Panicked { payload } => {
+                    JobOutcome::Panicked { payload, .. } => {
                         assert!(payload.contains("chaos:panic"), "{payload}")
                     }
                     other => panic!("expected Panicked, got {other:?}"),
@@ -187,6 +251,31 @@ mod tests {
         let r = run_job_supervised(&job);
         assert_eq!(r.attempts, 1);
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn panic_equality_ignores_the_captured_backtrace() {
+        let with = JobOutcome::Panicked {
+            payload: "boom".into(),
+            backtrace: Some("0: frame_at_0x1234".into()),
+        };
+        let without = JobOutcome::Panicked {
+            payload: "boom".into(),
+            backtrace: None,
+        };
+        assert_eq!(with, without, "backtraces are ASLR-dependent diagnostics");
+        assert_eq!(with.label(), "panicked: boom", "label excludes the backtrace");
+    }
+
+    #[test]
+    fn quiet_catch_passes_values_and_payloads_through() {
+        assert_eq!(quiet_catch(|| 41 + 1).unwrap(), 42);
+        let (payload, _backtrace) =
+            quiet_catch(|| -> u32 { panic!("expected-test-panic") }).unwrap_err();
+        assert_eq!(payload, "expected-test-panic");
+        // The arm flag is disarmed again: a later catch starts clean.
+        let (payload, _) = quiet_catch(|| -> u32 { panic!("second") }).unwrap_err();
+        assert_eq!(payload, "second");
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn poison_jobs_are_contained_and_typed_through_the_public_api() {
     assert!(matches!(
         &results[1].outcome,
         JobOutcome::Quarantined { attempts: 1, last }
-            if matches!(last.as_ref(), JobOutcome::Panicked { payload } if payload.contains("chaos:panic"))
+            if matches!(last.as_ref(), JobOutcome::Panicked { payload, .. } if payload.contains("chaos:panic"))
     ));
     assert!(matches!(
         &results[4].outcome,

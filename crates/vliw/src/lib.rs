@@ -189,6 +189,48 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_bytes_restore_into_fresh_sim_replays_exactly() {
+        // Checkpoint mid-loop with branch squashes in flight, then restore
+        // into a freshly-built simulator from bytes alone.
+        let program = schedule(&ilp_loop(20, 4), vec![]);
+        let mut sim = VliwSim::new(VliwConfig::default(), &program);
+        for _ in 0..30 {
+            sim.machine_mut().step().unwrap();
+        }
+        let bytes = sim.checkpoint_bytes().unwrap();
+        let reference = sim.run_to_halt(1_000_000).unwrap();
+        drop(sim);
+
+        let mut fresh = VliwSim::new(VliwConfig::default(), &program);
+        fresh.restore_checkpoint_bytes(&bytes).unwrap();
+        assert_eq!(fresh.machine().cycle(), 30);
+        let replay = fresh.run_to_halt(1_000_000).unwrap();
+        assert_eq!(replay, reference);
+
+        // Damaged bytes are rejected by the seal.
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        let mut victim = VliwSim::new(VliwConfig::default(), &program);
+        assert!(victim.restore_checkpoint_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn in_memory_checkpoint_rewinds() {
+        let program = schedule(&ilp_loop(12, 3), vec![]);
+        let mut sim = VliwSim::new(VliwConfig::default(), &program);
+        for _ in 0..10 {
+            sim.machine_mut().step().unwrap();
+        }
+        let ckpt = sim.checkpoint().unwrap();
+        let reference = sim.run_to_halt(1_000_000).unwrap();
+        sim.restore(&ckpt).unwrap();
+        assert_eq!(sim.machine().cycle(), 10);
+        let replay = sim.run_to_halt(1_000_000).unwrap();
+        assert_eq!(replay, reference);
+    }
+
+    #[test]
     fn deterministic() {
         let program = schedule(&ilp_loop(15, 5), vec![]);
         let a = VliwSim::new(VliwConfig::default(), &program)
